@@ -1,0 +1,130 @@
+// Baseline comparison A4 (the migratory-replication motivation of Section
+// 4.1): endemic replication vs (a) the Section 4.1.1 hand-off strategy and
+// (b) static/reactive placement, under three stresses:
+//   1. crash-recovery background failures,
+//   2. a massive failure burst,
+//   3. a targeted attack (adversary snapshots the replica set, then
+//      destroys exactly those hosts a few periods later).
+// Expected shape: hand-off goes extinct under (1); static dies under (3)
+// every time and often under (2); endemic survives all three w.h.p.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "protocols/baselines.hpp"
+#include "protocols/endemic_replication.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace {
+
+using deproto::proto::EndemicReplication;
+using deproto::proto::HandoffMigration;
+using deproto::proto::StaticReplication;
+
+constexpr std::size_t kN = 1000;
+constexpr std::size_t kReplicas = 8;
+constexpr int kTrials = 10;
+constexpr std::size_t kHorizon = 1500;
+
+enum class Stress { Churn, MassiveFailure, TargetedAttack };
+
+template <typename Protocol>
+bool survives(Protocol& protocol, std::size_t holder_state, Stress stress,
+              std::uint64_t seed, const std::vector<std::size_t>& seeding) {
+  deproto::sim::SyncSimulator simulator(kN, protocol, seed);
+  simulator.seed_states(seeding);
+  switch (stress) {
+    case Stress::Churn:
+      simulator.set_crash_recovery(0.005, 20.0);
+      simulator.run(kHorizon);
+      break;
+    case Stress::MassiveFailure:
+      simulator.schedule_massive_failure(100, 0.5);
+      simulator.run(kHorizon);
+      break;
+    case Stress::TargetedAttack: {
+      simulator.run(100);
+      const auto snapshot = simulator.group().members(holder_state);
+      simulator.run(10);  // attack preparation delay
+      for (deproto::sim::ProcessId pid : snapshot) {
+        if (simulator.group().alive(pid)) {
+          protocol.on_crash(pid);
+          simulator.group().crash(pid);
+        }
+      }
+      simulator.run(kHorizon - 110);
+      break;
+    }
+  }
+  return simulator.group().count(holder_state) > 0;
+}
+
+int count_survivals(Stress stress, const char* which) {
+  int survived = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto seed = static_cast<std::uint64_t>(100 + t);
+    if (std::string(which) == "endemic") {
+      EndemicReplication protocol({.b = 4, .gamma = 0.1, .alpha = 0.05});
+      if (survives(protocol, EndemicReplication::kStash, stress, seed,
+                   {kN - 2 * kReplicas, kReplicas, kReplicas})) {
+        ++survived;
+      }
+    } else if (std::string(which) == "handoff") {
+      HandoffMigration protocol({.handoff_prob = 0.1});
+      if (survives(protocol, HandoffMigration::kHolder, stress, seed,
+                   {kN - kReplicas, kReplicas})) {
+        ++survived;
+      }
+    } else {
+      StaticReplication protocol(
+          {.replicas = kReplicas, .detection_delay = 3});
+      if (survives(protocol, StaticReplication::kHolder, stress, seed,
+                   {kN - kReplicas, kReplicas})) {
+        ++survived;
+      }
+    }
+  }
+  return survived;
+}
+
+void BM_BaselineMigration(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  std::vector<std::vector<std::string>> rows;
+
+  for (auto _ : state) {
+    rows.clear();
+    for (const char* which : {"endemic", "handoff", "static"}) {
+      rows.push_back(
+          {which,
+           std::to_string(count_survivals(Stress::Churn, which)) + "/" +
+               std::to_string(kTrials),
+           std::to_string(count_survivals(Stress::MassiveFailure, which)) +
+               "/" + std::to_string(kTrials),
+           std::to_string(count_survivals(Stress::TargetedAttack, which)) +
+               "/" + std::to_string(kTrials)});
+    }
+    benchmark::DoNotOptimize(rows.size());
+  }
+
+  if (once()) {
+    bench_util::banner(
+        "Baseline A4: object survival over " + std::to_string(kHorizon) +
+        " periods, " + std::to_string(kReplicas) + " initial replicas, "
+        "N=1000 (trials surviving)");
+    bench_util::table({"strategy", "crash-recovery churn",
+                       "50% massive failure", "targeted attack"},
+                      rows);
+    bench_util::note(
+        "paper shape: hand-off loses the object under background churn "
+        "(Section 4.1.1); static placement is destroyed by the targeted "
+        "attack (drawback (2)); endemic migratory replication survives "
+        "all three stresses");
+  }
+}
+BENCHMARK(BM_BaselineMigration)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Convergence-complexity claims: the epidemic reaches everyone in O(log N)
+// rounds (Section 1), and the LV protocol reaches an O(1) minority in
+// O(log N) periods (Section 4.2.2). We sweep N and report rounds alongside
+// log2(N).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "protocols/epidemic.hpp"
+#include "protocols/lv_majority.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace {
+
+std::size_t lv_periods_to_converge(std::size_t n, double p,
+                                   std::uint64_t seed) {
+  deproto::proto::LvMajority protocol({.p = p});
+  deproto::sim::SyncSimulator simulator(n, protocol, seed);
+  simulator.seed_states({n * 6 / 10, n - n * 6 / 10, 0});
+  std::size_t t = 0;
+  while (!deproto::proto::LvMajority::converged(simulator.group()) &&
+         t < 100000) {
+    simulator.run(5);
+    t += 5;
+  }
+  return t;
+}
+
+std::vector<std::vector<std::string>> epidemic_rows;
+std::vector<std::vector<std::string>> lv_rows;
+
+void BM_EpidemicScaling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double rounds = 0.0;
+  int trials = 0;
+  for (auto _ : state) {
+    rounds += static_cast<double>(
+        deproto::proto::epidemic_rounds_to_full_infection(
+            n, 7 + static_cast<std::uint64_t>(trials)));
+    ++trials;
+  }
+  rounds /= trials;
+  epidemic_rows.push_back(
+      {std::to_string(n), bench_util::fmt(rounds, 1),
+       bench_util::fmt(std::log2(static_cast<double>(n)), 1),
+       bench_util::fmt(rounds / std::log2(static_cast<double>(n)), 2)});
+  state.counters["rounds"] = rounds;
+}
+BENCHMARK(BM_EpidemicScaling)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536);
+
+void BM_LvScaling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double periods = 0.0;
+  int trials = 0;
+  for (auto _ : state) {
+    periods += static_cast<double>(lv_periods_to_converge(
+        n, 0.05, 3 + static_cast<std::uint64_t>(trials)));
+    ++trials;
+  }
+  periods /= trials;
+  lv_rows.push_back(
+      {std::to_string(n), bench_util::fmt(periods, 1),
+       bench_util::fmt(std::log2(static_cast<double>(n)), 1),
+       bench_util::fmt(periods / std::log2(static_cast<double>(n)), 2)});
+  state.counters["periods"] = periods;
+}
+BENCHMARK(BM_LvScaling)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_PrintScalingTables(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(epidemic_rows.size());
+  }
+  if (once()) {
+    bench_util::banner("Epidemic: rounds to full infection is O(log N)");
+    bench_util::table({"N", "rounds", "log2(N)", "ratio"}, epidemic_rows);
+    bench_util::banner(
+        "LV (p=0.05, 60/40 start): periods to unanimity is O(log N)");
+    bench_util::table({"N", "periods", "log2(N)", "ratio"}, lv_rows);
+    bench_util::note("paper shape: both ratios stay ~constant as N grows");
+  }
+}
+BENCHMARK(BM_PrintScalingTables)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

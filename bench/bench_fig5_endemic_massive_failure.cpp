@@ -1,0 +1,93 @@
+// Figures 5: endemic protocol under massive failure. N = 100,000, b = 2,
+// alpha = 1e-6, gamma = 1e-3. The system starts at equilibrium; at t = 5000
+// a random 50% of hosts crash. Expected shape (paper): the stasher count
+// drops by ~2x (from ~100 to ~50) and stabilizes quickly; the receptive
+// count returns to its pre-failure absolute value because halving the alive
+// population also halves the effective contact rate b, doubling x_inf.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "protocols/analysis.hpp"
+#include "protocols/endemic_replication.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace {
+
+using deproto::proto::EndemicReplication;
+
+constexpr std::size_t kN = 100000;
+constexpr std::size_t kFailAt = 5000;
+constexpr std::size_t kEnd = 10000;
+constexpr std::size_t kStart = 4000;  // plotted window starts here
+
+void BM_Figure5_MassiveFailure(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  const deproto::proto::EndemicParams params{
+      .b = 2, .gamma = 1e-3, .alpha = 1e-6};
+
+  std::vector<std::vector<std::string>> rows;
+  double stash_before = 0.0, stash_after = 0.0, rcptv_before = 0.0,
+         rcptv_after = 0.0;
+
+  for (auto _ : state) {
+    EndemicReplication protocol(params);
+    deproto::sim::SyncSimulator simulator(kN, protocol, /*seed=*/20040725);
+    const auto expected = deproto::proto::endemic_expectation(kN, params);
+    const auto rx = static_cast<std::size_t>(expected.receptives);
+    const auto sy = static_cast<std::size_t>(expected.stashers);
+    simulator.seed_states({rx, sy, kN - rx - sy});
+    simulator.schedule_massive_failure(kFailAt - kStart, 0.5);
+    simulator.run(kEnd - kStart);
+
+    rows.clear();
+    const auto& samples = simulator.metrics().samples();
+    for (std::size_t k = 0; k < samples.size(); k += 250) {
+      rows.push_back(
+          {bench_util::fmt(static_cast<double>(k + kStart), 0),
+           std::to_string(samples[k].alive_in_state[EndemicReplication::kStash]),
+           std::to_string(
+               samples[k].alive_in_state[EndemicReplication::kReceptive]),
+           std::to_string(samples[k].total_alive)});
+    }
+    const auto before = simulator.metrics().summarize_state(
+        EndemicReplication::kStash, 0, kFailAt - kStart);
+    const auto after = simulator.metrics().summarize_state(
+        EndemicReplication::kStash, kFailAt - kStart + 1000,
+        kEnd - kStart);
+    stash_before = before.median;
+    stash_after = after.median;
+    rcptv_before = simulator.metrics()
+                       .summarize_state(EndemicReplication::kReceptive, 0,
+                                        kFailAt - kStart)
+                       .median;
+    rcptv_after = simulator.metrics()
+                      .summarize_state(EndemicReplication::kReceptive,
+                                       kFailAt - kStart + 1000,
+                                       kEnd - kStart)
+                      .median;
+    benchmark::DoNotOptimize(stash_after);
+  }
+
+  if (once()) {
+    bench_util::banner(
+        "Figure 5: endemic massive failure (N=100000, b=2, a=1e-6, "
+        "g=1e-3, 50% crash at t=5000)");
+    bench_util::table({"time", "Stash:Alive", "Rcptv:Alive", "alive"}, rows);
+    bench_util::note("stash median before failure: " +
+                     bench_util::fmt(stash_before, 1) +
+                     "   after: " + bench_util::fmt(stash_after, 1) +
+                     "   (paper shape: drops by ~2x from ~100)");
+    bench_util::note("rcptv median before failure: " +
+                     bench_util::fmt(rcptv_before, 1) +
+                     "   after: " + bench_util::fmt(rcptv_after, 1) +
+                     "   (paper shape: roughly unchanged, ~25)");
+  }
+}
+BENCHMARK(BM_Figure5_MassiveFailure)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

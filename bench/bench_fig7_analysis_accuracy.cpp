@@ -1,0 +1,76 @@
+// Figure 7: accuracy of the continuous-time analysis. For N in {12500,
+// 25000, 50000, 100000} with b = 2, gamma = 0.1, alpha = 0.001, the median
+// (and min/max) measured populations of receptives and stashers over a
+// 2000-period window must match the analytic equilibrium of eq. (2).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "protocols/analysis.hpp"
+#include "protocols/endemic_replication.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace {
+
+using deproto::proto::EndemicReplication;
+
+constexpr std::size_t kWarmup = 200;
+constexpr std::size_t kWindow = 2000;
+
+void BM_Figure7_AnalysisAccuracy(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  const deproto::proto::EndemicParams params{
+      .b = 2, .gamma = 0.1, .alpha = 0.001};
+  const auto n = static_cast<std::size_t>(state.range(0));
+
+  deproto::sim::WindowSummary stash{}, rcptv{};
+  deproto::proto::EndemicExpectation expected{};
+
+  for (auto _ : state) {
+    EndemicReplication protocol(params);
+    deproto::sim::SyncSimulator simulator(n, protocol, /*seed=*/7 + n);
+    expected = deproto::proto::endemic_expectation(n, params);
+    const auto rx = static_cast<std::size_t>(expected.receptives);
+    const auto sy = static_cast<std::size_t>(expected.stashers);
+    simulator.seed_states({rx, sy, n - rx - sy});
+    simulator.run(kWarmup + kWindow);
+    stash = simulator.metrics().summarize_state(EndemicReplication::kStash,
+                                                kWarmup, kWarmup + kWindow);
+    rcptv = simulator.metrics().summarize_state(
+        EndemicReplication::kReceptive, kWarmup, kWarmup + kWindow);
+    benchmark::DoNotOptimize(stash);
+  }
+
+  static std::vector<std::vector<std::string>> rows;
+  rows.push_back({std::to_string(n),
+                  bench_util::fmt(expected.receptives, 1),
+                  bench_util::fmt(rcptv.median, 1),
+                  bench_util::fmt(rcptv.min, 0),
+                  bench_util::fmt(rcptv.max, 0),
+                  bench_util::fmt(expected.stashers, 1),
+                  bench_util::fmt(stash.median, 1),
+                  bench_util::fmt(stash.min, 0),
+                  bench_util::fmt(stash.max, 0)});
+  if (n == 100000 && once()) {
+    bench_util::banner(
+        "Figure 7: analysis vs measured (b=2, g=0.1, a=0.001; median over "
+        "2000 periods)");
+    bench_util::table({"N", "#Rcptv(analysis)", "#Rcptv(measured)", "min",
+                       "max", "#Stshr(analysis)", "#Stshr(measured)", "min",
+                       "max"},
+                      rows);
+    bench_util::note("paper shape: measured medians track analysis closely "
+                     "at every N");
+  }
+}
+BENCHMARK(BM_Figure7_AnalysisAccuracy)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(12500)
+    ->Arg(25000)
+    ->Arg(50000)
+    ->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,171 @@
+// Figure 8: replica untraceability and load balancing. N = 1000, b = 2,
+// gamma = 0.1. The plot records which hosts are stashers at the end of
+// every period for t in [1000, 1200]. We quantify the figure's two claims:
+// no significant horizontal lines (no host stores a replica for very long)
+// and no correlation in time or host id (an attacker cannot predict the
+// replica set). The paper quotes 88.63 stashers and one new stasher every
+// 40.6 s, which matches alpha = 0.01 rather than the stated 0.001; we run
+// both and report the discrepancy.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bench_util.hpp"
+#include "protocols/analysis.hpp"
+#include "protocols/endemic_replication.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace {
+
+using deproto::proto::EndemicReplication;
+
+constexpr std::size_t kN = 1000;
+constexpr std::size_t kWarmup = 1000;
+constexpr std::size_t kWindow = 200;
+
+struct Fig8Stats {
+  double mean_stashers = 0.0;
+  double mean_spell = 0.0;      // consecutive periods a host stays stasher
+  double max_spell = 0.0;
+  double turnover = 0.0;        // fraction of the stash set replaced / period
+  double creations_per_period = 0.0;
+  std::size_t distinct_hosts = 0;
+};
+
+Fig8Stats run(double alpha, std::uint64_t seed) {
+  const deproto::proto::EndemicParams params{
+      .b = 2, .gamma = 0.1, .alpha = alpha};
+  EndemicReplication protocol(params);
+  deproto::sim::SyncSimulator simulator(kN, protocol, seed);
+  simulator.metrics().enable_host_history(EndemicReplication::kStash);
+  const auto expected = deproto::proto::endemic_expectation(kN, params);
+  const auto rx = static_cast<std::size_t>(expected.receptives);
+  const auto sy = static_cast<std::size_t>(expected.stashers);
+  simulator.seed_states({rx, sy, kN - rx - sy});
+  simulator.run(kWarmup + kWindow);
+
+  const auto& history = simulator.metrics().host_history();
+  Fig8Stats stats;
+  std::set<deproto::sim::ProcessId> everyone;
+  std::vector<int> spell(kN, 0);
+  std::vector<double> spells;
+  double turnover_sum = 0.0;
+  std::set<deproto::sim::ProcessId> prev;
+  std::size_t count_sum = 0;
+
+  for (std::size_t t = kWarmup; t < kWarmup + kWindow; ++t) {
+    const std::set<deproto::sim::ProcessId> now(history[t].begin(),
+                                                history[t].end());
+    count_sum += now.size();
+    everyone.insert(now.begin(), now.end());
+    if (!prev.empty()) {
+      std::size_t left = 0;
+      for (auto pid : prev) {
+        if (!now.count(pid)) ++left;
+      }
+      turnover_sum +=
+          static_cast<double>(left) / static_cast<double>(prev.size());
+      std::size_t created = 0;
+      for (auto pid : now) {
+        if (!prev.count(pid)) ++created;
+      }
+      stats.creations_per_period += static_cast<double>(created);
+    }
+    for (deproto::sim::ProcessId pid = 0; pid < kN; ++pid) {
+      if (now.count(pid)) {
+        ++spell[pid];
+      } else if (spell[pid] > 0) {
+        spells.push_back(spell[pid]);
+        spell[pid] = 0;
+      }
+    }
+    prev = now;
+  }
+  for (int s : spell) {
+    if (s > 0) spells.push_back(s);
+  }
+  stats.mean_stashers =
+      static_cast<double>(count_sum) / static_cast<double>(kWindow);
+  stats.turnover = turnover_sum / static_cast<double>(kWindow - 1);
+  stats.creations_per_period /= static_cast<double>(kWindow - 1);
+  stats.distinct_hosts = everyone.size();
+  if (!spells.empty()) {
+    stats.max_spell = *std::max_element(spells.begin(), spells.end());
+    double sum = 0.0;
+    for (double s : spells) sum += s;
+    stats.mean_spell = sum / static_cast<double>(spells.size());
+  }
+  return stats;
+}
+
+void BM_Figure8_Untraceability(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  Fig8Stats stated{}, quoted{};
+  for (auto _ : state) {
+    stated = run(0.001, 1);
+    quoted = run(0.01, 1);
+    benchmark::DoNotOptimize(stated);
+  }
+
+  if (once()) {
+    bench_util::banner(
+        "Figure 8: untraceability & load balancing (N=1000, b=2, g=0.1; "
+        "t in [1000,1200])");
+    auto row = [](const char* label, const Fig8Stats& s,
+                  double expected_y, double expected_interval) {
+      return std::vector<std::string>{
+          label,
+          bench_util::fmt(s.mean_stashers, 1),
+          bench_util::fmt(expected_y, 1),
+          bench_util::fmt(s.mean_spell, 1),
+          bench_util::fmt(s.max_spell, 0),
+          bench_util::fmt(100.0 * s.turnover, 1) + "%",
+          std::to_string(s.distinct_hosts),
+          s.creations_per_period > 0
+              ? bench_util::fmt(360.0 / s.creations_per_period, 1)
+              : "inf",
+          bench_util::fmt(expected_interval, 1)};
+    };
+    const deproto::proto::EndemicParams p_stated{.b = 2, .gamma = 0.1,
+                                                 .alpha = 0.001};
+    const deproto::proto::EndemicParams p_quoted{.b = 2, .gamma = 0.1,
+                                                 .alpha = 0.01};
+    bench_util::table(
+        {"alpha", "stashers", "eq.(2)", "mean spell", "max spell",
+         "turnover/period", "distinct hosts in 200T", "s/new stasher",
+         "paper"},
+        {row("0.001 (stated)", stated,
+             deproto::proto::endemic_expectation(kN, p_stated).stashers,
+             deproto::proto::stasher_creation_interval_seconds(kN, p_stated,
+                                                               360.0)),
+         row("0.01 (quoted)", quoted,
+             deproto::proto::endemic_expectation(kN, p_quoted).stashers,
+             deproto::proto::stasher_creation_interval_seconds(kN, p_quoted,
+                                                               360.0))});
+    bench_util::note(
+        "paper quotes 88.63 stashers / 40.6 s per new stasher, matching "
+        "alpha = 0.01; the stated alpha = 0.001 gives ~9.7 stashers "
+        "(paper-internal inconsistency, see EXPERIMENTS.md)");
+    if (stated.mean_stashers < 0.5) {
+      bench_util::note(
+          "note: the alpha=0.001 run went extinct before the window -- "
+          "with y_inf ~ 9.7 the per-period extinction probability is "
+          "2^-9.7 ~ 1.2e-3 (Section 4.1.3), so extinction within ~1200 "
+          "periods is likely; this is exactly why the paper sizes "
+          "y_inf = c*log2(N) with c >= 5 for durable storage");
+    }
+    bench_util::note(
+        "mean storage spell ~ 1/gamma = 10 periods, far shorter than the "
+        "200-period window: no significant horizontal lines (good load "
+        "balancing / untraceable replicas)");
+  }
+}
+BENCHMARK(BM_Figure8_Untraceability)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

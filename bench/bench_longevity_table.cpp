@@ -1,0 +1,92 @@
+// Section 4.1.3, probabilistic safety: the replica-longevity estimates.
+// P(all y_inf stashers die before creating a new one) = (1/2)^{y_inf}; with
+// 6-minute periods the paper quotes 1.28e10 years for (N=1024, 50 replicas)
+// and 1.45e25 years for (N=2^20, 100 replicas).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "protocols/analysis.hpp"
+
+namespace {
+
+void BM_LongevityTable(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  double years = 0.0;
+  for (auto _ : state) {
+    years = deproto::proto::longevity_years(100.0, 6.0);
+    benchmark::DoNotOptimize(years);
+  }
+
+  if (once()) {
+    bench_util::banner(
+        "Section 4.1.3: probabilistic safety / object longevity "
+        "(6-minute periods)");
+    std::vector<std::vector<std::string>> rows;
+    struct Row {
+      double n;
+      double replicas;
+      const char* paper;
+    };
+    for (const Row& r :
+         {Row{1024.0, 50.0, "1.28e10 yr"},
+          Row{1048576.0, 100.0, "1.45e25 yr"},
+          Row{1024.0, 20.0, "-"},
+          Row{1048576.0, 40.0, "-"},
+          Row{100000.0, 100.0, "-"}}) {
+      const double c = r.replicas / std::log2(r.n);
+      rows.push_back(
+          {bench_util::fmt(r.n, 0), bench_util::fmt(r.replicas, 0),
+           bench_util::fmt(c, 2),
+           bench_util::fmt_sci(
+               deproto::proto::extinction_probability(r.replicas)),
+           bench_util::fmt_sci(
+               deproto::proto::longevity_years(r.replicas, 6.0)),
+           r.paper});
+    }
+    bench_util::table({"N", "replicas y_inf", "c = y/log2(N)",
+                       "P(extinct)/period", "longevity (years)", "paper"},
+                      rows);
+    bench_util::note("with y_inf = c*log2(N), extinction probability is "
+                     "N^-c per period");
+  }
+}
+BENCHMARK(BM_LongevityTable);
+
+void BM_RealityCheck(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  const deproto::proto::EndemicParams params{
+      .b = 2, .gamma = 1e-3, .alpha = 1e-6};
+  deproto::proto::RealityCheck rc{};
+  for (auto _ : state) {
+    rc = deproto::proto::reality_check(100000, params, 6.0, 88.2);
+    benchmark::DoNotOptimize(rc);
+  }
+
+  if (once()) {
+    bench_util::banner(
+        "Section 5.1 reality check (N=100000, b=2, g=1e-3, 88.2 KB files, "
+        "6-minute periods)");
+    bench_util::table(
+        {"quantity", "computed", "paper"},
+        {{"fraction of time a host stores the file",
+          bench_util::fmt(100.0 * rc.stash_fraction, 2) + " %", "0.1 %"},
+         {"storage spell", bench_util::fmt(rc.spell_hours, 0) + " h",
+          "100 h (a little over four days)"},
+         {"time between spells per host",
+          bench_util::fmt(rc.interval_hours, 0) + " h", "~100,000 h"},
+         {"transfers per period (system-wide)",
+          bench_util::fmt(rc.transfers_per_period, 2), "-"},
+         {"bandwidth per file per host",
+          bench_util::fmt_sci(rc.bandwidth_bps) + " bps", "3.92e-3 bps"}});
+    bench_util::note("bandwidth counts both transfer endpoints, matching "
+                     "the paper's figure");
+  }
+}
+BENCHMARK(BM_RealityCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Theorem 3 sweep: for every (alpha, gamma, b) with alpha, gamma in (0, 1]
+// and beta = 2b > gamma, the second equilibrium of eq. (2) is stable
+// (tau < 0, Delta > 0). The sweep also reports which of the three
+// eigenvalue cases of Section 4.1.3 applies across the parameter grid, and
+// times the analysis pipeline (equilibrium + Jacobian + classification).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "numerics/stability.hpp"
+#include "ode/catalog.hpp"
+#include "protocols/analysis.hpp"
+
+namespace {
+
+using deproto::proto::EndemicParams;
+
+void BM_Theorem3Sweep(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  const std::vector<double> gammas{1.0, 0.5, 0.1, 0.01, 0.001};
+  const std::vector<double> alphas{1.0, 0.1, 0.01, 0.001, 1e-6};
+  const std::vector<unsigned> bs{1, 2, 4, 16, 32};
+
+  std::size_t stable = 0, total = 0, complex_case = 0, real_case = 0;
+  for (auto _ : state) {
+    stable = total = complex_case = real_case = 0;
+    for (double gamma : gammas) {
+      for (double alpha : alphas) {
+        for (unsigned b : bs) {
+          const EndemicParams params{.b = b, .gamma = gamma, .alpha = alpha};
+          if (deproto::proto::endemic_beta(params) <= gamma) continue;
+          ++total;
+          const auto report = deproto::proto::endemic_stability(params);
+          if (report.stable && report.trace < 0.0 &&
+              report.determinant > 0.0) {
+            ++stable;
+          }
+          if (deproto::proto::endemic_eigen_case(params) ==
+              deproto::num::EigenCase::ComplexConjugate) {
+            ++complex_case;
+          } else {
+            ++real_case;
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(stable);
+  }
+
+  if (once()) {
+    bench_util::banner(
+        "Theorem 3 sweep: stability of the second endemic equilibrium");
+    bench_util::table(
+        {"grid points", "stable (tau<0, Delta>0)", "spiral case",
+         "real-eigenvalue case"},
+        {{std::to_string(total), std::to_string(stable),
+          std::to_string(complex_case), std::to_string(real_case)}});
+    bench_util::note(total == stable
+                         ? "every admissible parameter point is stable, as "
+                           "Theorem 3 proves"
+                         : "VIOLATION of Theorem 3 detected!");
+
+    // Show the paper's own parameter settings.
+    std::vector<std::vector<std::string>> rows;
+    struct Named {
+      const char* name;
+      EndemicParams params;
+    };
+    for (const Named& n :
+         {Named{"Figure 2 (b=2, g=1, a=0.01)",
+                {.b = 2, .gamma = 1.0, .alpha = 0.01}},
+          Named{"Figure 5 (b=2, g=1e-3, a=1e-6)",
+                {.b = 2, .gamma = 1e-3, .alpha = 1e-6}},
+          Named{"Figures 7/8 (b=2, g=0.1, a=0.001)",
+                {.b = 2, .gamma = 0.1, .alpha = 0.001}},
+          Named{"Figures 9/10 (b=32, g=0.1, a=0.005)",
+                {.b = 32, .gamma = 0.1, .alpha = 0.005}}}) {
+      const auto report = deproto::proto::endemic_stability(n.params);
+      rows.push_back(
+          {n.name, bench_util::fmt_sci(report.trace),
+           bench_util::fmt_sci(report.determinant),
+           bench_util::fmt_sci(report.discriminant),
+           deproto::num::to_string(report.type)});
+    }
+    bench_util::table({"setting", "tau", "Delta", "tau^2-4Delta", "type"},
+                      rows);
+  }
+}
+BENCHMARK(BM_Theorem3Sweep)->Unit(benchmark::kMicrosecond);
+
+void BM_ClassifyEquilibriumLatency(benchmark::State& state) {
+  // Microbenchmark: one full classify pipeline on the endemic system.
+  const auto sys = deproto::ode::catalog::endemic(4.0, 1.0, 0.01);
+  const deproto::num::Vec point{0.25, 0.75 / 101.0, 0.75 / 1.01};
+  for (auto _ : state) {
+    auto report = deproto::num::classify_on_simplex(sys, point);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ClassifyEquilibriumLatency);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+#pragma once
+
+// Shared console-reporting helpers for the experiment harness. Every bench
+// regenerates one table or figure of the paper and prints the same
+// rows/series the paper reports, then times the underlying computation via
+// google-benchmark.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench_util {
+
+inline void banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+/// Print a fixed-width table: header row then data rows.
+inline void table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    width[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  for (const auto& row : rows) print_row(row);
+}
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+/// Guard so a bench prints its report exactly once even if google-benchmark
+/// re-runs the function.
+class PrintOnce {
+ public:
+  bool operator()() {
+    const bool first = !printed_;
+    printed_ = true;
+    return first;
+  }
+
+ private:
+  bool printed_ = false;
+};
+
+}  // namespace bench_util

@@ -1,0 +1,138 @@
+#include "core/fluctuations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/mean_field.hpp"
+#include "numerics/eigen.hpp"
+#include "numerics/jacobian.hpp"
+#include "numerics/lyapunov.hpp"
+
+namespace deproto::core {
+
+namespace {
+
+/// Per-action expected firing rate (transitions per period, as a fraction
+/// of N) at the point x, mirroring exact_drift's semantics, along with the
+/// (from, to) states of the move it causes.
+struct ActionRate {
+  std::size_t from;
+  std::size_t to;
+  double rate;
+};
+
+std::vector<ActionRate> action_rates(const ProtocolStateMachine& machine,
+                                     const num::Vec& x, double f) {
+  std::vector<ActionRate> rates;
+  for (const Action& action : machine.actions()) {
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, FlippingAction>) {
+            rates.push_back(
+                {a.from_state, a.to_state, a.coin_bias * x[a.from_state]});
+          } else if constexpr (std::is_same_v<T, SamplingAction>) {
+            double prob = a.coin_bias;
+            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
+              prob *= (1.0 - f) * x[a.from_state];
+            }
+            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
+            rates.push_back(
+                {a.from_state, a.to_state, prob * x[a.from_state]});
+          } else if constexpr (std::is_same_v<T, TokenizingAction>) {
+            double prob = a.coin_bias;
+            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
+              prob *= (1.0 - f) * x[a.executor_state];
+            }
+            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
+            if (x[a.token_state] > 0.0) {
+              rates.push_back(
+                  {a.token_state, a.to_state, prob * x[a.executor_state]});
+            }
+          } else if constexpr (std::is_same_v<T, PushAction>) {
+            rates.push_back({a.target_state, a.to_state,
+                             static_cast<double>(a.fanout) * a.coin_bias *
+                                 (1.0 - f) * x[a.executor_state] *
+                                 x[a.target_state]});
+          } else if constexpr (std::is_same_v<T, AnyOfSamplingAction>) {
+            const double hit = (1.0 - f) * x[a.match_state];
+            const double prob =
+                1.0 - std::pow(1.0 - hit, static_cast<double>(a.fanout));
+            rates.push_back({a.from_state, a.to_state,
+                             a.coin_bias * prob * x[a.from_state]});
+          }
+        },
+        action);
+  }
+  return rates;
+}
+
+}  // namespace
+
+num::Matrix diffusion_matrix(const ProtocolStateMachine& machine,
+                             const num::Vec& point, double message_loss) {
+  const std::size_t m = machine.num_states();
+  if (point.size() != m) {
+    throw std::invalid_argument("diffusion_matrix: point size mismatch");
+  }
+  if (m < 2) {
+    throw std::invalid_argument("diffusion_matrix: need >= 2 states");
+  }
+  const std::size_t r = m - 1;
+  num::Matrix b(r, r);
+  for (const ActionRate& ar : action_rates(machine, point, message_loss)) {
+    if (ar.from == ar.to) continue;
+    // Jump vector in reduced coordinates (last state dropped).
+    num::Vec d(r, 0.0);
+    if (ar.from < r) d[ar.from] -= 1.0;
+    if (ar.to < r) d[ar.to] += 1.0;
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < r; ++j) {
+        b(i, j) += ar.rate * d[i] * d[j];
+      }
+    }
+  }
+  return b;
+}
+
+FluctuationReport stationary_fluctuations(const ProtocolStateMachine& machine,
+                                          const num::Vec& point, double n,
+                                          double message_loss) {
+  const std::size_t m = machine.num_states();
+  if (!(n > 1.0)) {
+    throw std::invalid_argument("stationary_fluctuations: n must be > 1");
+  }
+  const ode::EquationSystem field = mean_field(machine, message_loss);
+  const num::Matrix a = num::reduced_jacobian_at(field, point);
+  const std::size_t r = m - 1;
+
+  // One-period linear map M = I + A must be a strict contraction.
+  num::Matrix map = num::Matrix::identity(r) + a;
+  double radius = 0.0;
+  for (const auto& lambda : num::eigenvalues(map)) {
+    radius = std::max(radius, std::abs(lambda));
+  }
+  if (radius >= 1.0) {
+    throw std::runtime_error(
+        "stationary_fluctuations: equilibrium not stable over one period "
+        "(spectral radius " +
+        std::to_string(radius) + ")");
+  }
+
+  const num::Matrix b = diffusion_matrix(machine, point, message_loss);
+  const num::Matrix sigma =
+      num::solve_discrete_lyapunov(map, b.scaled(1.0 / n));
+
+  FluctuationReport report;
+  report.covariance = sigma;
+  report.count_stddev.resize(m);
+  double last_var = 0.0;  // Var of the dropped state = 1^T Sigma 1.
+  for (std::size_t i = 0; i < r; ++i) {
+    report.count_stddev[i] = n * std::sqrt(std::max(0.0, sigma(i, i)));
+    for (std::size_t j = 0; j < r; ++j) last_var += sigma(i, j);
+  }
+  report.count_stddev[r] = n * std::sqrt(std::max(0.0, last_var));
+  return report;
+}
+
+}  // namespace deproto::core

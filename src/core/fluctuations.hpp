@@ -1,0 +1,48 @@
+#pragma once
+
+// Finite-group fluctuation analysis (the paper's open question (3): "Can
+// one formalize the relation between protocol performance at infinite group
+// size and finite group size, as in [15, 18]?"). Around a stable
+// equilibrium, the per-period population counts of a synthesized protocol
+// form a density-dependent Markov chain; by the Kurtz / van Kampen linear
+// noise approximation their stationary fluctuations are Gaussian with
+// covariance solving a discrete Lyapunov equation:
+//
+//   Sigma = (I + A) Sigma (I + A)^T + B / N,
+//
+// where A is the (simplex-reduced) Jacobian of the mean field at the
+// equilibrium and B accumulates rate * (jump)(jump)^T over the machine's
+// actions. Population-count variances are then N * Sigma_frac.
+
+#include "core/state_machine.hpp"
+#include "numerics/matrix.hpp"
+#include "ode/equation_system.hpp"
+
+namespace deproto::core {
+
+struct FluctuationReport {
+  /// Reduced (m-1 dim) stationary covariance of the *fraction* vector,
+  /// already divided by N.
+  num::Matrix covariance;
+  /// Predicted standard deviation of each state's population count at
+  /// group size N (all m states; the last is reconstructed from the
+  /// conservation law).
+  num::Vec count_stddev;
+};
+
+/// Linear-noise prediction for `machine` at the equilibrium `point`
+/// (fractions, all m states) and group size `n`. The equilibrium must be
+/// asymptotically stable on the simplex (spectral radius of I + A below 1),
+/// otherwise std::runtime_error.
+[[nodiscard]] FluctuationReport stationary_fluctuations(
+    const ProtocolStateMachine& machine, const num::Vec& point,
+    double n, double message_loss = 0.0);
+
+/// The per-period diffusion matrix B in reduced coordinates: sum over
+/// actions of rate(x) * d d^T, with d the jump vector (e_to - e_from)
+/// restricted to the first m-1 states.
+[[nodiscard]] num::Matrix diffusion_matrix(const ProtocolStateMachine& machine,
+                                           const num::Vec& point,
+                                           double message_loss = 0.0);
+
+}  // namespace deproto::core

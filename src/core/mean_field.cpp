@@ -1,0 +1,157 @@
+#include "core/mean_field.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deproto::core {
+
+namespace {
+
+/// Exponent vector (over machine states) of the monomial a sampling-type
+/// action's firing probability is proportional to.
+std::vector<unsigned> firing_monomial(std::size_t num_states,
+                                      std::size_t executor,
+                                      std::size_t same_state_samples,
+                                      const std::vector<std::size_t>& targets) {
+  std::vector<unsigned> exps(num_states, 0U);
+  exps[executor] += 1;  // the executing process itself
+  exps[executor] += static_cast<unsigned>(same_state_samples);
+  for (std::size_t s : targets) exps[s] += 1;
+  return exps;
+}
+
+}  // namespace
+
+ode::EquationSystem mean_field(const ProtocolStateMachine& m, double f) {
+  if (!(f >= 0.0 && f < 1.0)) {
+    throw std::invalid_argument("mean_field: f must lie in [0, 1)");
+  }
+  ode::EquationSystem sys(m.state_names());
+  const std::size_t n = m.num_states();
+
+  for (const Action& action : m.actions()) {
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, FlippingAction>) {
+            std::vector<unsigned> exps(n, 0U);
+            exps[a.from_state] = 1;
+            const double rate = a.coin_bias;
+            sys.add_term(a.from_state, ode::Term(-rate, exps));
+            sys.add_term(a.to_state, ode::Term(+rate, exps));
+          } else if constexpr (std::is_same_v<T, SamplingAction>) {
+            const auto probes = a.same_state_samples + a.target_states.size();
+            const double rate =
+                a.coin_bias *
+                std::pow(1.0 - f, static_cast<double>(probes));
+            auto exps = firing_monomial(n, a.from_state, a.same_state_samples,
+                                        a.target_states);
+            sys.add_term(a.from_state, ode::Term(-rate, exps));
+            sys.add_term(a.to_state, ode::Term(+rate, std::move(exps)));
+          } else if constexpr (std::is_same_v<T, TokenizingAction>) {
+            const auto probes = a.same_state_samples + a.target_states.size();
+            const double rate =
+                a.coin_bias *
+                std::pow(1.0 - f, static_cast<double>(probes));
+            // The firing monomial is over the *executor*'s term; the token
+            // moves a process out of token_state (assumed non-empty).
+            auto exps = firing_monomial(n, a.executor_state,
+                                        a.same_state_samples,
+                                        a.target_states);
+            sys.add_term(a.token_state, ode::Term(-rate, exps));
+            sys.add_term(a.to_state, ode::Term(+rate, std::move(exps)));
+          } else if constexpr (std::is_same_v<T, PushAction>) {
+            // Executor y converts sampled processes in target_state x:
+            // linearized drift = fanout * q * (1-f) * y * x.
+            std::vector<unsigned> exps(n, 0U);
+            exps[a.executor_state] += 1;
+            exps[a.target_state] += 1;
+            const double rate =
+                static_cast<double>(a.fanout) * a.coin_bias * (1.0 - f);
+            sys.add_term(a.target_state, ode::Term(-rate, exps));
+            sys.add_term(a.to_state, ode::Term(+rate, std::move(exps)));
+          } else if constexpr (std::is_same_v<T, AnyOfSamplingAction>) {
+            // Pull: x converts if any of b sampled targets is in match
+            // state; linearized drift = fanout * q * (1-f) * x * y.
+            std::vector<unsigned> exps(n, 0U);
+            exps[a.from_state] += 1;
+            exps[a.match_state] += 1;
+            const double rate =
+                static_cast<double>(a.fanout) * a.coin_bias * (1.0 - f);
+            sys.add_term(a.from_state, ode::Term(-rate, exps));
+            sys.add_term(a.to_state, ode::Term(+rate, std::move(exps)));
+          }
+        },
+        action);
+  }
+  return sys;
+}
+
+num::Vec exact_drift(const ProtocolStateMachine& m, const num::Vec& x,
+                     double f) {
+  if (x.size() != m.num_states()) {
+    throw std::invalid_argument("exact_drift: state size mismatch");
+  }
+  num::Vec drift(m.num_states(), 0.0);
+
+  auto move_mass = [&](std::size_t from, std::size_t to, double mass) {
+    drift[from] -= mass;
+    drift[to] += mass;
+  };
+
+  for (const Action& action : m.actions()) {
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, FlippingAction>) {
+            move_mass(a.from_state, a.to_state,
+                      a.coin_bias * x[a.from_state]);
+          } else if constexpr (std::is_same_v<T, SamplingAction>) {
+            double prob = a.coin_bias;
+            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
+              prob *= (1.0 - f) * x[a.from_state];
+            }
+            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
+            move_mass(a.from_state, a.to_state, prob * x[a.from_state]);
+          } else if constexpr (std::is_same_v<T, TokenizingAction>) {
+            double prob = a.coin_bias;
+            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
+              prob *= (1.0 - f) * x[a.executor_state];
+            }
+            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
+            // Tokens drop when nobody is in token_state.
+            if (x[a.token_state] > 0.0) {
+              move_mass(a.token_state, a.to_state,
+                        prob * x[a.executor_state]);
+            }
+          } else if constexpr (std::is_same_v<T, PushAction>) {
+            // Each of the fanout probes from each executor converts an
+            // x-target with probability (1-f) * x_target * q.
+            const double mass = static_cast<double>(a.fanout) * a.coin_bias *
+                                (1.0 - f) * x[a.executor_state] *
+                                x[a.target_state];
+            move_mass(a.target_state, a.to_state, mass);
+          } else if constexpr (std::is_same_v<T, AnyOfSamplingAction>) {
+            // Exact any-of-b probability, no linearization.
+            const double hit = (1.0 - f) * x[a.match_state];
+            const double prob =
+                1.0 - std::pow(1.0 - hit, static_cast<double>(a.fanout));
+            move_mass(a.from_state, a.to_state,
+                      a.coin_bias * prob * x[a.from_state]);
+          }
+        },
+        action);
+  }
+  return drift;
+}
+
+bool verifies_equivalence(const ProtocolStateMachine& m,
+                          const ode::EquationSystem& source, double f,
+                          double tol) {
+  const ode::EquationSystem derived = mean_field(m, f);
+  const ode::EquationSystem expected =
+      source.scaled(m.normalizing_p());
+  return ode::equivalent(derived, expected, tol);
+}
+
+}  // namespace deproto::core

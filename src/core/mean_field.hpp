@@ -1,0 +1,40 @@
+#pragma once
+
+// The converse map: from a protocol state machine back to the differential
+// equations it realizes in an infinite group. This is the mechanical content
+// of Theorems 1 and 5 -- synthesize() followed by mean_field() returns
+// p * (source system) -- and it doubles as the analysis tool for modified
+// machines (failure compensation, push-pull variants).
+
+#include "core/state_machine.hpp"
+#include "numerics/vector.hpp"
+#include "ode/equation_system.hpp"
+
+namespace deproto::core {
+
+/// Expected per-period drift of the fraction-of-processes vector, as a
+/// polynomial equation system over the machine's states.
+///
+/// `f` is the network failure rate per connection attempt: each sampling
+/// probe independently yields nothing with probability f, multiplying the
+/// realized rate of a sampling/tokenizing action by (1-f)^{probes}.
+///
+/// AnyOf (pull) and Push actions produce bilinear terms b * q * x * y --
+/// the small-fraction linearization of 1 - (1 - q*y)^b; use exact_drift for
+/// the unlinearized finite-fanout value.
+[[nodiscard]] ode::EquationSystem mean_field(const ProtocolStateMachine& m,
+                                             double f = 0.0);
+
+/// Exact expected drift at the point `x` (fractions summing to 1),
+/// including the non-polynomial any-of-b pull probability. Suitable for
+/// comparing against simulation at finite fanout.
+[[nodiscard]] num::Vec exact_drift(const ProtocolStateMachine& m,
+                                   const num::Vec& x, double f = 0.0);
+
+/// Check Theorem 1/5 equivalence: mean_field(machine, f) equals
+/// source.scaled(machine.normalizing_p()) up to `tol`.
+[[nodiscard]] bool verifies_equivalence(const ProtocolStateMachine& m,
+                                        const ode::EquationSystem& source,
+                                        double f = 0.0, double tol = 1e-9);
+
+}  // namespace deproto::core

@@ -1,0 +1,84 @@
+#include "core/state_machine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace deproto::core {
+
+ProtocolStateMachine::ProtocolStateMachine(
+    std::vector<std::string> state_names, double normalizing_p)
+    : states_(std::move(state_names)),
+      by_state_(states_.size()),
+      p_(normalizing_p) {
+  if (states_.empty()) {
+    throw std::invalid_argument("ProtocolStateMachine: no states");
+  }
+  if (!(p_ > 0.0 && p_ <= 1.0)) {
+    throw std::invalid_argument(
+        "ProtocolStateMachine: normalizing p must be in (0, 1]");
+  }
+}
+
+const std::string& ProtocolStateMachine::state_name(std::size_t id) const {
+  if (id >= states_.size()) {
+    throw std::out_of_range("ProtocolStateMachine::state_name");
+  }
+  return states_[id];
+}
+
+std::optional<std::size_t> ProtocolStateMachine::state_index(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void ProtocolStateMachine::add_action(Action action) {
+  const std::size_t exec = executor_state(action);
+  if (exec >= states_.size()) {
+    throw std::out_of_range("ProtocolStateMachine::add_action: bad state");
+  }
+  by_state_[exec].push_back(actions_.size());
+  actions_.push_back(std::move(action));
+}
+
+const std::vector<std::size_t>& ProtocolStateMachine::actions_of(
+    std::size_t state) const {
+  if (state >= by_state_.size()) {
+    throw std::out_of_range("ProtocolStateMachine::actions_of");
+  }
+  return by_state_[state];
+}
+
+std::size_t ProtocolStateMachine::messages_per_period(
+    std::size_t state) const {
+  std::size_t n = 0;
+  for (std::size_t idx : actions_of(state)) {
+    n += core::messages_per_period(actions_[idx]);
+  }
+  return n;
+}
+
+std::size_t ProtocolStateMachine::max_messages_per_period() const {
+  std::size_t best = 0;
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    best = std::max(best, messages_per_period(s));
+  }
+  return best;
+}
+
+std::string ProtocolStateMachine::to_string() const {
+  std::ostringstream out;
+  out << "protocol state machine (p = " << p_ << ")\n";
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    out << "state " << states_[s] << " (" << messages_per_period(s)
+        << " msg/period):\n";
+    for (std::size_t idx : by_state_[s]) {
+      out << "  " << core::to_string(actions_[idx], states_) << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace deproto::core

@@ -1,0 +1,66 @@
+#pragma once
+
+// The synthesized artifact: a probabilistic protocol state machine. States
+// mirror the variables of the source equation system; behaviour is the set
+// of periodic actions attached to each state.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/action.hpp"
+
+namespace deproto::core {
+
+class ProtocolStateMachine {
+ public:
+  ProtocolStateMachine() = default;
+  explicit ProtocolStateMachine(std::vector<std::string> state_names,
+                                double normalizing_p = 1.0);
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& state_names() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] const std::string& state_name(std::size_t id) const;
+  [[nodiscard]] std::optional<std::size_t> state_index(
+      const std::string& name) const;
+
+  /// The system-wide normalizing constant p chosen by synthesis. The mean
+  /// field of the machine equals p * (source system): the protocol runs the
+  /// source dynamics with time dilated by 1/p periods per time unit.
+  [[nodiscard]] double normalizing_p() const noexcept { return p_; }
+  void set_normalizing_p(double p) { p_ = p; }
+
+  void add_action(Action action);
+
+  /// All actions, in insertion order.
+  [[nodiscard]] const std::vector<Action>& actions() const noexcept {
+    return actions_;
+  }
+
+  /// Indices into actions() of the actions executed by `state`'s members.
+  [[nodiscard]] const std::vector<std::size_t>& actions_of(
+      std::size_t state) const;
+
+  /// Sampling messages sent per period by one process in `state`
+  /// (Section 3's message-complexity bound).
+  [[nodiscard]] std::size_t messages_per_period(std::size_t state) const;
+
+  /// Largest per-period message count over all states.
+  [[nodiscard]] std::size_t max_messages_per_period() const;
+
+  /// Multi-line rendering in the style of the paper's Figure 3.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> states_;
+  std::vector<Action> actions_;
+  std::vector<std::vector<std::size_t>> by_state_;
+  double p_ = 1.0;
+};
+
+}  // namespace deproto::core

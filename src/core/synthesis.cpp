@@ -1,0 +1,265 @@
+#include "core/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/failure_compensation.hpp"
+#include "ode/rewriting.hpp"
+
+namespace deproto::core {
+
+namespace {
+
+/// A provisional action whose coin bias is still expressed as a bare rate
+/// constant; p is applied once it is known.
+struct PendingCoin {
+  std::size_t action_index;   // into machine.actions() construction order
+  double rate_constant;       // c
+  double failure_factor;      // ff = (1/(1-f))^{|T|-1}
+};
+
+bool matches_push_pull(const ode::EquationSystem& sys,
+                       const std::vector<PushPullSpec>& specs,
+                       std::size_t eq_x, const ode::Term& term,
+                       std::size_t* out_y) {
+  for (const PushPullSpec& spec : specs) {
+    const auto ix = sys.index_of(spec.state_x);
+    const auto iy = sys.index_of(spec.state_y);
+    if (!ix || !iy) {
+      throw SynthesisError("push_pull: unknown state " + spec.state_x + "/" +
+                           spec.state_y);
+    }
+    if (eq_x != *ix) continue;
+    // Exactly -beta * x * y?
+    if (term.exponent(*ix) == 1 && term.exponent(*iy) == 1 &&
+        term.total_degree() == 2) {
+      *out_y = *iy;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Lexicographic expansion of prod_{y != skip} y^{i_y}: for each variable in
+/// name order, append i_y copies of its state id.
+std::vector<std::size_t> lexicographic_targets(const ode::EquationSystem& sys,
+                                               const ode::Term& term,
+                                               std::size_t skip) {
+  std::vector<std::size_t> targets;
+  for (std::size_t var : sys.lexicographic_order()) {
+    if (var == skip) continue;
+    for (unsigned k = 0; k < term.exponent(var); ++k) targets.push_back(var);
+  }
+  return targets;
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const ode::EquationSystem& input,
+                           const SynthesisOptions& options) {
+  ode::EquationSystem sys = input;
+  SynthesisResult result{ProtocolStateMachine({"_"}), {}, sys, 1.0, {}};
+
+  // --- Taxonomy gate, with optional rewriting -------------------------------
+  if (!ode::is_complete(sys)) {
+    if (!options.auto_rewrite) {
+      throw SynthesisError(
+          "system is not complete (right-hand sides do not sum to zero); "
+          "rewrite with ode::complete() or set auto_rewrite");
+    }
+    sys = ode::complete(sys, options.slack_name);
+    result.notes.push_back("auto-rewrite: added slack variable '" +
+                           options.slack_name + "' to complete the system");
+  }
+
+  // Bare-constant terms block both Sampling and Tokenizing; expand them.
+  bool has_constant = false;
+  for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+    for (const ode::Term& t : sys.rhs(v)) {
+      if (t.is_constant() && t.coefficient() != 0.0) has_constant = true;
+    }
+  }
+  if (has_constant) {
+    if (!options.auto_rewrite) {
+      throw SynthesisError(
+          "system has bare-constant terms; rewrite with "
+          "ode::expand_constants() or set auto_rewrite");
+    }
+    sys = ode::expand_constants(sys);
+    result.notes.push_back(
+        "auto-rewrite: expanded bare constants c into c * (sum of all "
+        "variables)");
+  }
+
+  result.taxonomy = ode::classify(sys);
+  if (!result.taxonomy.complete) {
+    throw SynthesisError("system is not complete after rewriting");
+  }
+  if (!result.taxonomy.completely_partitionable) {
+    throw SynthesisError(
+        "system is not completely partitionable: " + result.taxonomy.detail);
+  }
+  result.source = sys;
+
+  // --- Map each {-T, +T} pair to an action ----------------------------------
+  ProtocolStateMachine machine(sys.names(), 1.0);
+  std::vector<PendingCoin> pending;
+  std::vector<std::size_t> push_pull_actions;  // bias stays 1.0
+
+  for (const ode::PartitionPair& pair : result.taxonomy.partition) {
+    const std::size_t eq_x = pair.negative.equation;
+    const std::size_t to_state = pair.positive.equation;
+    const ode::Term& term = sys.rhs(eq_x)[pair.negative.term];
+    const double c = -term.coefficient();  // positive rate constant
+    const unsigned i_x = term.exponent(eq_x);
+    std::ostringstream note;
+    note << "term " << term.to_string(sys.names()) << " in d"
+         << sys.name(eq_x) << "/dt: ";
+
+    std::size_t y_state = 0;
+    if (matches_push_pull(sys, options.push_pull, eq_x, term, &y_state)) {
+      // Section 4.1.2: -beta*x*y as pull + push with fanout b = beta/2.
+      const double half = c / 2.0;
+      const auto b = static_cast<unsigned>(std::llround(half));
+      if (std::abs(half - static_cast<double>(b)) > 1e-9 || b == 0) {
+        throw SynthesisError(
+            "push_pull: beta must be a small even positive integer, got " +
+            std::to_string(c));
+      }
+      AnyOfSamplingAction pull;
+      pull.from_state = eq_x;
+      pull.match_state = y_state;
+      pull.to_state = to_state;
+      pull.fanout = b;
+      pull.coin_bias = 1.0;
+      pull.provenance = pair.negative;
+      push_pull_actions.push_back(machine.actions().size());
+      machine.add_action(pull);
+
+      PushAction push;
+      push.executor_state = y_state;
+      push.target_state = eq_x;
+      push.to_state = to_state;
+      push.fanout = b;
+      push.coin_bias = 1.0;
+      push.provenance = pair.negative;
+      push_pull_actions.push_back(machine.actions().size());
+      machine.add_action(push);
+
+      note << "push+pull pair with b = beta/2 = " << b
+           << " (effective contact rate ~ 2b)";
+      result.notes.push_back(note.str());
+      continue;
+    }
+
+    if (i_x >= 1 && term.total_degree() == 1) {
+      // -c * x: Flipping.
+      FlippingAction a;
+      a.from_state = eq_x;
+      a.to_state = to_state;
+      a.rate_constant = c;
+      a.coin_bias = c;  // p applied below
+      a.provenance = pair.negative;
+      pending.push_back({machine.actions().size(), c, 1.0});
+      machine.add_action(a);
+      note << "Flipping, coin rate " << c << ", -> " << sys.name(to_state);
+    } else if (i_x >= 1) {
+      // One-Time-Sampling.
+      SamplingAction a;
+      a.from_state = eq_x;
+      a.to_state = to_state;
+      a.same_state_samples = i_x - 1;
+      a.target_states = lexicographic_targets(sys, term, eq_x);
+      a.rate_constant = c;
+      a.coin_bias = c;
+      a.provenance = pair.negative;
+      const double ff =
+          failure_factor(term.variable_occurrences(), options.failure_rate);
+      pending.push_back({machine.actions().size(), c, ff});
+      machine.add_action(a);
+      note << "One-Time-Sampling of "
+           << (a.same_state_samples + a.target_states.size())
+           << " target(s), coin rate " << c << ", -> " << sys.name(to_state);
+    } else {
+      // i_x == 0: Tokenizing (Section 6).
+      if (!options.allow_tokenizing) {
+        throw SynthesisError(
+            "term " + term.to_string(sys.names()) + " in d" + sys.name(eq_x) +
+            "/dt has i_x = 0 and Tokenizing is disabled (system is not "
+            "restricted polynomial)");
+      }
+      // Choose w: the lexicographically smallest variable with i_w >= 1.
+      std::optional<std::size_t> w;
+      for (std::size_t var : sys.lexicographic_order()) {
+        if (term.exponent(var) >= 1) {
+          w = var;
+          break;
+        }
+      }
+      if (!w) {
+        throw SynthesisError("internal: constant term survived rewriting");
+      }
+      TokenizingAction a;
+      a.executor_state = *w;
+      a.token_state = eq_x;
+      a.to_state = to_state;
+      a.same_state_samples = term.exponent(*w) - 1;
+      a.target_states = lexicographic_targets(sys, term, *w);
+      a.rate_constant = c;
+      a.coin_bias = c;
+      a.provenance = pair.negative;
+      const double ff =
+          failure_factor(term.variable_occurrences(), options.failure_rate);
+      pending.push_back({machine.actions().size(), c, ff});
+      machine.add_action(a);
+      note << "Tokenizing executed by state " << sys.name(*w)
+           << ", token moves a " << sys.name(eq_x) << " process to "
+           << sys.name(to_state);
+    }
+    result.notes.push_back(note.str());
+  }
+
+  // --- Choose the normalizing constant p ------------------------------------
+  double max_rate = 0.0;
+  for (const PendingCoin& coin : pending) {
+    max_rate = std::max(max_rate, coin.rate_constant * coin.failure_factor);
+  }
+  double p = 1.0;
+  if (options.p) {
+    p = *options.p;
+    if (!(p > 0.0 && p <= 1.0)) {
+      throw SynthesisError("normalizing p must lie in (0, 1]");
+    }
+    if (p * max_rate > 1.0 + 1e-12) {
+      throw SynthesisError(
+          "normalizing p too large: p * c * ff exceeds 1 for some term");
+    }
+  } else if (max_rate > 1.0) {
+    p = 1.0 / max_rate;
+  }
+  result.p = p;
+  machine.set_normalizing_p(p);
+  {
+    std::ostringstream note;
+    note << "normalizing constant p = " << p
+         << " (largest coin rate constant " << max_rate << ")";
+    result.notes.push_back(note.str());
+  }
+
+  // Re-build the machine with final biases (actions are value types; adjust
+  // in a copy since ProtocolStateMachine exposes actions immutably).
+  ProtocolStateMachine final_machine(sys.names(), p);
+  std::vector<Action> actions = machine.actions();
+  for (const PendingCoin& coin : pending) {
+    Action& a = actions[coin.action_index];
+    const double bias = p * coin.rate_constant * coin.failure_factor;
+    std::visit([bias](auto& act) { act.coin_bias = bias; }, a);
+  }
+  for (Action& a : actions) final_machine.add_action(std::move(a));
+
+  result.machine = std::move(final_machine);
+  return result;
+}
+
+}  // namespace deproto::core

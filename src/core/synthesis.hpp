@@ -1,0 +1,81 @@
+#pragma once
+
+// The translation framework of Sections 3 and 6: map a polynomial,
+// completely partitionable equation system onto a protocol state machine
+// via Flipping, One-Time-Sampling and Tokenizing, choosing the system-wide
+// normalizing constant p. Implements Theorems 1 and 5 (errata form:
+// Tokenizing also requires complete partitionability).
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/state_machine.hpp"
+#include "ode/equation_system.hpp"
+#include "ode/taxonomy.hpp"
+
+namespace deproto::core {
+
+/// Thrown when a system is outside the mappable subclass and auto_rewrite
+/// cannot (or may not) bring it in.
+class SynthesisError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Request the Section 4.1.2 optimization for one bilinear infection-style
+/// term: the negative term -beta * x * y on the rhs of x-dot is implemented
+/// as a pull (x samples b = beta/2 targets, any in y converts) plus a push
+/// (y samples b targets, converting sampled x's). beta must be a small even
+/// positive integer; the effective contact rate is N(1-(1-b/N)^2) ~= 2b.
+struct PushPullSpec {
+  std::string state_x;  // the susceptible/receptive side (loses members)
+  std::string state_y;  // the infective/stash side (is matched against)
+};
+
+struct SynthesisOptions {
+  /// Normalizing constant p; when unset the largest feasible p <= 1 with
+  /// p * c * ff <= 1 over all coin constants is chosen.
+  std::optional<double> p;
+  /// Known group-wide failure rate per connection attempt. Sampling-type
+  /// coins are compensated by (1/(1-f))^{|T|-1} (Section 3, "The Effect of
+  /// Failures"); p shrinks if compensation would push a bias above 1.
+  double failure_rate = 0.0;
+  /// Permit Tokenizing actions (Section 6) for non-restricted systems.
+  bool allow_tokenizing = true;
+  /// Apply rewriting automatically: complete() when not complete,
+  /// expand_constants() when bare-constant terms block Tokenizing.
+  bool auto_rewrite = false;
+  /// Name used for the slack variable when auto-completing.
+  std::string slack_name = "z";
+  /// Bilinear terms to implement as push+pull (endemic optimization).
+  std::vector<PushPullSpec> push_pull;
+};
+
+struct SynthesisResult {
+  ProtocolStateMachine machine;
+  ode::TaxonomyReport taxonomy;
+  /// The (possibly rewritten) system the machine actually implements.
+  ode::EquationSystem source;
+  double p = 1.0;
+  /// Human-readable record of every mapping decision.
+  std::vector<std::string> notes;
+};
+
+/// Translate `sys` into a protocol state machine.
+///
+/// Requirements (after optional auto-rewriting):
+///   * polynomial (guaranteed by the representation),
+///   * complete and completely partitionable;
+/// restricted-polynomial systems map with Flipping + One-Time-Sampling only
+/// (Theorem 1); others additionally use Tokenizing (Theorem 5).
+///
+/// The mean field of the returned machine over protocol-period time equals
+/// p * f(X) for the source system X-dot = f(X) -- i.e. the protocol runs the
+/// source dynamics with time dilated by a factor 1/p (push-pull terms are
+/// implemented at their full rate; see PushPullSpec).
+[[nodiscard]] SynthesisResult synthesize(const ode::EquationSystem& sys,
+                                         const SynthesisOptions& options = {});
+
+}  // namespace deproto::core

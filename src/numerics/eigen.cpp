@@ -1,0 +1,155 @@
+#include "numerics/eigen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deproto::num {
+
+std::pair<Complex, Complex> eigenvalues_2x2(const Matrix& a) {
+  if (a.rows() != 2 || a.cols() != 2) {
+    throw std::invalid_argument("eigenvalues_2x2: matrix is not 2x2");
+  }
+  const double tau = a.trace();
+  const double delta = a.determinant();
+  const double disc = tau * tau - 4.0 * delta;
+  if (disc >= 0.0) {
+    const double s = std::sqrt(disc);
+    return {Complex((tau + s) / 2.0, 0.0), Complex((tau - s) / 2.0, 0.0)};
+  }
+  const double s = std::sqrt(-disc);
+  return {Complex(tau / 2.0, s / 2.0), Complex(tau / 2.0, -s / 2.0)};
+}
+
+std::vector<double> characteristic_polynomial(const Matrix& a) {
+  if (!a.square()) {
+    throw std::invalid_argument("characteristic_polynomial: not square");
+  }
+  const std::size_t n = a.rows();
+  // Faddeev-LeVerrier: M_0 = 0, c_0 = 1;
+  // M_k = A M_{k-1} + c_{k-1} I;  c_k = -trace(A M_k) / k.
+  std::vector<double> c(n + 1, 0.0);
+  c[0] = 1.0;
+  Matrix m(n, n, 0.0);
+  for (std::size_t k = 1; k <= n; ++k) {
+    Matrix am = a * m;
+    for (std::size_t i = 0; i < n; ++i) am(i, i) += c[k - 1];
+    m = am;
+    c[k] = -(a * m).trace() / static_cast<double>(k);
+  }
+  return c;
+}
+
+std::vector<Complex> polynomial_roots(const std::vector<double>& coeffs) {
+  if (coeffs.empty() || coeffs[0] != 1.0) {
+    throw std::invalid_argument("polynomial_roots: polynomial must be monic");
+  }
+  const std::size_t degree = coeffs.size() - 1;
+  if (degree == 0) return {};
+  if (degree == 1) return {Complex(-coeffs[1], 0.0)};
+
+  auto eval = [&](Complex z) {
+    Complex v(coeffs[0], 0.0);
+    for (std::size_t i = 1; i < coeffs.size(); ++i) v = v * z + coeffs[i];
+    return v;
+  };
+
+  // Durand-Kerner from staggered points on a circle of radius r, where r
+  // bounds the root magnitudes (Cauchy bound).
+  double r = 0.0;
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    r = std::max(r, std::abs(coeffs[i]));
+  }
+  r = 1.0 + r;
+  std::vector<Complex> roots(degree);
+  for (std::size_t i = 0; i < degree; ++i) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(degree) +
+        0.4;  // offset avoids symmetry stalls
+    roots[i] = r * Complex(std::cos(angle), std::sin(angle));
+  }
+
+  constexpr int kMaxIter = 2000;
+  constexpr double kTol = 1e-13;
+  for (int iter = 0; iter < kMaxIter; ++iter) {
+    double moved = 0.0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      Complex denom(1.0, 0.0);
+      for (std::size_t j = 0; j < degree; ++j) {
+        if (j != i) denom *= roots[i] - roots[j];
+      }
+      if (std::abs(denom) < 1e-300) {
+        roots[i] += Complex(1e-8, 1e-8);  // nudge off a collision
+        continue;
+      }
+      const Complex delta = eval(roots[i]) / denom;
+      roots[i] -= delta;
+      moved = std::max(moved, std::abs(delta));
+    }
+    if (moved < kTol * std::max(1.0, r)) break;
+  }
+  // Snap tiny imaginary parts (real roots) to the axis.
+  for (Complex& z : roots) {
+    if (std::abs(z.imag()) < 1e-8 * std::max(1.0, std::abs(z.real()))) {
+      z = Complex(z.real(), 0.0);
+    }
+  }
+  return roots;
+}
+
+std::vector<Complex> eigenvalues(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("eigenvalues: not square");
+  const std::size_t n = a.rows();
+  if (n == 0) return {};
+  if (n == 1) return {Complex(a(0, 0), 0.0)};
+  if (n == 2) {
+    auto [l1, l2] = eigenvalues_2x2(a);
+    return {l1, l2};
+  }
+  return polynomial_roots(characteristic_polynomial(a));
+}
+
+Vec eigenvector(const Matrix& a, double lambda, int max_iter) {
+  if (!a.square()) throw std::invalid_argument("eigenvector: not square");
+  const std::size_t n = a.rows();
+  // Inverse iteration on (A - (lambda + eps) I).
+  Matrix shifted = a;
+  const double eps = 1e-9 * std::max(1.0, std::abs(lambda));
+  for (std::size_t i = 0; i < n; ++i) shifted(i, i) -= lambda + eps;
+
+  Vec v(n, 1.0);
+  v[0] = 1.3;  // break symmetry
+  double nrm = norm2(v);
+  for (double& x : v) x /= nrm;
+
+  for (int it = 0; it < max_iter; ++it) {
+    Vec w;
+    try {
+      w = shifted.solve(v);
+    } catch (const std::runtime_error&) {
+      // Singular shift: we are exactly on the eigenvalue; perturb further.
+      for (std::size_t i = 0; i < n; ++i) shifted(i, i) -= 10 * eps;
+      continue;
+    }
+    nrm = norm2(w);
+    if (nrm == 0.0) throw std::runtime_error("eigenvector: zero iterate");
+    for (double& x : w) x /= nrm;
+    const double delta = std::min(distance(w, v), distance(scale(w, -1.0), v));
+    v = std::move(w);
+    if (delta < 1e-12) break;
+  }
+  // Residual check.
+  Vec av = a * v;
+  axpy(-lambda, v, av);
+  if (norm_inf(av) > 1e-5 * std::max(1.0, std::abs(lambda))) {
+    throw std::runtime_error("eigenvector: inverse iteration did not converge");
+  }
+  return v;
+}
+
+double spectral_abscissa(const Matrix& a) {
+  double m = -1e300;
+  for (const Complex& l : eigenvalues(a)) m = std::max(m, l.real());
+  return m;
+}
+
+}  // namespace deproto::num

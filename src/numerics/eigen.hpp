@@ -1,0 +1,43 @@
+#pragma once
+
+// Eigenvalues for the small dense matrices arising as Jacobians of protocol
+// equation systems. 2x2 uses the closed form; the general case computes the
+// characteristic polynomial by Faddeev-LeVerrier and finds its roots with
+// the Durand-Kerner iteration (robust and simple at these sizes).
+
+#include <complex>
+#include <vector>
+
+#include "numerics/matrix.hpp"
+
+namespace deproto::num {
+
+using Complex = std::complex<double>;
+
+/// Both eigenvalues of a 2x2 matrix, via trace/determinant closed form:
+/// lambda = (tau +/- sqrt(tau^2 - 4*delta)) / 2.
+[[nodiscard]] std::pair<Complex, Complex> eigenvalues_2x2(const Matrix& a);
+
+/// All eigenvalues of a square matrix (any order), unordered.
+[[nodiscard]] std::vector<Complex> eigenvalues(const Matrix& a);
+
+/// Coefficients c of the characteristic polynomial
+/// det(lambda I - A) = lambda^n + c[1] lambda^{n-1} + ... + c[n],
+/// with c[0] == 1 (Faddeev-LeVerrier).
+[[nodiscard]] std::vector<double> characteristic_polynomial(const Matrix& a);
+
+/// All complex roots of the monic polynomial with the given coefficients
+/// (coeffs[0] == 1, degree == coeffs.size()-1), via Durand-Kerner.
+[[nodiscard]] std::vector<Complex> polynomial_roots(
+    const std::vector<double>& coeffs);
+
+/// Eigenvector for a (nearly) real eigenvalue via inverse iteration.
+/// Returned vector has unit 2-norm. Throws if iteration fails to converge.
+[[nodiscard]] Vec eigenvector(const Matrix& a, double lambda,
+                              int max_iter = 200);
+
+/// Largest real part among the eigenvalues (the spectral abscissa, which
+/// decides asymptotic stability of a linear system).
+[[nodiscard]] double spectral_abscissa(const Matrix& a);
+
+}  // namespace deproto::num

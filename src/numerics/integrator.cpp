@@ -1,0 +1,236 @@
+#include "numerics/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ode/equation_system.hpp"
+
+namespace deproto::num {
+
+OdeFunction ode_function(const ode::EquationSystem& sys) {
+  // The system is copied into the closure so the function outlives its
+  // source (catalog factories return temporaries).
+  return [sys](const Vec& x, Vec& dxdt, double /*t*/) {
+    dxdt.resize(x.size());
+    sys.evaluate(x, dxdt);
+  };
+}
+
+void euler_step(const OdeFunction& f, Vec& x, double t, double dt) {
+  Vec k(x.size());
+  f(x, k, t);
+  axpy(dt, k, x);
+}
+
+void rk4_step(const OdeFunction& f, Vec& x, double t, double dt) {
+  const std::size_t n = x.size();
+  Vec k1(n), k2(n), k3(n), k4(n), tmp(n);
+
+  f(x, k1, t);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * dt * k1[i];
+  f(tmp, k2, t + 0.5 * dt);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + 0.5 * dt * k2[i];
+  f(tmp, k3, t + 0.5 * dt);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + dt * k3[i];
+  f(tmp, k4, t + dt);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+void integrate_fixed(const OdeFunction& f, Vec& x, double t0, double t1,
+                     double dt, const Observer& observe,
+                     FixedStepper stepper) {
+  if (!(dt > 0)) throw std::invalid_argument("integrate_fixed: dt <= 0");
+  double t = t0;
+  if (observe) observe(x, t);
+  while (t < t1 - 1e-15) {
+    const double h = std::min(dt, t1 - t);
+    if (stepper == FixedStepper::Rk4) {
+      rk4_step(f, x, t, h);
+    } else {
+      euler_step(f, x, t, h);
+    }
+    t += h;
+    if (observe) observe(x, t);
+  }
+}
+
+namespace {
+
+// Butcher tableau for RKF45.
+struct Rkf45Result {
+  Vec x5;       // 5th-order solution
+  double error; // max-norm of the embedded 4th/5th difference
+};
+
+Rkf45Result rkf45_attempt(const OdeFunction& f, const Vec& x, double t,
+                          double h) {
+  const std::size_t n = x.size();
+  Vec k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), tmp(n);
+
+  f(x, k1, t);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + h * (k1[i] / 4.0);
+  f(tmp, k2, t + h / 4.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (3.0 / 32.0 * k1[i] + 9.0 / 32.0 * k2[i]);
+  }
+  f(tmp, k3, t + 3.0 * h / 8.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (1932.0 / 2197.0 * k1[i] - 7200.0 / 2197.0 * k2[i] +
+                         7296.0 / 2197.0 * k3[i]);
+  }
+  f(tmp, k4, t + 12.0 * h / 13.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (439.0 / 216.0 * k1[i] - 8.0 * k2[i] +
+                         3680.0 / 513.0 * k3[i] - 845.0 / 4104.0 * k4[i]);
+  }
+  f(tmp, k5, t + h);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (-8.0 / 27.0 * k1[i] + 2.0 * k2[i] -
+                         3544.0 / 2565.0 * k3[i] + 1859.0 / 4104.0 * k4[i] -
+                         11.0 / 40.0 * k5[i]);
+  }
+  f(tmp, k6, t + h / 2.0);
+
+  Rkf45Result out;
+  out.x5.resize(n);
+  out.error = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x4 = x[i] + h * (25.0 / 216.0 * k1[i] +
+                                  1408.0 / 2565.0 * k3[i] +
+                                  2197.0 / 4104.0 * k4[i] - k5[i] / 5.0);
+    const double x5 = x[i] + h * (16.0 / 135.0 * k1[i] +
+                                  6656.0 / 12825.0 * k3[i] +
+                                  28561.0 / 56430.0 * k4[i] -
+                                  9.0 / 50.0 * k5[i] + 2.0 / 55.0 * k6[i]);
+    out.x5[i] = x5;
+    out.error = std::max(out.error, std::abs(x5 - x4));
+  }
+  return out;
+}
+
+// Dormand-Prince 5(4): the odeint default stepper.
+Rkf45Result dopri5_attempt(const OdeFunction& f, const Vec& x, double t,
+                           double h) {
+  const std::size_t n = x.size();
+  Vec k1(n), k2(n), k3(n), k4(n), k5(n), k6(n), k7(n), tmp(n);
+
+  f(x, k1, t);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = x[i] + h * (k1[i] / 5.0);
+  f(tmp, k2, t + h / 5.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (3.0 / 40.0 * k1[i] + 9.0 / 40.0 * k2[i]);
+  }
+  f(tmp, k3, t + 3.0 * h / 10.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (44.0 / 45.0 * k1[i] - 56.0 / 15.0 * k2[i] +
+                         32.0 / 9.0 * k3[i]);
+  }
+  f(tmp, k4, t + 4.0 * h / 5.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (19372.0 / 6561.0 * k1[i] - 25360.0 / 2187.0 * k2[i] +
+                         64448.0 / 6561.0 * k3[i] - 212.0 / 729.0 * k4[i]);
+  }
+  f(tmp, k5, t + 8.0 * h / 9.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (9017.0 / 3168.0 * k1[i] - 355.0 / 33.0 * k2[i] +
+                         46732.0 / 5247.0 * k3[i] + 49.0 / 176.0 * k4[i] -
+                         5103.0 / 18656.0 * k5[i]);
+  }
+  f(tmp, k6, t + h);
+  for (std::size_t i = 0; i < n; ++i) {
+    tmp[i] = x[i] + h * (35.0 / 384.0 * k1[i] + 500.0 / 1113.0 * k3[i] +
+                         125.0 / 192.0 * k4[i] - 2187.0 / 6784.0 * k5[i] +
+                         11.0 / 84.0 * k6[i]);
+  }
+  f(tmp, k7, t + h);  // FSAL stage
+
+  Rkf45Result out;
+  out.x5 = tmp;  // the 5th-order solution is the k7 evaluation point
+  out.error = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double err_i =
+        h * (71.0 / 57600.0 * k1[i] - 71.0 / 16695.0 * k3[i] +
+             71.0 / 1920.0 * k4[i] - 17253.0 / 339200.0 * k5[i] +
+             22.0 / 525.0 * k6[i] - 1.0 / 40.0 * k7[i]);
+    out.error = std::max(out.error, std::abs(err_i));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t integrate_adaptive(const OdeFunction& f, Vec& x, double t0,
+                               double t1, const AdaptiveOptions& opts,
+                               const Observer& observe,
+                               AdaptiveStepper stepper) {
+  double t = t0;
+  double h = std::clamp(opts.dt_initial, opts.dt_min, opts.dt_max);
+  std::size_t accepted = 0;
+  if (observe) observe(x, t);
+
+  std::size_t steps = 0;
+  while (t < t1 - 1e-15) {
+    if (++steps > opts.max_steps) {
+      throw std::runtime_error("integrate_adaptive: max_steps exceeded");
+    }
+    h = std::min(h, t1 - t);
+    const Rkf45Result r = (stepper == AdaptiveStepper::Dopri5)
+                              ? dopri5_attempt(f, x, t, h)
+                              : rkf45_attempt(f, x, t, h);
+    const double tol =
+        opts.abs_tol + opts.rel_tol * std::max(norm_inf(x), norm_inf(r.x5));
+    if (r.error <= tol || h <= opts.dt_min * 1.0000001) {
+      t += h;
+      x = r.x5;
+      ++accepted;
+      if (observe) observe(x, t);
+    }
+    // PI-free classic step-size update with safety factor.
+    const double scale =
+        (r.error > 0.0)
+            ? 0.9 * std::pow(tol / r.error, 0.2)
+            : 5.0;
+    h = std::clamp(h * std::clamp(scale, 0.2, 5.0), opts.dt_min, opts.dt_max);
+    if (h < opts.dt_min) {
+      throw std::runtime_error("integrate_adaptive: step size underflow");
+    }
+  }
+  return accepted;
+}
+
+std::optional<double> integrate_until(
+    const OdeFunction& f, Vec& x, double t0, double dt, double t_max,
+    const std::function<bool(const Vec&, double)>& stop) {
+  if (stop(x, t0)) return t0;
+  double t = t0;
+  Vec prev = x;
+  while (t < t_max - 1e-15) {
+    const double h = std::min(dt, t_max - t);
+    prev = x;
+    rk4_step(f, x, t, h);
+    t += h;
+    if (stop(x, t)) {
+      // Bisection refinement between (t-h, prev) and (t, x).
+      double lo = t - h, hi = t;
+      Vec xlo = prev;
+      for (int i = 0; i < 30 && (hi - lo) > 1e-12 * std::max(1.0, hi); ++i) {
+        const double mid = 0.5 * (lo + hi);
+        Vec xm = xlo;
+        rk4_step(f, xm, lo, mid - lo);
+        if (stop(xm, mid)) {
+          hi = mid;
+        } else {
+          lo = mid;
+          xlo = std::move(xm);
+        }
+      }
+      return hi;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace deproto::num

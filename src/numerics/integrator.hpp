@@ -1,0 +1,67 @@
+#pragma once
+
+// ODE integrators (odeint-style): explicit Euler, classic RK4, and the
+// adaptive Runge-Kutta-Fehlberg 4(5) and Dormand-Prince 5(4) pairs, plus an
+// event-detection helper used by "time to converge" measurements.
+
+#include <functional>
+#include <optional>
+
+#include "numerics/vector.hpp"
+
+namespace deproto::ode {
+class EquationSystem;  // fwd
+}
+
+namespace deproto::num {
+
+/// dxdt = f(x, t). Autonomous systems simply ignore t.
+using OdeFunction =
+    std::function<void(const Vec& x, Vec& dxdt, double t)>;
+
+/// Called after every accepted step with the current state and time.
+using Observer = std::function<void(const Vec& x, double t)>;
+
+/// Adapt an EquationSystem into an OdeFunction.
+[[nodiscard]] OdeFunction ode_function(const ode::EquationSystem& sys);
+
+/// One explicit Euler step (in place).
+void euler_step(const OdeFunction& f, Vec& x, double t, double dt);
+
+/// One classic fourth-order Runge-Kutta step (in place).
+void rk4_step(const OdeFunction& f, Vec& x, double t, double dt);
+
+/// Fixed-step integration from t0 to t1 with RK4 (default) or Euler.
+/// The observer (if any) fires at t0 and after every step.
+enum class FixedStepper { Euler, Rk4 };
+void integrate_fixed(const OdeFunction& f, Vec& x, double t0, double t1,
+                     double dt, const Observer& observe = nullptr,
+                     FixedStepper stepper = FixedStepper::Rk4);
+
+struct AdaptiveOptions {
+  double abs_tol = 1e-9;
+  double rel_tol = 1e-9;
+  double dt_initial = 1e-3;
+  double dt_min = 1e-12;
+  double dt_max = 1.0;
+  std::size_t max_steps = 10'000'000;
+};
+
+enum class AdaptiveStepper { Rkf45, Dopri5 };
+
+/// Adaptive integration from t0 to t1; returns the number of accepted steps.
+/// Throws std::runtime_error if the step size underflows dt_min.
+std::size_t integrate_adaptive(const OdeFunction& f, Vec& x, double t0,
+                               double t1, const AdaptiveOptions& opts = {},
+                               const Observer& observe = nullptr,
+                               AdaptiveStepper stepper =
+                                   AdaptiveStepper::Dopri5);
+
+/// Integrate with fixed step dt until `stop(x, t)` first returns true or
+/// t exceeds t_max. Returns the first time at which `stop` held, refined by
+/// linear interpolation between the bracketing steps; nullopt on timeout.
+[[nodiscard]] std::optional<double> integrate_until(
+    const OdeFunction& f, Vec& x, double t0, double dt, double t_max,
+    const std::function<bool(const Vec&, double)>& stop);
+
+}  // namespace deproto::num

@@ -1,0 +1,76 @@
+#include "numerics/linearization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numerics/eigen.hpp"
+
+namespace deproto::num {
+
+Linearization linearize(const ode::EquationSystem& sys,
+                        const Vec& equilibrium) {
+  Linearization lin;
+  lin.equilibrium = equilibrium;
+  lin.jacobian = jacobian_at(sys, equilibrium);
+  if (sys.num_vars() >= 2) {
+    lin.reduced_jacobian = reduced_jacobian_at(sys, equilibrium);
+    lin.stability = classify_matrix(lin.reduced_jacobian);
+  } else {
+    lin.reduced_jacobian = lin.jacobian;
+    lin.stability = classify_matrix(lin.jacobian);
+  }
+  return lin;
+}
+
+Matrix endemic_matrix_A(double sigma, double alpha, double gamma) {
+  return Matrix{{-(sigma + alpha), -sigma * (gamma + alpha)}, {1.0, 0.0}};
+}
+
+double endemic_sigma(double beta, double gamma, double alpha) {
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("endemic_sigma: alpha must be positive");
+  }
+  return (beta - gamma) / (1.0 + gamma / alpha);
+}
+
+PerturbationSolution endemic_perturbation(double sigma, double alpha,
+                                          double gamma, double u0,
+                                          double udot0) {
+  const Matrix a = endemic_matrix_A(sigma, alpha, gamma);
+  const double tau = a.trace();
+  const double delta = a.determinant();
+  const double disc = tau * tau - 4.0 * delta;
+
+  PerturbationSolution sol;
+  constexpr double kZero = 1e-12;
+  if (disc < -kZero) {
+    sol.kase = EigenCase::ComplexConjugate;
+    const double decay = (sigma + alpha) / 2.0;
+    const double omega =
+        std::sqrt(sigma * gamma - (sigma - alpha) * (sigma - alpha) / 4.0);
+    sol.lambda1 = sol.lambda2 = -decay;
+    sol.omega = omega;
+    sol.u = [u0, decay, omega](double t) {
+      return u0 * std::exp(-decay * t) * std::cos(omega * t);
+    };
+  } else if (disc > kZero) {
+    sol.kase = EigenCase::RealDistinct;
+    const double s = std::sqrt(disc);
+    const double l1 = (tau + s) / 2.0;
+    const double l2 = (tau - s) / 2.0;
+    sol.lambda1 = l1;
+    sol.lambda2 = l2;
+    sol.u = [u0, udot0, l1, l2](double t) {
+      return (udot0 - l2 * u0) / (l1 - l2) * std::exp(l1 * t) +
+             (udot0 - l1 * u0) / (l2 - l1) * std::exp(l2 * t);
+    };
+  } else {
+    sol.kase = EigenCase::RealEqual;
+    const double decay = (sigma + alpha) / 2.0;
+    sol.lambda1 = sol.lambda2 = -decay;
+    sol.u = [u0, decay](double t) { return u0 * std::exp(-decay * t); };
+  }
+  return sol;
+}
+
+}  // namespace deproto::num

@@ -1,0 +1,62 @@
+#pragma once
+
+// Perturbation analysis around an equilibrium (Section 4.1.3): linearize,
+// classify, and produce the closed-form displacement solution u(t) for
+// planar linearizations -- the paper's three eigenvalue cases.
+
+#include <functional>
+
+#include "numerics/stability.hpp"
+
+namespace deproto::num {
+
+struct Linearization {
+  Vec equilibrium;
+  Matrix jacobian;           // full Jacobian at the equilibrium
+  Matrix reduced_jacobian;   // simplex-reduced (valid for complete systems)
+  StabilityReport stability; // classification of the reduced Jacobian
+};
+
+[[nodiscard]] Linearization linearize(const ode::EquationSystem& sys,
+                                      const Vec& equilibrium);
+
+/// The matrix A of the paper's eq. (4):
+///   A = [ -(sigma+alpha)   -sigma*(gamma+alpha) ]
+///       [       1                    0          ]
+/// where sigma = (beta*N - gamma) / (1 + gamma/alpha) in numbers notation
+/// (equivalently sigma = beta*y_inf in fractions).
+[[nodiscard]] Matrix endemic_matrix_A(double sigma, double alpha,
+                                      double gamma);
+
+/// sigma for the endemic system in *fraction* notation (N == 1):
+/// sigma = (beta - gamma) / (1 + gamma/alpha).
+[[nodiscard]] double endemic_sigma(double beta, double gamma, double alpha);
+
+enum class EigenCase {
+  ComplexConjugate,  // tau^2 - 4 Delta < 0: damped oscillation (spiral)
+  RealDistinct,      // tau^2 - 4 Delta > 0: two-exponential decay
+  RealEqual,         // tau^2 - 4 Delta = 0: critically damped
+};
+
+/// Closed-form displacement u(t) of the number of susceptibles around the
+/// second endemic equilibrium, per Section 4.1.3:
+///   complex:  u = u0 e^{-t(sigma+alpha)/2} cos(t sqrt(sigma*gamma -
+///             (sigma-alpha)^2/4))
+///   distinct: u = (udot0 - l2 u0)/(l1 - l2) e^{t l1}
+///             + (udot0 - l1 u0)/(l2 - l1) e^{t l2}
+///   equal:    u = u0 e^{-t (sigma+alpha)/2}
+struct PerturbationSolution {
+  EigenCase kase = EigenCase::ComplexConjugate;
+  double lambda1 = 0.0;  // real parts (or the two real eigenvalues)
+  double lambda2 = 0.0;
+  double omega = 0.0;    // oscillation frequency when complex
+  std::function<double(double)> u;  // u(t)
+};
+
+[[nodiscard]] PerturbationSolution endemic_perturbation(double sigma,
+                                                        double alpha,
+                                                        double gamma,
+                                                        double u0,
+                                                        double udot0 = 0.0);
+
+}  // namespace deproto::num

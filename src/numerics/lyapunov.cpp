@@ -1,0 +1,72 @@
+#include "numerics/lyapunov.hpp"
+
+#include <stdexcept>
+
+namespace deproto::num {
+
+Matrix kronecker(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ar = 0; ar < a.rows(); ++ar) {
+    for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+      const double v = a(ar, ac);
+      if (v == 0.0) continue;
+      for (std::size_t br = 0; br < b.rows(); ++br) {
+        for (std::size_t bc = 0; bc < b.cols(); ++bc) {
+          out(ar * b.rows() + br, ac * b.cols() + bc) = v * b(br, bc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Vec vectorize(const Matrix& m) {
+  // Column-stacking convention: vec(M)[c*rows + r] = M(r, c).
+  Vec v(m.rows() * m.cols());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      v[c * m.rows() + r] = m(r, c);
+    }
+  }
+  return v;
+}
+
+Matrix devectorize(const Vec& v, std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      m(r, c) = v[c * n + r];
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+Matrix solve_continuous_lyapunov(const Matrix& a, const Matrix& q) {
+  if (!a.square() || !q.square() || a.rows() != q.rows()) {
+    throw std::invalid_argument("solve_continuous_lyapunov: shape mismatch");
+  }
+  const std::size_t n = a.rows();
+  // vec(A X) = (I (x) A) vec X; vec(X A^T) = (A (x) I) vec X.
+  const Matrix system =
+      kronecker(Matrix::identity(n), a) + kronecker(a, Matrix::identity(n));
+  Vec rhs = vectorize(q);
+  for (double& v : rhs) v = -v;
+  return devectorize(system.solve(rhs), n);
+}
+
+Matrix solve_discrete_lyapunov(const Matrix& m, const Matrix& q) {
+  if (!m.square() || !q.square() || m.rows() != q.rows()) {
+    throw std::invalid_argument("solve_discrete_lyapunov: shape mismatch");
+  }
+  const std::size_t n = m.rows();
+  // X - M X M^T = Q  =>  (I - M (x) M) vec X = vec Q.
+  const Matrix system =
+      Matrix::identity(n * n) - kronecker(m, m);
+  return devectorize(system.solve(vectorize(q)), n);
+}
+
+}  // namespace deproto::num

@@ -1,0 +1,25 @@
+#pragma once
+
+// Lyapunov equation solvers for the linear-noise (finite-N fluctuation)
+// analysis. Sizes are tiny (reduced protocol dimensions), so the Kronecker
+// vectorization route through the dense LU solver is the clear choice.
+
+#include "numerics/matrix.hpp"
+
+namespace deproto::num {
+
+/// Kronecker product A (x) B.
+[[nodiscard]] Matrix kronecker(const Matrix& a, const Matrix& b);
+
+/// Solve the continuous-time Lyapunov equation  A X + X A^T + Q = 0.
+/// Requires A to have no eigenvalue pair summing to zero (guaranteed for
+/// Hurwitz A). Throws std::runtime_error otherwise.
+[[nodiscard]] Matrix solve_continuous_lyapunov(const Matrix& a,
+                                               const Matrix& q);
+
+/// Solve the discrete-time Lyapunov (Stein) equation  X = M X M^T + Q.
+/// Requires the spectral radius of M to be < 1.
+[[nodiscard]] Matrix solve_discrete_lyapunov(const Matrix& m,
+                                             const Matrix& q);
+
+}  // namespace deproto::num

@@ -1,0 +1,214 @@
+#include "numerics/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace deproto::num {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix index");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix index");
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix: bad multiply");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vec Matrix::operator*(const Vec& v) const {
+  if (cols_ != v.size()) throw std::invalid_argument("Matrix: bad vec size");
+  Vec out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * v[c];
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix: shape mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double k) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v *= k;
+  return out;
+}
+
+double Matrix::trace() const {
+  if (!square()) throw std::invalid_argument("Matrix::trace: not square");
+  double s = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, i);
+  return s;
+}
+
+namespace {
+
+// LU with partial pivoting. Returns false for (numerically) singular input.
+// On success, lu holds L (unit diagonal, below) and U (on/above diagonal);
+// perm is the row permutation; sign is the permutation parity.
+bool lu_decompose(const Matrix& a, Matrix& lu, std::vector<std::size_t>& perm,
+                  double& sign) {
+  const std::size_t n = a.rows();
+  lu = a;
+  perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  sign = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(lu(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(lu(r, col)) > best) {
+        best = std::abs(lu(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu(pivot, c), lu(col, c));
+      }
+      std::swap(perm[pivot], perm[col]);
+      sign = -sign;
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = lu(r, col) / lu(col, col);
+      lu(r, col) = f;
+      for (std::size_t c = col + 1; c < n; ++c) {
+        lu(r, c) -= f * lu(col, c);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+double Matrix::determinant() const {
+  if (!square()) {
+    throw std::invalid_argument("Matrix::determinant: not square");
+  }
+  const std::size_t n = rows_;
+  if (n == 0) return 1.0;
+  if (n == 1) return (*this)(0, 0);
+  if (n == 2) {
+    return (*this)(0, 0) * (*this)(1, 1) - (*this)(0, 1) * (*this)(1, 0);
+  }
+  if (n == 3) {
+    const Matrix& m = *this;
+    return m(0, 0) * (m(1, 1) * m(2, 2) - m(1, 2) * m(2, 1)) -
+           m(0, 1) * (m(1, 0) * m(2, 2) - m(1, 2) * m(2, 0)) +
+           m(0, 2) * (m(1, 0) * m(2, 1) - m(1, 1) * m(2, 0));
+  }
+  Matrix lu;
+  std::vector<std::size_t> perm;
+  double sign = 1.0;
+  if (!lu_decompose(*this, lu, perm, sign)) return 0.0;
+  double det = sign;
+  for (std::size_t i = 0; i < n; ++i) det *= lu(i, i);
+  return det;
+}
+
+Vec Matrix::solve(const Vec& b) const {
+  if (!square() || b.size() != rows_) {
+    throw std::invalid_argument("Matrix::solve: shape mismatch");
+  }
+  Matrix lu;
+  std::vector<std::size_t> perm;
+  double sign = 1.0;
+  if (!lu_decompose(*this, lu, perm, sign)) {
+    throw std::runtime_error("Matrix::solve: singular matrix");
+  }
+  const std::size_t n = rows_;
+  Vec y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = b[perm[r]];
+    for (std::size_t c = 0; c < r; ++c) s -= lu(r, c) * y[c];
+    y[r] = s;
+  }
+  Vec x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= lu(ri, c) * x[c];
+    x[ri] = s / lu(ri, ri);
+  }
+  return x;
+}
+
+double Matrix::norm_max() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out << '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out << (*this)(r, c) << (c + 1 < cols_ ? ", " : "");
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace deproto::num

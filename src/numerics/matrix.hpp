@@ -1,0 +1,55 @@
+#pragma once
+
+// Small dense row-major matrix with the operations the dynamics analysis
+// needs: LU solve, determinant, trace, multiply. Sizes here are tiny (the
+// Jacobians of protocol equation systems), so clarity wins over blocking.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "numerics/vector.hpp"
+
+namespace deproto::num {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Row-major brace construction: Matrix{{a,b},{c,d}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Vec operator*(const Vec& v) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix scaled(double k) const;
+
+  [[nodiscard]] double trace() const;
+  /// Determinant via closed form (n <= 3) or LU decomposition.
+  [[nodiscard]] double determinant() const;
+  /// Solve A x = b via LU with partial pivoting. Throws on singular A.
+  [[nodiscard]] Vec solve(const Vec& b) const;
+  /// Max absolute entry.
+  [[nodiscard]] double norm_max() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace deproto::num

@@ -1,0 +1,44 @@
+#pragma once
+
+// Equilibrium finding: damped Newton on f(x) = 0 with the exact polynomial
+// Jacobian, and a multi-start search over the probability simplex that
+// recovers all equilibria of the paper's systems (endemic eq.(2), the four
+// LV fixed points).
+
+#include <optional>
+#include <vector>
+
+#include "numerics/vector.hpp"
+#include "ode/equation_system.hpp"
+
+namespace deproto::num {
+
+struct NewtonOptions {
+  int max_iter = 200;
+  double tol = 1e-12;       // convergence on ||f||_inf
+  double min_damping = 1e-6;  // smallest step fraction in the line search
+};
+
+/// Solve f(x) = 0 from initial guess x0. Returns nullopt when Newton fails
+/// (singular Jacobian with no useful perturbation, or no convergence).
+[[nodiscard]] std::optional<Vec> newton_solve(const ode::EquationSystem& sys,
+                                              Vec x0,
+                                              const NewtonOptions& opts = {});
+
+struct EquilibriumSearchOptions {
+  /// Grid resolution per dimension over [lo, hi]^m (plus simplex corners).
+  int grid = 5;
+  double lo = 0.0;
+  double hi = 1.0;
+  /// Two roots closer than this (2-norm) are considered the same.
+  double dedupe_radius = 1e-6;
+  NewtonOptions newton;
+};
+
+/// All distinct equilibria found by multi-start Newton. Points are returned
+/// in deterministic (lexicographically sorted) order.
+[[nodiscard]] std::vector<Vec> find_equilibria(
+    const ode::EquationSystem& sys,
+    const EquilibriumSearchOptions& opts = {});
+
+}  // namespace deproto::num

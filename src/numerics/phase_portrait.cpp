@@ -1,0 +1,79 @@
+#include "numerics/phase_portrait.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace deproto::num {
+
+PhasePortrait compute_phase_portrait(const ode::EquationSystem& sys,
+                                     const std::vector<Vec>& initial_points,
+                                     const PhasePortraitOptions& opts) {
+  PhasePortrait portrait;
+  const OdeFunction f = ode_function(sys);
+  for (const Vec& start : initial_points) {
+    Trajectory traj;
+    traj.initial = start;
+    Vec x = start;
+    double next_sample = 0.0;
+    const Observer observe = [&](const Vec& state, double t) {
+      if (t + 1e-12 >= next_sample) {
+        traj.times.push_back(t);
+        traj.points.push_back(state);
+        next_sample += opts.observe_dt;
+      }
+    };
+    AdaptiveOptions in = opts.integrate;
+    in.dt_max = std::min(in.dt_max, opts.observe_dt);
+    integrate_adaptive(f, x, 0.0, opts.t_end, in, observe);
+    portrait.trajectories.push_back(std::move(traj));
+  }
+  return portrait;
+}
+
+std::string render_ascii(const PhasePortrait& portrait,
+                         std::pair<std::size_t, std::size_t> dims,
+                         double scale, int width, int height) {
+  static constexpr char kMarkers[] = "ox*+#@%&";
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  std::size_t idx = 0;
+  for (const Trajectory& traj : portrait.trajectories) {
+    const char mark = kMarkers[idx++ % (sizeof(kMarkers) - 1)];
+    for (const Vec& p : traj.points) {
+      if (dims.first >= p.size() || dims.second >= p.size()) continue;
+      const double px = p[dims.first] / scale;
+      const double py = p[dims.second] / scale;
+      if (px < 0 || px > 1 || py < 0 || py > 1) continue;
+      const int col = std::min(width - 1, static_cast<int>(px * (width - 1)));
+      const int row =
+          std::min(height - 1, static_cast<int>((1.0 - py) * (height - 1)));
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          mark;
+    }
+  }
+  std::string out;
+  for (const std::string& row : grid) {
+    out += '|';
+    out += row;
+    out += "|\n";
+  }
+  return out;
+}
+
+void write_gnuplot(const PhasePortrait& portrait, std::ostream& out,
+                   std::pair<std::size_t, std::size_t> dims, double scale) {
+  for (const Trajectory& traj : portrait.trajectories) {
+    out << "# initial:";
+    for (double v : traj.initial) out << ' ' << v * scale;
+    out << '\n';
+    for (const Vec& p : traj.points) {
+      if (dims.first >= p.size() || dims.second >= p.size()) continue;
+      out << p[dims.first] * scale << ' ' << p[dims.second] * scale << '\n';
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace deproto::num

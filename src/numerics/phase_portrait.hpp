@@ -1,0 +1,51 @@
+#pragma once
+
+// Phase portraits (Figures 2 and 4): integrate a bundle of trajectories from
+// a set of initial points and render them, either as gnuplot-ready data or
+// as a coarse ASCII plot for terminal output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "numerics/integrator.hpp"
+#include "ode/equation_system.hpp"
+
+namespace deproto::num {
+
+struct Trajectory {
+  Vec initial;
+  std::vector<double> times;
+  std::vector<Vec> points;
+};
+
+struct PhasePortrait {
+  std::vector<Trajectory> trajectories;
+};
+
+struct PhasePortraitOptions {
+  double t_end = 50.0;
+  double observe_dt = 0.05;  // sampling interval for stored points
+  AdaptiveOptions integrate;
+};
+
+/// Integrate `sys` from each initial point and record sampled states.
+[[nodiscard]] PhasePortrait compute_phase_portrait(
+    const ode::EquationSystem& sys, const std::vector<Vec>& initial_points,
+    const PhasePortraitOptions& opts = {});
+
+/// Project onto (dims.first, dims.second) and render as an ASCII grid of
+/// `width` x `height` characters covering [0, scale] on both axes. Each
+/// trajectory uses its own marker character (cycled from a fixed set).
+[[nodiscard]] std::string render_ascii(const PhasePortrait& portrait,
+                                       std::pair<std::size_t, std::size_t> dims,
+                                       double scale, int width = 70,
+                                       int height = 30);
+
+/// Write "x y" rows per trajectory, blank-line separated (gnuplot format),
+/// scaled by `scale` (use N to reproduce the paper's axes in process counts).
+void write_gnuplot(const PhasePortrait& portrait, std::ostream& out,
+                   std::pair<std::size_t, std::size_t> dims,
+                   double scale = 1.0);
+
+}  // namespace deproto::num

@@ -1,0 +1,112 @@
+#include "numerics/stability.hpp"
+
+#include <cmath>
+
+#include "numerics/eigen.hpp"
+
+namespace deproto::num {
+
+std::string to_string(EquilibriumType t) {
+  switch (t) {
+    case EquilibriumType::StableNode: return "stable node";
+    case EquilibriumType::StableSpiral: return "stable spiral";
+    case EquilibriumType::StableDegenerate: return "stable degenerate node";
+    case EquilibriumType::UnstableNode: return "unstable node";
+    case EquilibriumType::UnstableSpiral: return "unstable spiral";
+    case EquilibriumType::UnstableDegenerate:
+      return "unstable degenerate node";
+    case EquilibriumType::Saddle: return "saddle point";
+    case EquilibriumType::Center: return "center";
+    case EquilibriumType::NonIsolated: return "non-isolated equilibrium";
+  }
+  return "?";
+}
+
+StabilityReport classify_matrix(const Matrix& a) {
+  StabilityReport report;
+  report.eigenvalues = eigenvalues(a);
+  if (a.square() && a.rows() == 2) {
+    // Strogatz's trace/determinant chart, as used in the proof of Theorem 3.
+    const double tau = a.trace();
+    const double delta = a.determinant();
+    const double disc = tau * tau - 4.0 * delta;
+    report.trace = tau;
+    report.determinant = delta;
+    report.discriminant = disc;
+    constexpr double kZero = 1e-12;
+    if (std::abs(delta) < kZero) {
+      report.type = EquilibriumType::NonIsolated;
+      report.stable = false;
+      return report;
+    }
+    if (delta < 0) {
+      report.type = EquilibriumType::Saddle;
+      report.stable = false;
+      return report;
+    }
+    // delta > 0.
+    if (std::abs(tau) < kZero) {
+      report.type = EquilibriumType::Center;
+      report.stable = false;  // marginally stable, not asymptotically
+      return report;
+    }
+    const bool is_stable = tau < 0;
+    report.stable = is_stable;
+    if (disc > kZero) {
+      report.type = is_stable ? EquilibriumType::StableNode
+                              : EquilibriumType::UnstableNode;
+    } else if (disc < -kZero) {
+      report.type = is_stable ? EquilibriumType::StableSpiral
+                              : EquilibriumType::UnstableSpiral;
+    } else {
+      report.type = is_stable ? EquilibriumType::StableDegenerate
+                              : EquilibriumType::UnstableDegenerate;
+    }
+    return report;
+  }
+
+  // General dimension: look at eigenvalue real parts.
+  report.trace = a.trace();
+  report.determinant = a.determinant();
+  constexpr double kZero = 1e-9;
+  int positive = 0, negative = 0, zero = 0;
+  bool any_complex = false;
+  for (const auto& l : report.eigenvalues) {
+    if (l.real() > kZero) {
+      ++positive;
+    } else if (l.real() < -kZero) {
+      ++negative;
+    } else {
+      ++zero;
+    }
+    if (std::abs(l.imag()) > kZero) any_complex = true;
+  }
+  if (zero > 0) {
+    report.type = EquilibriumType::NonIsolated;
+    report.stable = false;
+  } else if (positive > 0 && negative > 0) {
+    report.type = EquilibriumType::Saddle;
+    report.stable = false;
+  } else if (positive == 0) {
+    report.type = any_complex ? EquilibriumType::StableSpiral
+                              : EquilibriumType::StableNode;
+    report.stable = true;
+  } else {
+    report.type = any_complex ? EquilibriumType::UnstableSpiral
+                              : EquilibriumType::UnstableNode;
+    report.stable = false;
+  }
+  return report;
+}
+
+StabilityReport classify_equilibrium(const ode::EquationSystem& sys,
+                                     const Vec& point) {
+  return classify_matrix(jacobian_at(sys, point));
+}
+
+StabilityReport classify_on_simplex(const ode::EquationSystem& sys,
+                                    const Vec& point) {
+  return classify_matrix(reduced_jacobian_at(sys, point));
+}
+
+}  // namespace deproto::num

@@ -1,0 +1,53 @@
+#pragma once
+
+// Equilibrium classification in the style the paper borrows from Strogatz:
+// for planar systems the trace/determinant test (Theorem 3's argument), for
+// higher dimensions the spectral abscissa. Complete systems are classified
+// on the invariant simplex via the reduced Jacobian.
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "numerics/jacobian.hpp"
+#include "numerics/matrix.hpp"
+
+namespace deproto::num {
+
+enum class EquilibriumType {
+  StableNode,
+  StableSpiral,
+  StableDegenerate,  // repeated real negative eigenvalue (LV's (0,1)/(1,0))
+  UnstableNode,
+  UnstableSpiral,
+  UnstableDegenerate,
+  Saddle,
+  Center,
+  NonIsolated,  // zero eigenvalue: a line/plane of equilibria
+};
+
+[[nodiscard]] std::string to_string(EquilibriumType t);
+
+struct StabilityReport {
+  EquilibriumType type = EquilibriumType::NonIsolated;
+  bool stable = false;          // asymptotically stable
+  double trace = 0.0;           // tau (planar analysis)
+  double determinant = 0.0;     // Delta
+  double discriminant = 0.0;    // tau^2 - 4 Delta
+  std::vector<std::complex<double>> eigenvalues;
+};
+
+/// Classify a linear system x-dot = A x at the origin.
+[[nodiscard]] StabilityReport classify_matrix(const Matrix& a);
+
+/// Classify an equilibrium of `sys` via the Jacobian at `point`.
+[[nodiscard]] StabilityReport classify_equilibrium(
+    const ode::EquationSystem& sys, const Vec& point);
+
+/// Classify on the invariant simplex of a complete system (reduced
+/// Jacobian): this is the physically meaningful notion for the protocol
+/// systems, whose full Jacobians always carry one neutral direction.
+[[nodiscard]] StabilityReport classify_on_simplex(
+    const ode::EquationSystem& sys, const Vec& point);
+
+}  // namespace deproto::num

@@ -1,0 +1,80 @@
+#pragma once
+
+// Small dense vector helpers used across the numerics layer. A state vector
+// is just std::vector<double>; these free functions keep call sites terse.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace deproto::num {
+
+using Vec = std::vector<double>;
+
+inline void check_same_size(std::span<const double> a,
+                            std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector size mismatch");
+  }
+}
+
+[[nodiscard]] inline Vec add(std::span<const double> a,
+                             std::span<const double> b) {
+  check_same_size(a, b);
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+[[nodiscard]] inline Vec sub(std::span<const double> a,
+                             std::span<const double> b) {
+  check_same_size(a, b);
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+[[nodiscard]] inline Vec scale(std::span<const double> a, double k) {
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = k * a[i];
+  return out;
+}
+
+/// y += k * x
+inline void axpy(double k, std::span<const double> x, std::span<double> y) {
+  check_same_size(x, y);
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += k * x[i];
+}
+
+[[nodiscard]] inline double dot(std::span<const double> a,
+                                std::span<const double> b) {
+  check_same_size(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+[[nodiscard]] inline double norm2(std::span<const double> a) {
+  return std::sqrt(dot(a, a));
+}
+
+[[nodiscard]] inline double norm_inf(std::span<const double> a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+[[nodiscard]] inline double distance(std::span<const double> a,
+                                     std::span<const double> b) {
+  check_same_size(a, b);
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace deproto::num

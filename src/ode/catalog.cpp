@@ -1,0 +1,104 @@
+#include "ode/catalog.hpp"
+
+namespace deproto::ode::catalog {
+
+EquationSystem epidemic() {
+  EquationSystem sys({"x", "y"});
+  sys.add_term("x", -1.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +1.0, {{"x", 1}, {"y", 1}});
+  return sys;
+}
+
+EquationSystem epidemic_raw(double N) {
+  EquationSystem sys({"x", "y"});
+  sys.add_term("x", -1.0 / N, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +1.0 / N, {{"x", 1}, {"y", 1}});
+  return sys;
+}
+
+EquationSystem endemic(double beta, double gamma, double alpha) {
+  EquationSystem sys({"x", "y", "z"});
+  sys.add_term("x", -beta, {{"x", 1}, {"y", 1}});
+  sys.add_term("x", +alpha, {{"z", 1}});
+  sys.add_term("y", +beta, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", -gamma, {{"y", 1}});
+  sys.add_term("z", +gamma, {{"y", 1}});
+  sys.add_term("z", -alpha, {{"z", 1}});
+  return sys;
+}
+
+EquationSystem lv_original() {
+  EquationSystem sys({"x", "y"});
+  sys.add_term("x", +3.0, {{"x", 1}});
+  sys.add_term("x", -3.0, {{"x", 2}});
+  sys.add_term("x", -6.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +3.0, {{"y", 1}});
+  sys.add_term("y", -3.0, {{"y", 2}});
+  sys.add_term("y", -6.0, {{"x", 1}, {"y", 1}});
+  return sys;
+}
+
+EquationSystem lv_partitionable() {
+  EquationSystem sys({"x", "y", "z"});
+  sys.add_term("x", +3.0, {{"x", 1}, {"z", 1}});
+  sys.add_term("x", -3.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +3.0, {{"y", 1}, {"z", 1}});
+  sys.add_term("y", -3.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("z", -3.0, {{"x", 1}, {"z", 1}});
+  sys.add_term("z", -3.0, {{"y", 1}, {"z", 1}});
+  // Deliberately two distinct +3xy terms: each pairs with one of the -3xy
+  // terms above (the partition witness needs them separate).
+  sys.add_term("z", +3.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("z", +3.0, {{"x", 1}, {"y", 1}});
+  return sys;
+}
+
+EquationSystem endemic_linearized(double sigma, double alpha, double gamma) {
+  EquationSystem sys({"t", "u"});
+  sys.add_term("t", -(sigma + alpha), {{"t", 1}});
+  sys.add_term("t", -sigma * (gamma + alpha), {{"u", 1}});
+  sys.add_term("u", +1.0, {{"t", 1}});
+  return sys;
+}
+
+HigherOrderEquation second_order_example() {
+  HigherOrderEquation eq;
+  eq.order = 2;
+  eq.base_name = "x";
+  // g(x, x') = x - x'; derivative-order variables: id 0 = x, id 1 = x'.
+  eq.rhs.push_back(Term(+1.0, {1U, 0U}));
+  eq.rhs.push_back(Term(-1.0, {0U, 1U}));
+  return eq;
+}
+
+EquationSystem sir(double beta, double gamma) {
+  EquationSystem sys({"x", "y", "z"});
+  sys.add_term("x", -beta, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +beta, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", -gamma, {{"y", 1}});
+  sys.add_term("z", +gamma, {{"y", 1}});
+  return sys;
+}
+
+EquationSystem logistic(double r) {
+  EquationSystem sys({"x"});
+  sys.add_term("x", +r, {{"x", 1}});
+  sys.add_term("x", -r, {{"x", 2}});
+  return sys;
+}
+
+EquationSystem invitation(double c) {
+  EquationSystem sys({"x", "y"});
+  sys.add_term("x", -c, {{"y", 1}});
+  sys.add_term("y", +c, {{"y", 1}});
+  return sys;
+}
+
+EquationSystem constant_flow(double c) {
+  EquationSystem sys({"x", "y"});
+  sys.add_term("x", -c, {});
+  sys.add_term("y", +c, {});
+  return sys;
+}
+
+}  // namespace deproto::ode::catalog

@@ -1,0 +1,66 @@
+#pragma once
+
+// Named equation systems from the paper (plus a few classics used in tests).
+// All functions return freshly-built systems in *fraction* notation
+// (variables are fractions of processes, Sum = 1) unless stated otherwise.
+
+#include "ode/equation_system.hpp"
+#include "ode/rewriting.hpp"
+
+namespace deproto::ode::catalog {
+
+/// Eq. (0): the pull-epidemic system  x-dot = -xy, y-dot = +xy
+/// (x susceptible, y infected; fractions).
+[[nodiscard]] EquationSystem epidemic();
+
+/// The raw epidemic system in *numbers* notation before normalization:
+/// x-dot = -xy/N, y-dot = +xy/N (Section 7, "Normalizing" example).
+[[nodiscard]] EquationSystem epidemic_raw(double N);
+
+/// Eq. (1): the endemic (SIRS-style) system of Case Study I:
+///   x-dot = -beta*x*y + alpha*z
+///   y-dot = +beta*x*y - gamma*y
+///   z-dot = +gamma*y  - alpha*z
+/// x receptive/susceptible, y stash/infected, z averse/immune.
+[[nodiscard]] EquationSystem endemic(double beta, double gamma, double alpha);
+
+/// Eq. (6): the raw Lotka-Volterra competition system (x, y only):
+///   x-dot = 3x(1 - x - 2y),  y-dot = 3y(1 - y - 2x).
+[[nodiscard]] EquationSystem lv_original();
+
+/// Eq. (7): the rewritten, completely partitionable LV system over x, y, z:
+///   x-dot = +3xz - 3xy
+///   y-dot = +3yz - 3xy
+///   z-dot = -3xz - 3yz + 3xy + 3xy     (two distinct +3xy terms)
+[[nodiscard]] EquationSystem lv_partitionable();
+
+/// Eq. (4): the linearized endemic perturbation system  T-dot = A T  with
+///   A = [ -(sigma+alpha)   -sigma*(gamma+alpha) ]
+///       [       1                    0          ]
+/// over variables (t, u).
+[[nodiscard]] EquationSystem endemic_linearized(double sigma, double alpha,
+                                                double gamma);
+
+/// Section 7's higher-order example  x-ddot + x-dot = x, as a
+/// HigherOrderEquation ready for reduce_order().
+[[nodiscard]] HigherOrderEquation second_order_example();
+
+/// Classic SIR: x-dot = -beta*x*y, y-dot = beta*x*y - gamma*y,
+/// z-dot = gamma*y. Complete and completely partitionable.
+[[nodiscard]] EquationSystem sir(double beta, double gamma);
+
+/// Logistic growth x-dot = r*x*(1-x) = r*x - r*x^2 over the single
+/// variable x (not complete; used to exercise rewriting).
+[[nodiscard]] EquationSystem logistic(double r);
+
+/// Two-state "invitation" system with a non-restricted negative term:
+///   x-dot = -c*y, y-dot = +c*y.
+/// Polynomial + completely partitionable, but the -c*y term in f_x has
+/// i_x = 0, so mapping needs Tokenizing (Section 6).
+[[nodiscard]] EquationSystem invitation(double c);
+
+/// Constant-flow system  x-dot = -c, y-dot = +c : polynomial + completely
+/// partitionable with bare-constant terms; exercises expand_constants().
+[[nodiscard]] EquationSystem constant_flow(double c);
+
+}  // namespace deproto::ode::catalog

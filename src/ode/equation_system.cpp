@@ -1,0 +1,150 @@
+#include "ode/equation_system.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace deproto::ode {
+
+EquationSystem::EquationSystem(std::vector<std::string> variable_names)
+    : names_(std::move(variable_names)) {
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names_) {
+    if (n.empty()) {
+      throw std::invalid_argument("EquationSystem: empty variable name");
+    }
+    if (!seen.insert(n).second) {
+      throw std::invalid_argument("EquationSystem: duplicate variable " + n);
+    }
+  }
+  rhs_.resize(names_.size());
+}
+
+const std::string& EquationSystem::name(std::size_t var) const {
+  if (var >= names_.size()) {
+    throw std::out_of_range("EquationSystem::name: bad variable id");
+  }
+  return names_[var];
+}
+
+std::optional<std::size_t> EquationSystem::index_of(
+    const std::string& n) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == n) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t EquationSystem::require(const std::string& n) const {
+  if (auto idx = index_of(n)) return *idx;
+  throw std::invalid_argument("EquationSystem: unknown variable " + n);
+}
+
+std::size_t EquationSystem::add_variable(const std::string& n) {
+  if (index_of(n)) {
+    throw std::invalid_argument("EquationSystem: duplicate variable " + n);
+  }
+  if (n.empty()) {
+    throw std::invalid_argument("EquationSystem: empty variable name");
+  }
+  names_.push_back(n);
+  rhs_.emplace_back();
+  return names_.size() - 1;
+}
+
+void EquationSystem::add_term(std::size_t var, Term term) {
+  if (var >= rhs_.size()) {
+    throw std::out_of_range("EquationSystem::add_term: bad variable id");
+  }
+  for (std::size_t v = num_vars(); v < term.exponents().size(); ++v) {
+    if (term.exponents()[v] != 0) {
+      throw std::invalid_argument(
+          "EquationSystem::add_term: term references unknown variable id " +
+          std::to_string(v));
+    }
+  }
+  rhs_[var].push_back(std::move(term));
+}
+
+void EquationSystem::add_term(const std::string& var, double coefficient,
+                              std::initializer_list<Power> powers) {
+  std::vector<unsigned> exps(num_vars(), 0U);
+  for (const Power& p : powers) exps[require(p.var)] += p.exp;
+  add_term(require(var), Term(coefficient, std::move(exps)));
+}
+
+const Polynomial& EquationSystem::rhs(std::size_t var) const {
+  if (var >= rhs_.size()) {
+    throw std::out_of_range("EquationSystem::rhs: bad variable id");
+  }
+  return rhs_[var];
+}
+
+const Polynomial& EquationSystem::rhs(const std::string& var) const {
+  return rhs_[require(var)];
+}
+
+void EquationSystem::evaluate(std::span<const double> x,
+                              std::span<double> dxdt) const {
+  if (x.size() < num_vars() || dxdt.size() < num_vars()) {
+    throw std::invalid_argument("EquationSystem::evaluate: size mismatch");
+  }
+  for (std::size_t v = 0; v < num_vars(); ++v) {
+    dxdt[v] = ode::evaluate(rhs_[v], x);
+  }
+}
+
+std::size_t EquationSystem::total_terms() const noexcept {
+  std::size_t n = 0;
+  for (const auto& p : rhs_) n += p.size();
+  return n;
+}
+
+std::vector<std::size_t> EquationSystem::lexicographic_order() const {
+  std::vector<std::size_t> order(num_vars());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return names_[a] < names_[b];
+  });
+  return order;
+}
+
+EquationSystem EquationSystem::simplified(double tol) const {
+  EquationSystem out(names_);
+  for (std::size_t v = 0; v < num_vars(); ++v) {
+    for (Term& t : ode::simplified(rhs_[v], tol)) {
+      out.add_term(v, std::move(t));
+    }
+  }
+  return out;
+}
+
+EquationSystem EquationSystem::scaled(double k) const {
+  EquationSystem out(names_);
+  for (std::size_t v = 0; v < num_vars(); ++v) {
+    for (const Term& t : rhs_[v]) out.add_term(v, t.scaled(k));
+  }
+  return out;
+}
+
+std::string EquationSystem::to_string() const {
+  std::ostringstream out;
+  for (std::size_t v = 0; v < num_vars(); ++v) {
+    out << 'd' << names_[v] << "/dt = "
+        << ode::to_string(rhs_[v], std::span<const std::string>(names_))
+        << '\n';
+  }
+  return out.str();
+}
+
+bool equivalent(const EquationSystem& a, const EquationSystem& b, double tol) {
+  if (a.names() != b.names()) return false;
+  for (std::size_t v = 0; v < a.num_vars(); ++v) {
+    if (!equivalent(a.rhs(v), b.rhs(v), tol)) return false;
+  }
+  return true;
+}
+
+}  // namespace deproto::ode

@@ -1,0 +1,95 @@
+#pragma once
+
+// EquationSystem: a system of first-order, degree-1 autonomous ODEs
+//     X-dot = f(X),   f polynomial,
+// exactly the class of source systems the PODC'04 framework translates.
+// Variables are interned by name; their ids index both the state vector used
+// by the integrators and the exponent vectors of terms.
+
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ode/polynomial.hpp"
+
+namespace deproto::ode {
+
+/// (variable name, exponent) pair used by the name-based term builder.
+struct Power {
+  std::string var;
+  unsigned exp = 1;
+};
+
+class EquationSystem {
+ public:
+  /// Create a system over the given variables, all right-hand sides zero.
+  /// Names must be unique and non-empty.
+  explicit EquationSystem(std::vector<std::string> variable_names);
+
+  [[nodiscard]] std::size_t num_vars() const noexcept { return names_.size(); }
+
+  [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+    return names_;
+  }
+
+  [[nodiscard]] const std::string& name(std::size_t var) const;
+
+  /// Id of the named variable, or nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> index_of(const std::string& n) const;
+
+  /// Id of the named variable; throws when absent.
+  [[nodiscard]] std::size_t require(const std::string& n) const;
+
+  /// Append a fresh variable (rhs zero); returns its id.
+  std::size_t add_variable(const std::string& n);
+
+  /// Append `term` to the rhs of d(var)/dt.
+  void add_term(std::size_t var, Term term);
+
+  /// Name-based convenience: add coefficient * prod powers to d(var)/dt.
+  void add_term(const std::string& var, double coefficient,
+                std::initializer_list<Power> powers);
+
+  [[nodiscard]] const Polynomial& rhs(std::size_t var) const;
+  [[nodiscard]] const Polynomial& rhs(const std::string& var) const;
+
+  /// All right-hand sides, indexed by variable id.
+  [[nodiscard]] const std::vector<Polynomial>& equations() const noexcept {
+    return rhs_;
+  }
+
+  /// Evaluate f(x) into dxdt (both sized num_vars()).
+  void evaluate(std::span<const double> x, std::span<double> dxdt) const;
+
+  /// Total number of terms across all equations.
+  [[nodiscard]] std::size_t total_terms() const noexcept;
+
+  /// Variable ids sorted lexicographically by name. The One-Time-Sampling
+  /// rule matches sampled processes against variables in this order.
+  [[nodiscard]] std::vector<std::size_t> lexicographic_order() const;
+
+  /// Copy with every rhs put in algebraic normal form (like terms merged,
+  /// near-zero terms dropped).
+  [[nodiscard]] EquationSystem simplified(double tol = 1e-12) const;
+
+  /// Copy with every rhs scaled by k (models running the protocol clock at a
+  /// different rate; synthesize() maps the source system to p * f).
+  [[nodiscard]] EquationSystem scaled(double k) const;
+
+  /// Human-readable rendering, one "dx/dt = ..." line per variable.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Polynomial> rhs_;
+};
+
+/// True when the two systems have identical variables (same names in the
+/// same order) and algebraically equivalent right-hand sides.
+[[nodiscard]] bool equivalent(const EquationSystem& a, const EquationSystem& b,
+                              double tol = 1e-9);
+
+}  // namespace deproto::ode

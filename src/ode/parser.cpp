@@ -1,0 +1,247 @@
+#include "ode/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace deproto::ode {
+
+namespace {
+
+/// Minimal cursor over one line of input.
+class Cursor {
+ public:
+  Cursor(const std::string& text, std::size_t line)
+      : text_(text), line_(line) {}
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool done() {
+    skip_space();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skip_space();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c, const char* what) {
+    if (!consume(c)) {
+      fail(std::string("expected '") + c + "' (" + what + ")");
+    }
+  }
+
+  /// Identifier: [A-Za-z_][A-Za-z0-9_]*.
+  [[nodiscard]] std::optional<std::string> identifier() {
+    skip_space();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const auto first = static_cast<unsigned char>(text_[pos_]);
+    if (!std::isalpha(first) && first != '_') return std::nullopt;
+    std::size_t end = pos_;
+    while (end < text_.size()) {
+      const auto c = static_cast<unsigned char>(text_[end]);
+      if (!std::isalnum(c) && c != '_') break;
+      ++end;
+    }
+    std::string name = text_.substr(pos_, end - pos_);
+    pos_ = end;
+    return name;
+  }
+
+  /// Unsigned decimal/scientific number.
+  [[nodiscard]] std::optional<double> number() {
+    skip_space();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char* begin = text_.c_str() + pos_;
+    if (!std::isdigit(static_cast<unsigned char>(*begin)) &&
+        *begin != '.') {
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) return std::nullopt;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  [[nodiscard]] std::optional<unsigned> integer() {
+    skip_space();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[end]))) {
+      ++end;
+    }
+    if (end == pos_) return std::nullopt;
+    const unsigned value = static_cast<unsigned>(
+        std::strtoul(text_.substr(pos_, end - pos_).c_str(), nullptr, 10));
+    pos_ = end;
+    return value;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(line_, message + " near '" +
+                                text_.substr(std::min(pos_, text_.size())) +
+                                "'");
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t line_;
+  std::size_t pos_ = 0;
+};
+
+/// One signed term: [sign] [coeff ['*']] var[^exp] ['*' var[^exp]]...
+Term parse_term(Cursor& cursor, const EquationSystem& sys, double sign) {
+  double coeff = sign;
+  bool saw_anything = false;
+
+  if (auto value = cursor.number()) {
+    coeff *= *value;
+    saw_anything = true;
+    // optional '*' between coefficient and first variable
+    cursor.consume('*');
+  }
+
+  std::vector<unsigned> exps(sys.num_vars(), 0U);
+  while (true) {
+    auto name = cursor.identifier();
+    if (!name) break;
+    saw_anything = true;
+    const auto var = sys.index_of(*name);
+    if (!var) cursor.fail("unknown variable '" + *name + "'");
+    unsigned exp = 1;
+    if (cursor.consume('^')) {
+      auto e = cursor.integer();
+      if (!e) cursor.fail("expected integer exponent");
+      exp = *e;
+    }
+    exps[*var] += exp;
+    if (!cursor.consume('*')) break;
+  }
+
+  if (!saw_anything) cursor.fail("expected a term");
+  return Term(coeff, std::move(exps));
+}
+
+Polynomial parse_rhs(Cursor& cursor, const EquationSystem& sys) {
+  Polynomial poly;
+  // Leading sign is optional; default '+'.
+  double sign = 1.0;
+  if (cursor.consume('-')) {
+    sign = -1.0;
+  } else {
+    cursor.consume('+');
+  }
+  poly.push_back(parse_term(cursor, sys, sign));
+  while (!cursor.done()) {
+    if (cursor.consume('+')) {
+      sign = 1.0;
+    } else if (cursor.consume('-')) {
+      sign = -1.0;
+    } else {
+      cursor.fail("expected '+' or '-' between terms");
+    }
+    poly.push_back(parse_term(cursor, sys, sign));
+  }
+  return poly;
+}
+
+/// Left-hand sides: "x'" or "dx/dt".
+std::optional<std::string> parse_lhs(Cursor& cursor) {
+  auto name = cursor.identifier();
+  if (!name) return std::nullopt;
+  if (cursor.consume('\'')) return name;
+  // dX/dt form: the identifier must start with 'd'.
+  if (name->size() > 1 && (*name)[0] == 'd' && cursor.consume('/')) {
+    auto dt = cursor.identifier();
+    if (dt && *dt == "dt") return name->substr(1);
+  }
+  return std::nullopt;
+}
+
+std::string strip_comment(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  return hash == std::string::npos ? line : line.substr(0, hash);
+}
+
+bool blank(const std::string& line) {
+  for (char c : line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+EquationSystem parse_system(const std::string& text) {
+  // Pass 1: collect variable names from left-hand sides, in order.
+  std::vector<std::string> names;
+  {
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      const std::string line = strip_comment(raw);
+      if (blank(line)) continue;
+      Cursor cursor(line, line_no);
+      auto lhs = parse_lhs(cursor);
+      if (!lhs) cursor.fail("expected \"x' =\" or \"dx/dt =\"");
+      for (const std::string& existing : names) {
+        if (existing == *lhs) {
+          throw ParseError(line_no, "duplicate equation for " + *lhs);
+        }
+      }
+      names.push_back(*lhs);
+    }
+  }
+  if (names.empty()) {
+    throw ParseError(0, "no equations found");
+  }
+
+  EquationSystem sys(names);
+
+  // Pass 2: parse the right-hand sides.
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = strip_comment(raw);
+    if (blank(line)) continue;
+    Cursor cursor(line, line_no);
+    const auto lhs = parse_lhs(cursor);
+    cursor.expect('=', "after the left-hand side");
+    for (Term& term : parse_rhs(cursor, sys)) {
+      sys.add_term(sys.require(*lhs), std::move(term));
+    }
+  }
+  return sys;
+}
+
+Polynomial parse_polynomial(const std::string& text,
+                            const EquationSystem& sys) {
+  Cursor cursor(text, 1);
+  Polynomial poly = parse_rhs(cursor, sys);
+  if (!cursor.done()) cursor.fail("trailing input");
+  return poly;
+}
+
+}  // namespace deproto::ode

@@ -1,0 +1,80 @@
+#include "ode/polynomial.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace deproto::ode {
+
+double evaluate(const Polynomial& p, std::span<const double> x) {
+  double v = 0.0;
+  for (const Term& t : p) v += t.evaluate(x);
+  return v;
+}
+
+Polynomial simplified(const Polynomial& p, double tol) {
+  Polynomial out;
+  for (const Term& t : p) {
+    bool merged = false;
+    for (Term& u : out) {
+      if (u.same_monomial(t)) {
+        u = Term(u.coefficient() + t.coefficient(), u.exponents());
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(t);
+  }
+  Polynomial pruned;
+  for (const Term& t : out) {
+    if (std::abs(t.coefficient()) > tol) pruned.push_back(t);
+  }
+  return pruned;
+}
+
+Polynomial sum(const Polynomial& p, const Polynomial& q) {
+  Polynomial out = p;
+  out.insert(out.end(), q.begin(), q.end());
+  return out;
+}
+
+Polynomial negated(const Polynomial& p) {
+  Polynomial out;
+  out.reserve(p.size());
+  for (const Term& t : p) out.push_back(t.negated());
+  return out;
+}
+
+Polynomial scaled(const Polynomial& p, double k) {
+  Polynomial out;
+  out.reserve(p.size());
+  for (const Term& t : p) out.push_back(t.scaled(k));
+  return out;
+}
+
+Polynomial derivative(const Polynomial& p, std::size_t var) {
+  Polynomial out;
+  for (const Term& t : p) {
+    Term d = t.derivative(var);
+    if (d.coefficient() != 0.0) out.push_back(d);
+  }
+  return out;
+}
+
+bool equivalent(const Polynomial& p, const Polynomial& q, double tol) {
+  return simplified(sum(p, negated(q)), tol).empty();
+}
+
+std::string to_string(const Polynomial& p,
+                      std::span<const std::string> names) {
+  if (p.empty()) return "0";
+  std::ostringstream out;
+  bool first = true;
+  for (const Term& t : p) {
+    if (!first) out << ' ';
+    out << t.to_string(names);
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace deproto::ode

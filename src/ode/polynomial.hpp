@@ -1,0 +1,45 @@
+#pragma once
+
+// A polynomial is a flat list of signed monomial terms. The framework keeps
+// the term list *un-merged* on purpose: the mapping rules of Sections 3 and 6
+// operate on individual terms (e.g. the LV system deliberately carries two
+// separate +3xy terms in z-dot so that each pairs with a distinct negative
+// term). `simplified` merges like terms when algebraic normal form is wanted.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ode/term.hpp"
+
+namespace deproto::ode {
+
+using Polynomial = std::vector<Term>;
+
+/// Evaluate the polynomial at `x`.
+[[nodiscard]] double evaluate(const Polynomial& p, std::span<const double> x);
+
+/// Merge like terms (same monomial) and drop terms with |c| <= tol.
+[[nodiscard]] Polynomial simplified(const Polynomial& p, double tol = 1e-12);
+
+/// p + q, without merging.
+[[nodiscard]] Polynomial sum(const Polynomial& p, const Polynomial& q);
+
+/// -p.
+[[nodiscard]] Polynomial negated(const Polynomial& p);
+
+/// k * p.
+[[nodiscard]] Polynomial scaled(const Polynomial& p, double k);
+
+/// Partial derivative term-by-term (zero terms dropped).
+[[nodiscard]] Polynomial derivative(const Polynomial& p, std::size_t var);
+
+/// True when simplified(p - q) is empty at tolerance `tol`.
+[[nodiscard]] bool equivalent(const Polynomial& p, const Polynomial& q,
+                              double tol = 1e-9);
+
+/// Render as e.g. "+1*x*y -0.5*z" given variable names.
+[[nodiscard]] std::string to_string(const Polynomial& p,
+                                    std::span<const std::string> names);
+
+}  // namespace deproto::ode

@@ -1,0 +1,151 @@
+#include "ode/rewriting.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deproto::ode {
+
+EquationSystem complete(const EquationSystem& sys,
+                        const std::string& slack_name) {
+  if (sys.index_of(slack_name)) {
+    throw std::invalid_argument("complete: variable '" + slack_name +
+                                "' already exists");
+  }
+  std::vector<std::string> names = sys.names();
+  names.push_back(slack_name);
+  EquationSystem out(std::move(names));
+  for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+    for (const Term& t : sys.rhs(v)) {
+      out.add_term(v, t);
+      out.add_term(sys.num_vars(), t.negated());  // z-dot = -Sum f_x
+    }
+  }
+  return out;
+}
+
+EquationSystem normalize(const EquationSystem& sys, double N) {
+  if (!(N > 0) || !std::isfinite(N)) {
+    throw std::invalid_argument("normalize: N must be positive and finite");
+  }
+  EquationSystem out(sys.names());
+  for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+    for (const Term& t : sys.rhs(v)) {
+      const int d = static_cast<int>(t.total_degree());
+      out.add_term(v, t.scaled(std::pow(N, d - 1)));
+    }
+  }
+  return out;
+}
+
+EquationSystem expand_constants(const EquationSystem& sys) {
+  EquationSystem out(sys.names());
+  for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+    for (const Term& t : sys.rhs(v)) {
+      if (!t.is_constant()) {
+        out.add_term(v, t);
+        continue;
+      }
+      // +/-c  ->  +/-c * (v_0 + v_1 + ... + v_{m-1})
+      for (std::size_t w = 0; w < sys.num_vars(); ++w) {
+        std::vector<unsigned> exps(sys.num_vars(), 0U);
+        exps[w] = 1;
+        out.add_term(v, Term(t.coefficient(), std::move(exps)));
+      }
+    }
+  }
+  return out;
+}
+
+EquationSystem reduce_order(const HigherOrderEquation& eq, bool add_slack,
+                            const std::string& slack_name) {
+  if (eq.order < 1) {
+    throw std::invalid_argument("reduce_order: order must be >= 1");
+  }
+  for (const Term& t : eq.rhs) {
+    for (std::size_t v = eq.order; v < t.exponents().size(); ++v) {
+      if (t.exponents()[v] != 0) {
+        throw std::invalid_argument(
+            "reduce_order: rhs references derivative of order >= k");
+      }
+    }
+  }
+
+  // Variables: x, x_1, ..., x_{k-1}; ids coincide with derivative order.
+  std::vector<std::string> names;
+  names.push_back(eq.base_name);
+  for (unsigned j = 1; j < eq.order; ++j) {
+    names.push_back(eq.base_name + "_" + std::to_string(j));
+  }
+  EquationSystem out(std::move(names));
+
+  for (unsigned j = 0; j + 1 < eq.order; ++j) {
+    std::vector<unsigned> exps(eq.order, 0U);
+    exps[j + 1] = 1;
+    out.add_term(j, Term(1.0, std::move(exps)));  // d(x_j)/dt = x_{j+1}
+  }
+  for (const Term& t : eq.rhs) {
+    out.add_term(eq.order - 1, t);  // d(x_{k-1})/dt = g(...)
+  }
+
+  return add_slack ? complete(out, slack_name) : out;
+}
+
+namespace {
+
+/// p * q over `n` variables (plain distributive product).
+Polynomial poly_multiply(const Polynomial& p, const Polynomial& q,
+                         std::size_t n) {
+  Polynomial out;
+  for (const Term& a : p) {
+    for (const Term& b : q) {
+      std::vector<unsigned> exps(n, 0U);
+      for (std::size_t v = 0; v < n; ++v) {
+        exps[v] = a.exponent(v) + b.exponent(v);
+      }
+      out.push_back(Term(a.coefficient() * b.coefficient(), std::move(exps)));
+    }
+  }
+  return simplified(out);
+}
+
+}  // namespace
+
+EquationSystem eliminate_last(const EquationSystem& sys, double total) {
+  const std::size_t m = sys.num_vars();
+  if (m < 2) {
+    throw std::invalid_argument("eliminate_last: need >= 2 variables");
+  }
+  const std::size_t last = m - 1;
+  const std::size_t n = m - 1;  // variables of the reduced system
+
+  // replacement = total - Sum_{i<m-1} x_i, as a polynomial over n vars.
+  Polynomial replacement;
+  replacement.push_back(Term(total, std::vector<unsigned>(n, 0U)));
+  for (std::size_t v = 0; v < n; ++v) {
+    std::vector<unsigned> exps(n, 0U);
+    exps[v] = 1;
+    replacement.push_back(Term(-1.0, std::move(exps)));
+  }
+
+  std::vector<std::string> names(sys.names().begin(),
+                                 sys.names().end() - 1);
+  EquationSystem out(std::move(names));
+  for (std::size_t eq = 0; eq < n; ++eq) {
+    Polynomial acc;
+    for (const Term& t : sys.rhs(eq)) {
+      // Strip the last variable's exponent, then multiply the remainder by
+      // replacement^e.
+      std::vector<unsigned> exps(n, 0U);
+      for (std::size_t v = 0; v < n; ++v) exps[v] = t.exponent(v);
+      Polynomial part{Term(t.coefficient(), std::move(exps))};
+      for (unsigned k = 0; k < t.exponent(last); ++k) {
+        part = poly_multiply(part, replacement, n);
+      }
+      acc = sum(acc, part);
+    }
+    for (Term& t : simplified(acc)) out.add_term(eq, std::move(t));
+  }
+  return out;
+}
+
+}  // namespace deproto::ode

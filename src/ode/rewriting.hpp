@@ -1,0 +1,59 @@
+#pragma once
+
+// Section 7 of the paper: rewriting techniques that bring an arbitrary
+// equation system into mappable form (complete + polynomial / restricted
+// polynomial), plus the constant-expansion step used by Tokenizing
+// (Section 6).
+
+#include <string>
+
+#include "ode/equation_system.hpp"
+
+namespace deproto::ode {
+
+/// Rewrite into an equivalent *complete* system by adding a slack variable
+/// z = 1 - Sum_x x with z-dot = -Sum_x f_x(X). (Section 7, "Rewriting an
+/// equation into a Complete form"; this is exactly the LV eq.(6) -> eq.(7)
+/// step once the z-dot terms are expanded against the pairing.)
+/// Throws if `slack_name` already names a variable.
+[[nodiscard]] EquationSystem complete(const EquationSystem& sys,
+                                      const std::string& slack_name = "z");
+
+/// Normalize a complete system whose variables sum to N instead of 1:
+/// substitute x = N * x'. A term c * prod y^e of total degree d becomes
+/// c * N^{d-1} * prod y'^e. (Section 7, "Normalizing"; the epidemic system
+/// (0) is the N-normalization of x-dot = -xy/N.)
+[[nodiscard]] EquationSystem normalize(const EquationSystem& sys, double N);
+
+/// Replace every bare-constant term +/-c by +/-c * (Sum_v v). Valid for
+/// complete systems with Sum v = 1; turns constants into degree-1 terms so
+/// Tokenizing can pick an executor variable. (Section 6.)
+[[nodiscard]] EquationSystem expand_constants(const EquationSystem& sys);
+
+/// A single higher-order ODE  x^(k) = g(x, x^(1), ..., x^(k-1)),  g
+/// polynomial over variables indexed 0..k-1 (variable j = j-th derivative).
+struct HigherOrderEquation {
+  unsigned order = 1;       // k >= 1
+  Polynomial rhs;           // g, exponents indexed by derivative order
+  std::string base_name = "x";
+};
+
+/// Section 7, "Mapping Differential equations of higher Orders": rewrite as
+/// a first-order system with variables x, x_1, ..., x_{k-1}:
+///     x-dot = x_1; x_1-dot = x_2; ...; x_{k-1}-dot = g(...).
+/// When `add_slack` is set, a slack variable closes the system into complete
+/// form (the paper's example: x-ddot + x-dot = x becomes
+/// x-dot = u; u-dot = x - u; z-dot = -x).
+[[nodiscard]] EquationSystem reduce_order(const HigherOrderEquation& eq,
+                                          bool add_slack = true,
+                                          const std::string& slack_name = "z");
+
+/// The inverse of complete(): eliminate the *last* variable of a complete
+/// system using the conservation law  x_last = total - Sum_{i<m} x_i,
+/// returning the (m-1)-variable system restricted to the invariant simplex.
+/// Substituted powers are expanded multinomially, so the result is again
+/// polynomial (e.g. lv_partitionable -> lv_original with total = 1).
+[[nodiscard]] EquationSystem eliminate_last(const EquationSystem& sys,
+                                            double total = 1.0);
+
+}  // namespace deproto::ode

@@ -1,0 +1,93 @@
+#include "ode/taxonomy.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace deproto::ode {
+
+bool is_complete(const EquationSystem& sys, double tol) {
+  Polynomial total;
+  for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+    for (const Term& t : sys.rhs(v)) total.push_back(t);
+  }
+  return simplified(total, tol).empty();
+}
+
+PartitionResult partition_terms(const EquationSystem& sys, double tol) {
+  // Flatten all terms, then greedily match each negative term with an unused
+  // positive term carrying the same monomial and opposite coefficient.
+  struct Entry {
+    TermRef ref;
+    const Term* term;
+    bool used = false;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t e = 0; e < sys.num_vars(); ++e) {
+    const Polynomial& p = sys.rhs(e);
+    for (std::size_t t = 0; t < p.size(); ++t) {
+      entries.push_back(Entry{TermRef{e, t}, &p[t]});
+    }
+  }
+
+  PartitionResult result;
+  for (Entry& neg : entries) {
+    if (neg.used || neg.term->coefficient() >= 0) continue;
+    for (Entry& pos : entries) {
+      if (pos.used || &pos == &neg) continue;
+      if (pos.term->coefficient() <= 0) continue;
+      if (!pos.term->same_monomial(*neg.term)) continue;
+      if (std::abs(pos.term->coefficient() + neg.term->coefficient()) > tol) {
+        continue;
+      }
+      neg.used = pos.used = true;
+      result.pairs.push_back(PartitionPair{neg.ref, pos.ref});
+      break;
+    }
+  }
+  for (const Entry& e : entries) {
+    if (!e.used) result.unpaired.push_back(e.ref);
+  }
+  return result;
+}
+
+bool is_completely_partitionable(const EquationSystem& sys, double tol) {
+  if (!is_complete(sys, tol)) return false;
+  return partition_terms(sys, tol).unpaired.empty();
+}
+
+bool is_restricted_polynomial(const EquationSystem& sys) {
+  for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+    for (const Term& t : sys.rhs(v)) {
+      if (t.coefficient() < 0 && t.exponent(v) < 1) return false;
+    }
+  }
+  return true;
+}
+
+TaxonomyReport classify(const EquationSystem& sys, double tol) {
+  TaxonomyReport report;
+  report.polynomial = true;
+  report.complete = is_complete(sys, tol);
+  report.restricted_polynomial = is_restricted_polynomial(sys);
+
+  std::ostringstream detail;
+  if (!report.complete) {
+    detail << "not complete: right-hand sides do not sum to zero; ";
+  }
+  PartitionResult partition = partition_terms(sys, tol);
+  if (report.complete && partition.unpaired.empty()) {
+    report.completely_partitionable = true;
+    report.partition = std::move(partition.pairs);
+  } else if (!partition.unpaired.empty()) {
+    detail << partition.unpaired.size()
+           << " term(s) cannot be paired as {+T, -T}; ";
+  }
+  if (!report.restricted_polynomial) {
+    detail << "not restricted polynomial: some negative term in f_x has "
+              "i_x = 0; ";
+  }
+  report.detail = detail.str();
+  return report;
+}
+
+}  // namespace deproto::ode

@@ -1,0 +1,74 @@
+#pragma once
+
+// Section 2 of the paper: the taxonomy of differential equation systems.
+//
+//   complete                 -- sum of all right-hand sides is identically 0
+//   completely partitionable -- complete, and all terms pair up as {+T, -T}
+//   polynomial               -- every rhs is a sum of +/- c * prod y^i terms
+//                               (guaranteed by our representation)
+//   restricted polynomial    -- polynomial, and every negative term in f_x
+//                               has i_x >= 1
+//
+// `classify` also produces the partition witness (the explicit {+T, -T}
+// pairing), which synthesize() consumes to decide which state gains the
+// process that a Flipping/Sampling action moves.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ode/equation_system.hpp"
+
+namespace deproto::ode {
+
+/// Location of one term inside a system: equations()[equation][term].
+struct TermRef {
+  std::size_t equation = 0;
+  std::size_t term = 0;
+
+  friend bool operator==(const TermRef&, const TermRef&) = default;
+};
+
+/// A {+T, -T} pair witnessing complete partitionability. `negative` is the
+/// term with c < 0 and `positive` the matching term with coefficient +c.
+struct PartitionPair {
+  TermRef negative;
+  TermRef positive;
+};
+
+struct TaxonomyReport {
+  bool polynomial = true;  // by construction of EquationSystem
+  bool complete = false;
+  bool completely_partitionable = false;
+  bool restricted_polynomial = false;
+  /// Valid iff completely_partitionable.
+  std::vector<PartitionPair> partition;
+  /// Human-readable explanation of any failed property.
+  std::string detail;
+};
+
+/// Does Sum_x f_x(X) == 0 symbolically (like terms across equations cancel)?
+[[nodiscard]] bool is_complete(const EquationSystem& sys, double tol = 1e-9);
+
+/// Is the system complete with all terms pairable into {+T, -T} pairs?
+[[nodiscard]] bool is_completely_partitionable(const EquationSystem& sys,
+                                               double tol = 1e-9);
+
+/// Does every negative term -c * prod y^i in f_x satisfy i_x >= 1?
+[[nodiscard]] bool is_restricted_polynomial(const EquationSystem& sys);
+
+/// Full classification with the partition witness.
+[[nodiscard]] TaxonomyReport classify(const EquationSystem& sys,
+                                      double tol = 1e-9);
+
+/// Greedy maximum pairing of {+T, -T} terms. Returns the pairing and the
+/// list of unpaired term references. A pairing with no leftovers is exactly
+/// the completely-partitionable witness.
+struct PartitionResult {
+  std::vector<PartitionPair> pairs;
+  std::vector<TermRef> unpaired;
+};
+[[nodiscard]] PartitionResult partition_terms(const EquationSystem& sys,
+                                              double tol = 1e-9);
+
+}  // namespace deproto::ode

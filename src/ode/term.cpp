@@ -1,0 +1,105 @@
+#include "ode/term.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace deproto::ode {
+
+Term::Term(double coefficient, std::vector<unsigned> exponents)
+    : coeff_(coefficient), exps_(std::move(exponents)) {
+  if (!std::isfinite(coeff_)) {
+    throw std::invalid_argument("Term: coefficient must be finite");
+  }
+}
+
+unsigned Term::exponent(std::size_t var) const noexcept {
+  return var < exps_.size() ? exps_[var] : 0U;
+}
+
+unsigned Term::total_degree() const noexcept {
+  unsigned d = 0;
+  for (unsigned e : exps_) d += e;
+  return d;
+}
+
+bool Term::is_constant() const noexcept { return total_degree() == 0; }
+
+std::size_t Term::distinct_variables() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(exps_.begin(), exps_.end(), [](unsigned e) { return e > 0; }));
+}
+
+bool Term::same_monomial(const Term& other) const noexcept {
+  const std::size_t n = std::max(exps_.size(), other.exps_.size());
+  for (std::size_t v = 0; v < n; ++v) {
+    if (exponent(v) != other.exponent(v)) return false;
+  }
+  return true;
+}
+
+double Term::evaluate(std::span<const double> x) const {
+  double value = coeff_;
+  for (std::size_t v = 0; v < exps_.size(); ++v) {
+    const unsigned e = exps_[v];
+    if (e == 0) continue;
+    if (v >= x.size()) {
+      throw std::out_of_range("Term::evaluate: point has too few coordinates");
+    }
+    double p = x[v];
+    // Small integer exponents dominate in this domain; repeated multiply is
+    // both faster and exactly reproducible, unlike std::pow.
+    double acc = 1.0;
+    for (unsigned k = 0; k < e; ++k) acc *= p;
+    value *= acc;
+  }
+  return value;
+}
+
+Term Term::negated() const { return Term(-coeff_, exps_); }
+
+Term Term::scaled(double k) const { return Term(coeff_ * k, exps_); }
+
+Term Term::with_extra_exponent(std::size_t var, unsigned delta) const {
+  std::vector<unsigned> e = exps_;
+  if (var >= e.size()) e.resize(var + 1, 0U);
+  e[var] += delta;
+  return Term(coeff_, std::move(e));
+}
+
+Term Term::derivative(std::size_t var) const {
+  const unsigned e = exponent(var);
+  if (e == 0) return Term(0.0, {});
+  std::vector<unsigned> d = exps_;
+  d[var] -= 1;
+  return Term(coeff_ * static_cast<double>(e), std::move(d));
+}
+
+void Term::resize(std::size_t n) {
+  if (exps_.size() < n) exps_.resize(n, 0U);
+}
+
+std::string Term::to_string(std::span<const std::string> names) const {
+  std::ostringstream out;
+  if (coeff_ >= 0) out << '+';
+  out << coeff_;
+  for (std::size_t v = 0; v < exps_.size(); ++v) {
+    if (exps_[v] == 0) continue;
+    out << '*' << (v < names.size() ? names[v] : ("v" + std::to_string(v)));
+    if (exps_[v] > 1) out << '^' << exps_[v];
+  }
+  return out.str();
+}
+
+Term make_term(double coefficient,
+               std::initializer_list<std::pair<std::size_t, unsigned>> powers) {
+  std::size_t max_var = 0;
+  for (const auto& [var, exp] : powers) max_var = std::max(max_var, var + 1);
+  std::vector<unsigned> exps(max_var, 0U);
+  for (const auto& [var, exp] : powers) exps[var] += exp;
+  return Term(coefficient, std::move(exps));
+}
+
+}  // namespace deproto::ode

@@ -1,0 +1,89 @@
+#pragma once
+
+// Polynomial terms of the form  +/- c * prod_{y in X} y^{i_y}  -- the basic
+// syntactic unit of the equation systems handled by the PODC'04 framework.
+// Exponents are stored densely, indexed by variable id; variable ids are
+// owned by the enclosing EquationSystem.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace deproto::ode {
+
+/// One signed monomial term: coefficient() * prod_v v^exponent(v).
+/// The sign of the term lives in the coefficient.
+class Term {
+ public:
+  Term() = default;
+
+  /// Construct from a coefficient and a dense exponent vector.
+  /// Trailing zero exponents are permitted and ignored by comparisons.
+  Term(double coefficient, std::vector<unsigned> exponents);
+
+  [[nodiscard]] double coefficient() const noexcept { return coeff_; }
+
+  /// Dense exponent vector; may be shorter than the system's variable count.
+  [[nodiscard]] const std::vector<unsigned>& exponents() const noexcept {
+    return exps_;
+  }
+
+  /// Exponent of variable `var`; 0 when `var` is beyond the stored vector.
+  [[nodiscard]] unsigned exponent(std::size_t var) const noexcept;
+
+  /// Sum of all exponents; the paper writes |T| for the total number of
+  /// variable occurrences in a term (used by the failure factor and the
+  /// message-complexity bound).
+  [[nodiscard]] unsigned total_degree() const noexcept;
+
+  /// Alias for total_degree(): |T| in the paper's notation.
+  [[nodiscard]] unsigned variable_occurrences() const noexcept {
+    return total_degree();
+  }
+
+  /// True when every exponent is zero (the term is a bare constant +/- c).
+  [[nodiscard]] bool is_constant() const noexcept;
+
+  /// Number of distinct variables with a non-zero exponent.
+  [[nodiscard]] std::size_t distinct_variables() const noexcept;
+
+  /// True when both terms share the same monomial (exponents equal modulo
+  /// trailing zeros), regardless of coefficient.
+  [[nodiscard]] bool same_monomial(const Term& other) const noexcept;
+
+  /// Evaluate c * prod x_v^{e_v} at the point `x` (x.size() may exceed the
+  /// stored exponent vector).
+  [[nodiscard]] double evaluate(std::span<const double> x) const;
+
+  /// Term with the opposite sign.
+  [[nodiscard]] Term negated() const;
+
+  /// Term with the coefficient multiplied by `k`.
+  [[nodiscard]] Term scaled(double k) const;
+
+  /// Term with variable `var`'s exponent incremented by `delta`.
+  [[nodiscard]] Term with_extra_exponent(std::size_t var, unsigned delta) const;
+
+  /// Partial derivative with respect to variable `var`:
+  /// d/dv (c v^e ...) = (c*e) v^{e-1} ...; the zero term when e == 0.
+  [[nodiscard]] Term derivative(std::size_t var) const;
+
+  /// Grow the exponent vector with zeros up to `n` entries.
+  void resize(std::size_t n);
+
+  /// Render as e.g. "-0.5*x^2*y" given variable names.
+  [[nodiscard]] std::string to_string(
+      std::span<const std::string> names) const;
+
+ private:
+  double coeff_ = 0.0;
+  std::vector<unsigned> exps_;
+};
+
+/// Convenience factory: coefficient plus (variable id, exponent) pairs.
+[[nodiscard]] Term make_term(
+    double coefficient,
+    std::initializer_list<std::pair<std::size_t, unsigned>> powers);
+
+}  // namespace deproto::ode

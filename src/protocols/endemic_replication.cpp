@@ -1,0 +1,84 @@
+#include "protocols/endemic_replication.hpp"
+
+#include <stdexcept>
+
+namespace deproto::proto {
+
+EndemicReplication::EndemicReplication(EndemicParams params)
+    : params_(params) {
+  if (params_.b == 0) {
+    throw std::invalid_argument("EndemicReplication: b must be positive");
+  }
+  if (!(params_.gamma > 0.0 && params_.gamma <= 1.0) ||
+      !(params_.alpha > 0.0 && params_.alpha <= 1.0)) {
+    throw std::invalid_argument(
+        "EndemicReplication: alpha, gamma must lie in (0, 1]");
+  }
+}
+
+void EndemicReplication::execute_period(sim::Group& group, sim::Rng& rng,
+                                        sim::MetricsCollector& /*metrics*/) {
+  transfers_last_ = 0;
+  if (stash_periods_.size() != group.size()) {
+    stash_periods_.assign(group.size(), 0);
+  }
+
+  // Fairness accounting: every current stasher logs one stored period.
+  for (sim::ProcessId pid : group.members(kStash)) {
+    ++stash_periods_[pid];
+  }
+
+  // (i) gamma*y: stashers flip a gamma-coin; heads -> averse (delete the
+  // replica). Aggregated: the number of heads among m independent coins is
+  // Binomial(m, gamma), and the flippers are a uniform random subset.
+  const std::size_t deletions =
+      rng.binomial(group.count(kStash), params_.gamma);
+  for (std::size_t k = 0; k < deletions; ++k) {
+    group.transition(group.random_member(kStash, rng), kAverse);
+  }
+
+  // (ii) alpha*z: averse flip an alpha-coin; heads -> receptive.
+  const std::size_t thaws = rng.binomial(group.count(kAverse), params_.alpha);
+  for (std::size_t k = 0; k < thaws; ++k) {
+    group.transition(group.random_member(kAverse, rng), kReceptive);
+  }
+
+  // (iii) beta*x*y pull: every receptive process contacts b uniformly
+  // random targets (from the maximal membership: contacts to crashed hosts
+  // are fruitless); if any target is an alive stasher, the process fetches
+  // the file and turns stash.
+  scratch_ = group.members(kReceptive);  // snapshot: transitions mutate it
+  for (sim::ProcessId pid : scratch_) {
+    if (!group.alive(pid) || group.state_of(pid) != kReceptive) continue;
+    bool found = false;
+    for (unsigned k = 0; !found && k < params_.b; ++k) {
+      const sim::ProcessId target = group.random_target(pid, rng);
+      found = group.alive(target) && group.state_of(target) == kStash;
+    }
+    if (found) {
+      group.transition(pid, kStash);
+      ++transfers_last_;
+    }
+  }
+
+  // (iv) beta*x*y push: every stasher contacts b random targets; receptive
+  // targets take a copy and turn stash. With (iii), the contact rate is
+  // N(1 - (1 - b/N)^2) ~= 2b, so beta = 2b.
+  if (params_.push_enabled) {
+    scratch_ = group.members(kStash);
+    for (sim::ProcessId pid : scratch_) {
+      if (!group.alive(pid) || group.state_of(pid) != kStash) continue;
+      for (unsigned k = 0; k < params_.b; ++k) {
+        const sim::ProcessId target = group.random_target(pid, rng);
+        if (group.alive(target) && group.state_of(target) == kReceptive) {
+          group.transition(target, kStash);
+          ++transfers_last_;
+        }
+      }
+    }
+  }
+
+  transfers_total_ += transfers_last_;
+}
+
+}  // namespace deproto::proto

@@ -1,0 +1,69 @@
+#pragma once
+
+// Case Study I (Section 4.1): the endemic protocol for probabilistic
+// responsibility migration / migratory replication, as depicted in Figure 1
+// (including the fourth push action with b = beta/2). This is the
+// hand-optimized variant the paper's experiments ran; the pure synthesized
+// machine is available via core::synthesize on ode::catalog::endemic.
+//
+// States: receptive (0) -- would store the file if asked;
+//         stash     (1) -- currently stores a replica (responsible);
+//         averse    (2) -- recently deleted, refuses to store for a while.
+
+#include <cstdint>
+
+#include "sim/protocol.hpp"
+
+namespace deproto::proto {
+
+struct EndemicParams {
+  unsigned b = 2;          // contacts per period; beta = 2b with push enabled
+  double gamma = 0.1;      // stash -> averse rate (replica deletion)
+  double alpha = 0.001;    // averse -> receptive rate
+  bool push_enabled = true;  // action (iv) of Section 4.1.2
+};
+
+class EndemicReplication final : public sim::PeriodicProtocol {
+ public:
+  static constexpr std::size_t kReceptive = 0;
+  static constexpr std::size_t kStash = 1;
+  static constexpr std::size_t kAverse = 2;
+
+  explicit EndemicReplication(EndemicParams params);
+
+  [[nodiscard]] std::size_t num_states() const override { return 3; }
+  [[nodiscard]] std::size_t rejoin_state() const override {
+    return kReceptive;  // rejoining hosts are receptive, no startup transfer
+  }
+
+  void execute_period(sim::Group& group, sim::Rng& rng,
+                      sim::MetricsCollector& metrics) override;
+
+  [[nodiscard]] const EndemicParams& params() const noexcept {
+    return params_;
+  }
+
+  /// File transfers (receptive -> stash conversions) in the last period:
+  /// the paper's "file flux rate" (Figure 6).
+  [[nodiscard]] std::size_t transfers_last_period() const noexcept {
+    return transfers_last_;
+  }
+  [[nodiscard]] std::uint64_t transfers_total() const noexcept {
+    return transfers_total_;
+  }
+
+  /// Periods each host has spent in the stash state (fairness accounting).
+  [[nodiscard]] const std::vector<std::uint64_t>& stash_periods()
+      const noexcept {
+    return stash_periods_;
+  }
+
+ private:
+  EndemicParams params_;
+  std::size_t transfers_last_ = 0;
+  std::uint64_t transfers_total_ = 0;
+  std::vector<std::uint64_t> stash_periods_;
+  std::vector<sim::ProcessId> scratch_;
+};
+
+}  // namespace deproto::proto

@@ -1,0 +1,48 @@
+#include "protocols/epidemic.hpp"
+
+#include <stdexcept>
+
+#include "sim/sync_sim.hpp"
+
+namespace deproto::proto {
+
+PullEpidemic::PullEpidemic(EpidemicParams params) : params_(params) {
+  if (params_.fanout == 0) {
+    throw std::invalid_argument("PullEpidemic: fanout must be positive");
+  }
+}
+
+void PullEpidemic::execute_period(sim::Group& group, sim::Rng& rng,
+                                  sim::MetricsCollector& /*metrics*/) {
+  scratch_ = group.members(kSusceptible);
+  for (sim::ProcessId pid : scratch_) {
+    if (!group.alive(pid) || group.state_of(pid) != kSusceptible) continue;
+    for (unsigned k = 0; k < params_.fanout; ++k) {
+      const sim::ProcessId target = group.random_target(pid, rng);
+      if (group.alive(target) && group.state_of(target) == kInfected) {
+        group.transition(pid, kInfected);
+        break;
+      }
+    }
+  }
+}
+
+std::size_t epidemic_rounds_to_full_infection(std::size_t n,
+                                              std::uint64_t seed,
+                                              unsigned fanout) {
+  PullEpidemic protocol(EpidemicParams{fanout});
+  sim::SyncSimulator simulator(n, protocol, seed);
+  simulator.seed_states({n - 1, 1});  // one initial infective
+  std::size_t rounds = 0;
+  while (simulator.group().count(PullEpidemic::kInfected) <
+         simulator.group().total_alive()) {
+    simulator.run(1);
+    ++rounds;
+    if (rounds > 100 * (n + 1)) {
+      throw std::runtime_error("epidemic failed to converge");
+    }
+  }
+  return rounds;
+}
+
+}  // namespace deproto::proto

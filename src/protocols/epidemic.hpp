@@ -1,0 +1,38 @@
+#pragma once
+
+// The motivating example (Section 1): the canonical pull epidemic derived
+// from eq. (0). Susceptible processes periodically contact one random
+// process; infected contacts transmit the multicast. Infection is
+// absorbing; x(t) -> 0 in O(log N) rounds.
+
+#include "sim/protocol.hpp"
+
+namespace deproto::proto {
+
+struct EpidemicParams {
+  unsigned fanout = 1;  // contacts per period (1 = canonical pull epidemic)
+};
+
+class PullEpidemic final : public sim::PeriodicProtocol {
+ public:
+  static constexpr std::size_t kSusceptible = 0;
+  static constexpr std::size_t kInfected = 1;
+
+  explicit PullEpidemic(EpidemicParams params = {});
+
+  [[nodiscard]] std::size_t num_states() const override { return 2; }
+
+  void execute_period(sim::Group& group, sim::Rng& rng,
+                      sim::MetricsCollector& metrics) override;
+
+ private:
+  EpidemicParams params_;
+  std::vector<sim::ProcessId> scratch_;
+};
+
+/// Rounds until every alive process is infected, starting from a single
+/// infected process in a group of n (one full simulation run).
+[[nodiscard]] std::size_t epidemic_rounds_to_full_infection(
+    std::size_t n, std::uint64_t seed, unsigned fanout = 1);
+
+}  // namespace deproto::proto

@@ -1,0 +1,80 @@
+#include "protocols/lv_majority.hpp"
+
+#include <stdexcept>
+
+namespace deproto::proto {
+
+LvMajority::LvMajority(LvParams params) : params_(params) {
+  if (!(params_.p > 0.0 && 3.0 * params_.p <= 1.0)) {
+    throw std::invalid_argument("LvMajority: need 0 < 3p <= 1");
+  }
+}
+
+void LvMajority::execute_period(sim::Group& group, sim::Rng& rng,
+                                sim::MetricsCollector& /*metrics*/) {
+  const double bias = 3.0 * params_.p;
+
+  // State x: sample one target; if it is in y and the coin lands heads,
+  // move to z (term -3xy in x-dot; the paired +3xy lives in z-dot).
+  scratch_ = group.members(kX);
+  for (sim::ProcessId pid : scratch_) {
+    if (!group.alive(pid) || group.state_of(pid) != kX) continue;
+    const sim::ProcessId target = group.random_target(pid, rng);
+    if (group.alive(target) && group.state_of(target) == kY &&
+        rng.bernoulli(bias)) {
+      group.transition(pid, kZ);
+    }
+  }
+
+  // State y: sample one target; if it is in x and heads, move to z.
+  scratch_ = group.members(kY);
+  for (sim::ProcessId pid : scratch_) {
+    if (!group.alive(pid) || group.state_of(pid) != kY) continue;
+    const sim::ProcessId target = group.random_target(pid, rng);
+    if (group.alive(target) && group.state_of(target) == kX &&
+        rng.bernoulli(bias)) {
+      group.transition(pid, kZ);
+    }
+  }
+
+  // State z: two actions in order. First: sample; if target in x and heads,
+  // move to x (-3xz). Second: sample; if target in y and heads, move to y
+  // (-3yz). A process fires at most one action per period.
+  scratch_ = group.members(kZ);
+  for (sim::ProcessId pid : scratch_) {
+    if (!group.alive(pid) || group.state_of(pid) != kZ) continue;
+    const sim::ProcessId first = group.random_target(pid, rng);
+    if (group.alive(first) && group.state_of(first) == kX &&
+        rng.bernoulli(bias)) {
+      group.transition(pid, kX);
+      continue;
+    }
+    const sim::ProcessId second = group.random_target(pid, rng);
+    if (group.alive(second) && group.state_of(second) == kY &&
+        rng.bernoulli(bias)) {
+      group.transition(pid, kY);
+    }
+  }
+}
+
+LvMajority::Decision LvMajority::decision_of(const sim::Group& group,
+                                             sim::ProcessId pid) {
+  switch (group.state_of(pid)) {
+    case kX: return Decision::Zero;
+    case kY: return Decision::One;
+    default: return Decision::Undecided;
+  }
+}
+
+bool LvMajority::converged(const sim::Group& group) {
+  const std::size_t alive = group.total_alive();
+  return alive > 0 &&
+         (group.count(kX) == alive || group.count(kY) == alive);
+}
+
+int LvMajority::winner(const sim::Group& group) {
+  if (!converged(group)) return -1;
+  return group.count(kY) == group.total_alive() ? 1 : 0;
+}
+
+}  // namespace deproto::proto

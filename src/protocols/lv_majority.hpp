@@ -1,0 +1,51 @@
+#pragma once
+
+// Case Study II (Section 4.2): the LV protocol for probabilistic majority
+// selection, the Figure 3 state machine synthesized from the rewritten
+// Lotka-Volterra competition system (eq. 7). Every process proposes 0
+// (state x) or 1 (state y); the group converges w.h.p. to the initial
+// majority, with state z (undecided) as the intermediate.
+
+#include <cstdint>
+
+#include "sim/protocol.hpp"
+
+namespace deproto::proto {
+
+struct LvParams {
+  double p = 0.01;  // normalizing constant; coin bias is 3p (must be <= 1/3)
+};
+
+class LvMajority final : public sim::PeriodicProtocol {
+ public:
+  static constexpr std::size_t kX = 0;  // proposing/decided 0
+  static constexpr std::size_t kY = 1;  // proposing/decided 1
+  static constexpr std::size_t kZ = 2;  // undecided
+
+  explicit LvMajority(LvParams params);
+
+  [[nodiscard]] std::size_t num_states() const override { return 3; }
+  [[nodiscard]] std::size_t rejoin_state() const override { return kZ; }
+
+  void execute_period(sim::Group& group, sim::Rng& rng,
+                      sim::MetricsCollector& metrics) override;
+
+  [[nodiscard]] const LvParams& params() const noexcept { return params_; }
+
+  /// Running decision variable of one process: 0, 1 or undecided.
+  enum class Decision : std::uint8_t { Zero, One, Undecided };
+  [[nodiscard]] static Decision decision_of(const sim::Group& group,
+                                            sim::ProcessId pid);
+
+  /// True when every alive process holds the same decided value.
+  [[nodiscard]] static bool converged(const sim::Group& group);
+
+  /// The winning value if converged (0 or 1); -1 otherwise.
+  [[nodiscard]] static int winner(const sim::Group& group);
+
+ private:
+  LvParams params_;
+  std::vector<sim::ProcessId> scratch_;
+};
+
+}  // namespace deproto::proto

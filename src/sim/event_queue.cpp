@@ -1,0 +1,36 @@
+#include "sim/event_queue.hpp"
+
+namespace deproto::sim {
+
+void EventQueue::schedule(double t, Handler fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because the entry is popped immediately after.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+void EventQueue::run_until(double t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    step();
+  }
+  if (now_ < t_end) now_ = t_end;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace deproto::sim

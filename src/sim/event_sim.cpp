@@ -1,0 +1,255 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deproto::sim {
+
+EventSimulator::EventSimulator(std::size_t n,
+                               core::ProtocolStateMachine machine,
+                               std::uint64_t seed, EventSimOptions options)
+    : machine_(std::move(machine)),
+      options_(options),
+      queue_(),
+      rng_(seed),
+      group_(n, machine_.num_states()),
+      network_(queue_, rng_, options.network),
+      metrics_(machine_.num_states()) {
+  if (!(options_.clock_drift >= 0.0 && options_.clock_drift < 0.5)) {
+    throw std::invalid_argument("EventSimulator: bad clock drift");
+  }
+  period_of_.resize(n);
+  for (ProcessId pid = 0; pid < n; ++pid) {
+    period_of_[pid] =
+        rng_.uniform(1.0 - options_.clock_drift, 1.0 + options_.clock_drift);
+    // Arbitrary phase: the first tick falls anywhere in the first period.
+    const ProcessId copy = pid;
+    queue_.schedule(rng_.uniform01() * period_of_[pid],
+                    [this, copy] { on_tick(copy); });
+  }
+}
+
+void EventSimulator::seed_states(const std::vector<std::size_t>& counts) {
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (counts.size() > group_.num_states() || total > group_.size()) {
+    throw std::invalid_argument("seed_states: bad counts");
+  }
+  ProcessId pid = 0;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    for (std::size_t k = 0; k < counts[s]; ++k, ++pid) {
+      group_.transition(pid, s);
+    }
+  }
+}
+
+void EventSimulator::schedule_massive_failure(double t, double fraction) {
+  queue_.schedule(t, [this, fraction] {
+    const auto victims = static_cast<std::size_t>(
+        fraction * static_cast<double>(group_.total_alive()));
+    group_.crash_random_alive(victims, rng_);
+  });
+}
+
+void EventSimulator::schedule_crash(ProcessId pid, double t, double recover_t,
+                                    std::size_t recover_state) {
+  queue_.schedule(t, [this, pid] {
+    if (group_.alive(pid)) group_.crash(pid);
+  });
+  if (recover_t >= 0.0) {
+    queue_.schedule(recover_t, [this, pid, recover_state] {
+      if (!group_.alive(pid)) {
+        group_.recover(pid, recover_state);
+        arm_timer(pid);
+      }
+    });
+  }
+}
+
+void EventSimulator::arm_timer(ProcessId pid) {
+  queue_.schedule_in(period_of_[pid], [this, pid] { on_tick(pid); });
+}
+
+void EventSimulator::on_tick(ProcessId pid) {
+  if (group_.alive(pid)) {
+    const std::size_t state = group_.state_of(pid);
+    for (std::size_t idx : machine_.actions_of(state)) {
+      run_action(pid, idx);
+    }
+    arm_timer(pid);
+  }
+  // Crashed processes stop ticking; recovery re-arms the timer.
+}
+
+void EventSimulator::route_token_directory(std::size_t token_state,
+                                           std::size_t to_state) {
+  if (group_.count(token_state) == 0) return;  // dropped
+  const ProcessId receiver = group_.random_member(token_state, rng_);
+  network_.send([this, receiver, token_state, to_state] {
+    if (group_.alive(receiver) && group_.state_of(receiver) == token_state) {
+      group_.transition(receiver, to_state);
+    }
+  });
+}
+
+void EventSimulator::route_token_walk(std::size_t token_state,
+                                      std::size_t to_state,
+                                      unsigned ttl_left) {
+  if (ttl_left == 0) return;  // expired
+  const auto target = static_cast<ProcessId>(rng_.uniform_int(group_.size()));
+  network_.send([this, target, token_state, to_state, ttl_left] {
+    if (group_.alive(target) && group_.state_of(target) == token_state) {
+      group_.transition(target, to_state);
+      return;
+    }
+    route_token_walk(token_state, to_state, ttl_left - 1);
+  });
+}
+
+void EventSimulator::run_action(ProcessId pid, std::size_t action_index) {
+  const core::Action& action = machine_.actions()[action_index];
+
+  // Probe r targets; `done(states)` runs when every response (or loss
+  // surrogate) has arrived. Lost/crash responses arrive as nullopt.
+  auto probe_all =
+      [this, pid](std::size_t count,
+                  std::function<void(
+                      const std::vector<std::optional<std::size_t>>&)>
+                      done) {
+        auto collected = std::make_shared<
+            std::vector<std::optional<std::size_t>>>();
+        auto remaining = std::make_shared<std::size_t>(count);
+        collected->reserve(count);
+        if (count == 0) {
+          done({});
+          return;
+        }
+        auto finish = [collected, remaining,
+                       done](std::optional<std::size_t> state) {
+          collected->push_back(state);
+          if (--*remaining == 0) done(*collected);
+        };
+        for (std::size_t k = 0; k < count; ++k) {
+          const ProcessId target = group_.random_target(pid, rng_);
+          network_.send(
+              [this, target, finish] {
+                // The reply carries the target's state at response time;
+                // crashed targets never answer (loss surrogate below fires
+                // for them too, so model crash as a lost reply).
+                if (!group_.alive(target)) {
+                  finish(std::nullopt);
+                  return;
+                }
+                const std::size_t remote = group_.state_of(target);
+                network_.send([finish, remote] { finish(remote); },
+                              [finish] { finish(std::nullopt); });
+              },
+              [finish] { finish(std::nullopt); });
+        }
+      };
+
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, core::FlippingAction>) {
+          if (rng_.bernoulli(a.coin_bias)) {
+            group_.transition(pid, a.to_state);
+          }
+        } else if constexpr (std::is_same_v<T, core::SamplingAction>) {
+          const std::size_t count =
+              a.same_state_samples + a.target_states.size();
+          auto spec = a;
+          probe_all(count, [this, pid, spec](const auto& states) {
+            if (!group_.alive(pid) ||
+                group_.state_of(pid) != spec.from_state) {
+              return;  // moved on or crashed while waiting
+            }
+            bool match = true;
+            std::size_t at = 0;
+            for (std::size_t k = 0; match && k < spec.same_state_samples;
+                 ++k, ++at) {
+              match = states[at].has_value() &&
+                      *states[at] == spec.from_state;
+            }
+            for (std::size_t t : spec.target_states) {
+              if (!match) break;
+              match = states[at].has_value() && *states[at] == t;
+              ++at;
+            }
+            if (match && rng_.bernoulli(spec.coin_bias)) {
+              group_.transition(pid, spec.to_state);
+            }
+          });
+        } else if constexpr (std::is_same_v<T, core::TokenizingAction>) {
+          const std::size_t count =
+              a.same_state_samples + a.target_states.size();
+          auto spec = a;
+          probe_all(count, [this, spec](const auto& states) {
+            bool match = true;
+            std::size_t at = 0;
+            for (std::size_t k = 0; match && k < spec.same_state_samples;
+                 ++k, ++at) {
+              match = states[at].has_value() &&
+                      *states[at] == spec.executor_state;
+            }
+            for (std::size_t t : spec.target_states) {
+              if (!match) break;
+              match = states[at].has_value() && *states[at] == t;
+              ++at;
+            }
+            if (match && rng_.bernoulli(spec.coin_bias)) {
+              if (options_.token_random_walk) {
+                route_token_walk(spec.token_state, spec.to_state,
+                                 options_.token_ttl);
+              } else {
+                route_token_directory(spec.token_state, spec.to_state);
+              }
+            }
+          });
+        } else if constexpr (std::is_same_v<T, core::PushAction>) {
+          for (unsigned k = 0; k < a.fanout; ++k) {
+            const ProcessId target = group_.random_target(pid, rng_);
+            const auto spec = a;
+            network_.send([this, target, spec] {
+              if (group_.alive(target) &&
+                  group_.state_of(target) == spec.target_state &&
+                  rng_.bernoulli(spec.coin_bias)) {
+                group_.transition(target, spec.to_state);
+              }
+            });
+          }
+        } else if constexpr (std::is_same_v<T, core::AnyOfSamplingAction>) {
+          auto spec = a;
+          probe_all(spec.fanout, [this, pid, spec](const auto& states) {
+            if (!group_.alive(pid) ||
+                group_.state_of(pid) != spec.from_state) {
+              return;
+            }
+            bool any = false;
+            for (const auto& s : states) {
+              if (s.has_value() && *s == spec.match_state) any = true;
+            }
+            if (any && rng_.bernoulli(spec.coin_bias)) {
+              group_.transition(pid, spec.to_state);
+            }
+          });
+        }
+      },
+      action);
+}
+
+void EventSimulator::sample_metrics() {
+  metrics_.begin_period(queue_.now());
+  metrics_.end_period(group_);
+}
+
+void EventSimulator::run_until(double t_end) {
+  while (next_sample_ <= t_end) {
+    queue_.run_until(next_sample_);
+    sample_metrics();
+    next_sample_ += 1.0;
+  }
+  queue_.run_until(t_end);
+}
+
+}  // namespace deproto::sim

@@ -1,0 +1,146 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace deproto::sim {
+
+MetricsCollector::MetricsCollector(std::size_t num_states)
+    : states_(num_states) {
+  if (num_states == 0) {
+    throw std::invalid_argument("MetricsCollector: zero states");
+  }
+  current_.transitions.assign(states_ * states_, 0);
+}
+
+void MetricsCollector::enable_host_history(std::size_t state) {
+  if (state >= states_) {
+    throw std::out_of_range("MetricsCollector::enable_host_history");
+  }
+  track_hosts_ = true;
+  tracked_state_ = state;
+}
+
+void MetricsCollector::begin_period(double t) {
+  current_.time = t;
+  std::fill(current_.transitions.begin(), current_.transitions.end(), 0);
+  in_period_ = true;
+}
+
+void MetricsCollector::record_transition(std::size_t from, std::size_t to) {
+  if (from >= states_ || to >= states_) {
+    throw std::out_of_range("MetricsCollector::record_transition");
+  }
+  ++current_.transitions[from * states_ + to];
+}
+
+void MetricsCollector::end_period(const Group& group) {
+  if (!in_period_) {
+    throw std::logic_error("MetricsCollector::end_period without begin");
+  }
+  current_.alive_in_state.assign(states_, 0);
+  for (std::size_t s = 0; s < states_; ++s) {
+    current_.alive_in_state[s] = group.count(s);
+  }
+  current_.total_alive = group.total_alive();
+  samples_.push_back(current_);
+  if (track_hosts_) {
+    host_history_.push_back(group.members(tracked_state_));
+  }
+  in_period_ = false;
+}
+
+namespace {
+
+WindowSummary summarize(std::vector<double> values) {
+  WindowSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t n = values.size();
+  s.median = (n % 2 == 1) ? values[n / 2]
+                          : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(n);
+  return s;
+}
+
+}  // namespace
+
+WindowSummary MetricsCollector::summarize_state(std::size_t state,
+                                                std::size_t first,
+                                                std::size_t last) const {
+  if (state >= states_) {
+    throw std::out_of_range("MetricsCollector::summarize_state");
+  }
+  last = std::min(last, samples_.size());
+  std::vector<double> values;
+  for (std::size_t i = first; i < last; ++i) {
+    values.push_back(static_cast<double>(samples_[i].alive_in_state[state]));
+  }
+  return summarize(std::move(values));
+}
+
+WindowSummary MetricsCollector::summarize_flux(std::size_t from,
+                                               std::size_t to,
+                                               std::size_t first,
+                                               std::size_t last) const {
+  if (from >= states_ || to >= states_) {
+    throw std::out_of_range("MetricsCollector::summarize_flux");
+  }
+  last = std::min(last, samples_.size());
+  std::vector<double> values;
+  for (std::size_t i = first; i < last; ++i) {
+    values.push_back(
+        static_cast<double>(samples_[i].transitions[from * states_ + to]));
+  }
+  return summarize(std::move(values));
+}
+
+void MetricsCollector::write_population_csv(
+    std::ostream& out, const std::vector<std::string>& names) const {
+  out << "time";
+  for (std::size_t s = 0; s < states_; ++s) {
+    out << ',' << (s < names.size() ? names[s] : "s" + std::to_string(s));
+  }
+  out << ",alive\n";
+  for (const PeriodSample& sample : samples_) {
+    out << sample.time;
+    for (std::size_t s = 0; s < states_; ++s) {
+      out << ',' << sample.alive_in_state[s];
+    }
+    out << ',' << sample.total_alive << '\n';
+  }
+}
+
+void MetricsCollector::write_flux_csv(
+    std::ostream& out, const std::vector<std::string>& names) const {
+  // Determine which (from, to) pairs ever fire.
+  std::vector<std::size_t> active;
+  for (std::size_t pair = 0; pair < states_ * states_; ++pair) {
+    for (const PeriodSample& s : samples_) {
+      if (s.transitions[pair] != 0) {
+        active.push_back(pair);
+        break;
+      }
+    }
+  }
+  auto name = [&](std::size_t s) {
+    return s < names.size() ? names[s] : "s" + std::to_string(s);
+  };
+  out << "time";
+  for (std::size_t pair : active) {
+    out << ',' << name(pair / states_) << "->" << name(pair % states_);
+  }
+  out << '\n';
+  for (const PeriodSample& sample : samples_) {
+    out << sample.time;
+    for (std::size_t pair : active) out << ',' << sample.transitions[pair];
+    out << '\n';
+  }
+}
+
+}  // namespace deproto::sim

@@ -1,0 +1,31 @@
+#pragma once
+
+// The interface every periodic protocol implements, whether hand-written
+// (protocols/) or synthesized-and-interpreted (sim/runtime.hpp). The
+// synchronous simulator drives one execute_period call per protocol period.
+
+#include "sim/group.hpp"
+#include "sim/metrics.hpp"
+
+namespace deproto::sim {
+
+class PeriodicProtocol {
+ public:
+  virtual ~PeriodicProtocol() = default;
+
+  /// Number of state-machine states (== Group::num_states()).
+  [[nodiscard]] virtual std::size_t num_states() const = 0;
+
+  /// Execute one protocol period for all alive processes.
+  virtual void execute_period(Group& group, Rng& rng,
+                              MetricsCollector& metrics) = 0;
+
+  /// State given to a process that rejoins after churn/crash-recovery.
+  /// Default: state 0 (the endemic protocol's "receptive toward all files").
+  [[nodiscard]] virtual std::size_t rejoin_state() const { return 0; }
+
+  /// Hook called when a process crashes (e.g. drop stored replicas).
+  virtual void on_crash(ProcessId /*pid*/) {}
+};
+
+}  // namespace deproto::sim

@@ -1,0 +1,99 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace deproto::sim {
+
+namespace {
+
+/// splitmix64: the recommended seeder for Mersenne Twister streams.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t s = seed;
+  engine_.seed(splitmix64(s));
+}
+
+double Rng::uniform01() {
+  return std::generate_canonical<double, 53>(engine_);
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_int: n == 0");
+  return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+}
+
+std::uint64_t Rng::uniform_int_excluding(std::uint64_t n,
+                                         std::uint64_t self) {
+  if (n < 2) throw std::invalid_argument("Rng::uniform_int_excluding: n < 2");
+  // Draw from [0, n-1) and skip over `self`.
+  const std::uint64_t draw =
+      std::uniform_int_distribution<std::uint64_t>(0, n - 2)(engine_);
+  return draw >= self ? draw + 1 : draw;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  return std::binomial_distribution<std::uint64_t>(n, p)(engine_);
+}
+
+double Rng::exponential_mean(double mean) {
+  if (!(mean > 0.0)) {
+    throw std::invalid_argument("Rng::exponential_mean: mean <= 0");
+  }
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  if (k > n) {
+    throw std::invalid_argument("sample_without_replacement: k > n");
+  }
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an index vector.
+    std::vector<std::uint64_t> idx(n);
+    for (std::uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      std::swap(idx[i], idx[i + uniform_int(n - i)]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const std::uint64_t v = uniform_int(n);
+    if (chosen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Rng Rng::split(std::uint64_t stream_id) const {
+  std::uint64_t s = seed_ ^ (0xD1B54A32D192ED03ULL * (stream_id + 1));
+  return Rng(splitmix64(s));
+}
+
+}  // namespace deproto::sim

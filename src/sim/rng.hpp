@@ -1,0 +1,55 @@
+#pragma once
+
+// Seeded randomness for the simulators. The paper's implementation used the
+// Mersenne Twister; we use std::mt19937_64 with explicit seeding so every
+// experiment is reproducible, plus stream splitting so per-process RNGs are
+// decorrelated.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace deproto::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01();
+
+  /// Uniform integer in [0, n). n must be positive.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Uniform integer in [0, n) excluding `self` (n must be >= 2).
+  [[nodiscard]] std::uint64_t uniform_int_excluding(std::uint64_t n,
+                                                    std::uint64_t self);
+
+  /// Bernoulli trial with success probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Binomial(n, p) sample.
+  [[nodiscard]] std::uint64_t binomial(std::uint64_t n, double p);
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential_mean(double mean);
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  /// k distinct values from [0, n), in random order. k <= n.
+  [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+      std::uint64_t n, std::uint64_t k);
+
+  /// Deterministically derive an independent stream (for per-process RNGs).
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const;
+
+  /// Access the raw engine (for std::shuffle).
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace deproto::sim

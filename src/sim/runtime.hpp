@@ -1,0 +1,96 @@
+#pragma once
+
+// Generic interpreter: execute any synthesized ProtocolStateMachine over a
+// simulated group, one protocol period at a time. Supports all five action
+// kinds, message-loss injection, and both token routing modes of Section 6
+// (full-membership directory, or TTL-bounded random walk).
+
+#include <cstdint>
+
+#include "core/state_machine.hpp"
+#include "sim/protocol.hpp"
+
+namespace deproto::sim {
+
+struct TokenRouting {
+  enum class Mode {
+    /// The executor knows which processes are in the target state (e.g. via
+    /// a SWIM-style membership service) and hands the token straight to one
+    /// of them; the token drops only when the state is empty.
+    Directory,
+    /// The token performs a random walk with a time-to-live; it drops when
+    /// the TTL expires before meeting a process in the target state.
+    RandomWalkTtl,
+  };
+  Mode mode = Mode::Directory;
+  unsigned ttl = 8;
+};
+
+struct RuntimeOptions {
+  /// Per-connection-attempt failure probability f: every sampling probe
+  /// (and push contact) independently fails with this probability.
+  double message_loss = 0.0;
+  TokenRouting tokens;
+  /// Synchronous-update semantics: all actions read the states as of the
+  /// period start (a "Jacobi" sweep), so the expected one-period update
+  /// equals core::exact_drift exactly at any rate. The default (false)
+  /// is the live "Gauss-Seidel" semantics of a real deployment, where a
+  /// process observes the target's state at probe time; the two agree to
+  /// O(rate^2) per period.
+  bool simultaneous_updates = false;
+};
+
+struct TokenStats {
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+};
+
+class MachineExecutor final : public PeriodicProtocol {
+ public:
+  explicit MachineExecutor(core::ProtocolStateMachine machine,
+                           RuntimeOptions options = {});
+
+  [[nodiscard]] std::size_t num_states() const override {
+    return machine_.num_states();
+  }
+
+  void execute_period(Group& group, Rng& rng,
+                      MetricsCollector& metrics) override;
+
+  [[nodiscard]] const core::ProtocolStateMachine& machine() const noexcept {
+    return machine_;
+  }
+  [[nodiscard]] const TokenStats& token_stats() const noexcept {
+    return tokens_;
+  }
+
+  /// Sampling probes sent in the last period / in total.
+  [[nodiscard]] std::uint64_t probes_last_period() const noexcept {
+    return probes_last_;
+  }
+  [[nodiscard]] std::uint64_t probes_total() const noexcept {
+    return probes_total_;
+  }
+
+ private:
+  /// Probe a target: returns its state, or nullopt if the connection
+  /// attempt failed (message loss or crashed target).
+  [[nodiscard]] std::optional<std::size_t> probe(const Group& group,
+                                                 ProcessId self, Rng& rng);
+
+  void route_token(Group& group, Rng& rng, std::size_t token_state,
+                   std::size_t to_state);
+
+  core::ProtocolStateMachine machine_;
+  RuntimeOptions options_;
+  TokenStats tokens_;
+  std::uint64_t probes_last_ = 0;
+  std::uint64_t probes_total_ = 0;
+  std::vector<ProcessId> order_;  // scratch: per-period iteration order
+  // Period-start snapshot used by simultaneous_updates mode.
+  std::vector<std::uint8_t> snap_state_;
+  std::vector<std::uint8_t> snap_alive_;
+};
+
+}  // namespace deproto::sim

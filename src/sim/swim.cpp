@@ -1,0 +1,259 @@
+#include "sim/swim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace deproto::sim {
+
+SwimMembership::SwimMembership(std::size_t n, EventQueue& queue,
+                               Network& network, Rng& rng,
+                               SwimOptions options)
+    : n_(n), queue_(queue), network_(network), rng_(rng), options_(options) {
+  if (n < 2) throw std::invalid_argument("SwimMembership: need >= 2 nodes");
+  nodes_.resize(n);
+  up_.assign(n, 1);
+  for (ProcessId node = 0; node < n; ++node) {
+    nodes_[node].table.assign(n, Entry{});
+    for (ProcessId other = 0; other < n; ++other) {
+      if (other != node) nodes_[node].ping_order.push_back(other);
+    }
+    std::shuffle(nodes_[node].ping_order.begin(),
+                 nodes_[node].ping_order.end(), rng_.engine());
+    // Stagger initial periods across [0, period).
+    const ProcessId copy = node;
+    queue_.schedule(rng_.uniform01() * options_.period,
+                    [this, copy] { on_period(copy); });
+  }
+}
+
+SwimMembership::MemberState SwimMembership::view(ProcessId observer,
+                                                 ProcessId subject) const {
+  return nodes_.at(observer).table.at(subject).state;
+}
+
+std::vector<ProcessId> SwimMembership::alive_view(ProcessId observer) const {
+  std::vector<ProcessId> out;
+  const Node& node = nodes_.at(observer);
+  for (ProcessId subject = 0; subject < n_; ++subject) {
+    if (subject != observer &&
+        node.table[subject].state == MemberState::Alive) {
+      out.push_back(subject);
+    }
+  }
+  return out;
+}
+
+void SwimMembership::crash(ProcessId node) { up_.at(node) = 0; }
+
+void SwimMembership::restart(ProcessId node) {
+  if (up_.at(node)) return;
+  up_[node] = 1;
+  Node& self = nodes_[node];
+  self.incarnation += 2;  // beat any suspicion raised while down
+  self.table[node] = Entry{MemberState::Alive, self.incarnation, 0.0};
+  enqueue_update(node,
+                 Update{node, MemberState::Alive, self.incarnation});
+  arm_timer(node);
+}
+
+double SwimMembership::view_accuracy() const {
+  std::size_t correct = 0, total = 0;
+  for (ProcessId observer = 0; observer < n_; ++observer) {
+    if (!up_[observer]) continue;
+    for (ProcessId subject = 0; subject < n_; ++subject) {
+      if (subject == observer) continue;
+      ++total;
+      const bool believed_alive =
+          nodes_[observer].table[subject].state != MemberState::Dead;
+      if (believed_alive == (up_[subject] != 0)) ++correct;
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(correct) /
+                          static_cast<double>(total);
+}
+
+void SwimMembership::arm_timer(ProcessId node) {
+  const ProcessId copy = node;
+  queue_.schedule_in(options_.period, [this, copy] { on_period(copy); });
+}
+
+void SwimMembership::enqueue_update(ProcessId node, Update update) {
+  Node& self = nodes_[node];
+  // Only the newest update about a subject matters; drop superseded ones.
+  std::erase_if(self.gossip, [&](const QueuedUpdate& q) {
+    return q.update.subject == update.subject;
+  });
+  // SWIM retransmits each update O(log N) times before retiring it.
+  const auto budget = static_cast<unsigned>(
+      3.0 * std::ceil(std::log2(static_cast<double>(n_))) + 1.0);
+  self.gossip.push_back(QueuedUpdate{update, budget});
+}
+
+std::vector<SwimMembership::Update> SwimMembership::collect_gossip(
+    ProcessId from) {
+  Node& self = nodes_[from];
+  std::vector<Update> updates;
+  const std::size_t count =
+      std::min(self.gossip.size(), options_.piggyback_updates);
+  for (std::size_t k = 0; k < count; ++k) {
+    updates.push_back(self.gossip[k].update);
+    if (self.gossip[k].budget > 0) --self.gossip[k].budget;
+  }
+  // Rotate so later messages spread the rest of the queue; retire
+  // exhausted updates.
+  for (std::size_t k = 0; k < count; ++k) {
+    QueuedUpdate front = self.gossip.front();
+    self.gossip.pop_front();
+    if (front.budget > 0) self.gossip.push_back(front);
+  }
+  return updates;
+}
+
+void SwimMembership::apply_gossip(ProcessId to,
+                                  const std::vector<Update>& updates) {
+  Node& self = nodes_[to];
+  for (const Update& u : updates) {
+    if (u.subject == to) {
+      // Someone suspects (or declares dead) *this* node: refute with a
+      // higher incarnation (SWIM's Alive(i+1) message).
+      if (u.state != MemberState::Alive &&
+          u.incarnation >= self.incarnation) {
+        self.incarnation = u.incarnation + 1;
+        self.table[to] = Entry{MemberState::Alive, self.incarnation, 0.0};
+        enqueue_update(to, Update{to, MemberState::Alive,
+                                  self.incarnation});
+        ++refutations_;
+      }
+      continue;
+    }
+    Entry& entry = self.table[u.subject];
+    // Precedence (SWIM): higher incarnation wins; at equal incarnation,
+    // Dead > Suspect > Alive.
+    const bool newer = u.incarnation > entry.incarnation;
+    const bool same = u.incarnation == entry.incarnation;
+    const bool stronger =
+        static_cast<int>(u.state) > static_cast<int>(entry.state);
+    if (newer || (same && stronger)) {
+      const MemberState before = entry.state;
+      entry.state = u.state;
+      entry.incarnation = u.incarnation;
+      if (u.state == MemberState::Suspect &&
+          before != MemberState::Suspect) {
+        entry.suspect_since = queue_.now();
+      }
+      if (before != u.state) enqueue_update(to, u);
+    }
+  }
+}
+
+void SwimMembership::on_period(ProcessId node) {
+  if (!up_[node]) return;  // crashed nodes stop; restart re-arms
+  check_suspicions(node);
+
+  // Randomized round-robin target selection (SWIM's bounded-time
+  // detection): walk the shuffled order, skip members we believe dead.
+  Node& self = nodes_[node];
+  for (std::size_t attempts = 0; attempts < n_; ++attempts) {
+    if (self.ping_cursor >= self.ping_order.size()) {
+      std::shuffle(self.ping_order.begin(), self.ping_order.end(),
+                   rng_.engine());
+      self.ping_cursor = 0;
+    }
+    const ProcessId target = self.ping_order[self.ping_cursor++];
+    if (self.table[target].state == MemberState::Dead) continue;
+    probe(node, target);
+    break;
+  }
+  arm_timer(node);
+}
+
+void SwimMembership::probe(ProcessId node, ProcessId target) {
+  auto acked = std::make_shared<bool>(false);
+  const auto gossip = collect_gossip(node);
+
+  // Direct ping.
+  network_.send([this, node, target, gossip, acked] {
+    if (!up_[target]) return;  // no ack from a crashed node
+    apply_gossip(target, gossip);
+    const auto reply = collect_gossip(target);
+    network_.send([this, node, target, reply, acked] {
+      if (!up_[node]) return;
+      *acked = true;
+      apply_gossip(node, reply);
+      handle_ack(node, target);
+    });
+  });
+
+  // Direct timeout: fall back to k indirect ping-reqs.
+  queue_.schedule_in(options_.ping_timeout * options_.period,
+                     [this, node, target, acked] {
+    if (*acked || !up_[node]) return;
+    const auto proxies = alive_view(node);
+    unsigned sent = 0;
+    for (std::size_t k = 0;
+         k < proxies.size() && sent < options_.ping_req_fanout; ++k) {
+      const ProcessId proxy =
+          proxies[rng_.uniform_int(proxies.size())];
+      if (proxy == target) continue;
+      ++sent;
+      network_.send([this, node, proxy, target, acked] {
+        if (!up_[proxy]) return;
+        network_.send([this, node, proxy, target, acked] {
+          if (!up_[target]) return;
+          network_.send([this, node, proxy, target, acked] {
+            if (!up_[proxy]) return;
+            network_.send([this, node, target, acked] {
+              if (!up_[node] || *acked) return;
+              *acked = true;
+              handle_ack(node, target);
+            });
+          });
+        });
+      });
+    }
+    // Final timeout: suspect.
+    queue_.schedule_in(options_.ping_req_timeout * options_.period,
+                       [this, node, target, acked] {
+      if (*acked || !up_[node]) return;
+      suspect(node, target);
+    });
+  });
+}
+
+void SwimMembership::handle_ack(ProcessId node, ProcessId target) {
+  Entry& entry = nodes_[node].table[target];
+  if (entry.state == MemberState::Suspect) {
+    entry.state = MemberState::Alive;
+    enqueue_update(node, Update{target, MemberState::Alive,
+                                entry.incarnation});
+  }
+}
+
+void SwimMembership::suspect(ProcessId node, ProcessId target) {
+  Entry& entry = nodes_[node].table[target];
+  if (entry.state != MemberState::Alive) return;
+  entry.state = MemberState::Suspect;
+  entry.suspect_since = queue_.now();
+  enqueue_update(node, Update{target, MemberState::Suspect,
+                              entry.incarnation});
+}
+
+void SwimMembership::check_suspicions(ProcessId node) {
+  Node& self = nodes_[node];
+  const double deadline =
+      options_.suspicion_periods * options_.period;
+  for (ProcessId subject = 0; subject < n_; ++subject) {
+    Entry& entry = self.table[subject];
+    if (entry.state == MemberState::Suspect &&
+        queue_.now() - entry.suspect_since >= deadline) {
+      entry.state = MemberState::Dead;
+      if (up_[subject]) ++false_positives_;
+      enqueue_update(node, Update{subject, MemberState::Dead,
+                                  entry.incarnation});
+    }
+  }
+}
+
+}  // namespace deproto::sim

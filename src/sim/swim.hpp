@@ -1,0 +1,122 @@
+#pragma once
+
+// SWIM-style weakly-consistent membership (Das, Gupta, Motivala, DSN'02 --
+// reference [8] of the paper). Section 6's Tokenizing rule relies on "a
+// scalable membership protocol such as SWIM" for the token directory; this
+// module provides that substrate over the event-driven network: randomized
+// round-robin pinging, indirect ping-req probes, a suspicion mechanism with
+// incarnation-numbered refutation, and infection-style dissemination by
+// piggybacking updates on protocol messages.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/group.hpp"
+#include "sim/network.hpp"
+#include "sim/rng.hpp"
+
+namespace deproto::sim {
+
+struct SwimOptions {
+  double period = 1.0;          // protocol period per node (sim time)
+  double ping_timeout = 0.25;   // wait for direct ack, in periods
+  double ping_req_timeout = 0.35;  // additional wait for indirect acks
+  unsigned ping_req_fanout = 3;    // k members asked to probe indirectly
+  unsigned suspicion_periods = 3;  // suspect -> declared dead
+  std::size_t piggyback_updates = 6;  // gossip entries per message
+};
+
+class SwimMembership {
+ public:
+  enum class MemberState : std::uint8_t { Alive, Suspect, Dead };
+
+  SwimMembership(std::size_t n, EventQueue& queue, Network& network,
+                 Rng& rng, SwimOptions options = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// Ground truth: is the node process itself up?
+  [[nodiscard]] bool node_up(ProcessId node) const {
+    return up_.at(node) != 0;
+  }
+
+  /// `observer`'s current belief about `subject`.
+  [[nodiscard]] MemberState view(ProcessId observer,
+                                 ProcessId subject) const;
+
+  /// Members that `observer` currently believes alive (excluding itself).
+  [[nodiscard]] std::vector<ProcessId> alive_view(ProcessId observer) const;
+
+  /// Crash / restart the actual node. A restarting node rejoins with a
+  /// fresh incarnation and re-announces itself.
+  void crash(ProcessId node);
+  void restart(ProcessId node);
+
+  /// Fraction of (observer, subject) pairs whose belief matches ground
+  /// truth, over up observers.
+  [[nodiscard]] double view_accuracy() const;
+
+  /// Nodes ever declared dead while actually up (false positives), and
+  /// refutations that rescued a suspected-but-alive node.
+  [[nodiscard]] std::uint64_t false_positives() const noexcept {
+    return false_positives_;
+  }
+  [[nodiscard]] std::uint64_t refutations() const noexcept {
+    return refutations_;
+  }
+
+ private:
+  struct Entry {
+    MemberState state = MemberState::Alive;
+    std::uint32_t incarnation = 0;
+    double suspect_since = 0.0;
+  };
+
+  struct Update {
+    ProcessId subject = 0;
+    MemberState state = MemberState::Alive;
+    std::uint32_t incarnation = 0;
+  };
+
+  /// Queued update plus its remaining piggyback budget (SWIM retransmits
+  /// each update O(log N) times, then retires it).
+  struct QueuedUpdate {
+    Update update;
+    unsigned budget = 0;
+  };
+
+  struct Node {
+    std::vector<Entry> table;           // beliefs about every member
+    std::deque<QueuedUpdate> gossip;    // pending piggyback updates
+    std::vector<ProcessId> ping_order;  // randomized round-robin
+    std::size_t ping_cursor = 0;
+    std::uint32_t incarnation = 0;
+  };
+
+  void arm_timer(ProcessId node);
+  void on_period(ProcessId node);
+  void probe(ProcessId node, ProcessId target);
+  void handle_ack(ProcessId node, ProcessId target);
+  void suspect(ProcessId node, ProcessId target);
+  void check_suspicions(ProcessId node);
+
+  /// Deliver a message carrying gossip from `from`'s queue into `to`'s
+  /// table; returns whether `to` is up (acks happen at the caller).
+  void apply_gossip(ProcessId to, const std::vector<Update>& updates);
+  [[nodiscard]] std::vector<Update> collect_gossip(ProcessId from);
+  void enqueue_update(ProcessId node, Update update);
+
+  std::size_t n_;
+  EventQueue& queue_;
+  Network& network_;
+  Rng& rng_;
+  SwimOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint8_t> up_;
+  std::uint64_t false_positives_ = 0;
+  std::uint64_t refutations_ = 0;
+};
+
+}  // namespace deproto::sim

@@ -1,0 +1,142 @@
+#include "sim/sync_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deproto::sim {
+
+SyncSimulator::SyncSimulator(std::size_t n, PeriodicProtocol& protocol,
+                             std::uint64_t seed)
+    : group_(n, protocol.num_states()),
+      protocol_(protocol),
+      rng_(seed),
+      metrics_(protocol.num_states()) {}
+
+void SyncSimulator::schedule_massive_failure(std::size_t period,
+                                             double fraction) {
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
+    throw std::invalid_argument("schedule_massive_failure: bad fraction");
+  }
+  failures_.push_back(MassiveFailure{period, fraction});
+  std::sort(failures_.begin(), failures_.end(),
+            [](const MassiveFailure& a, const MassiveFailure& b) {
+              return a.period < b.period;
+            });
+}
+
+void SyncSimulator::attach_churn(const ChurnTrace& trace,
+                                 double periods_per_hour) {
+  if (!(periods_per_hour > 0.0)) {
+    throw std::invalid_argument("attach_churn: bad periods_per_hour");
+  }
+  churn_.clear();
+  churn_next_ = 0;
+  for (ChurnEvent e : trace.events()) {
+    e.time_hours *= periods_per_hour;  // now measured in periods
+    churn_.push_back(e);
+  }
+  std::sort(churn_.begin(), churn_.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return a.time_hours < b.time_hours;
+            });
+}
+
+void SyncSimulator::seed_states(const std::vector<std::size_t>& counts) {
+  if (counts.size() > group_.num_states()) {
+    throw std::invalid_argument("seed_states: too many states");
+  }
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  if (total > group_.size()) {
+    throw std::invalid_argument("seed_states: counts exceed group size");
+  }
+  ProcessId pid = 0;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    for (std::size_t k = 0; k < counts[s]; ++k, ++pid) {
+      if (!group_.alive(pid)) continue;
+      group_.transition(pid, s);
+    }
+  }
+}
+
+void SyncSimulator::set_crash_recovery(double crash_prob,
+                                       double mean_downtime_periods) {
+  if (!(crash_prob >= 0.0 && crash_prob <= 1.0) ||
+      mean_downtime_periods < 0.0) {
+    throw std::invalid_argument("set_crash_recovery: bad parameters");
+  }
+  crash_prob_ = crash_prob;
+  mean_downtime_ = mean_downtime_periods;
+}
+
+void SyncSimulator::apply_churn_until(double period_time) {
+  while (churn_next_ < churn_.size() &&
+         churn_[churn_next_].time_hours <= period_time) {
+    const ChurnEvent& e = churn_[churn_next_++];
+    if (e.host >= group_.size()) continue;
+    if (!e.up) {
+      if (group_.alive(e.host)) {
+        protocol_.on_crash(e.host);
+        group_.crash(e.host);
+      }
+    } else {
+      if (!group_.alive(e.host)) {
+        group_.recover(e.host, protocol_.rejoin_state());
+      }
+    }
+  }
+}
+
+void SyncSimulator::run(std::size_t periods) {
+  for (std::size_t k = 0; k < periods; ++k) {
+    const auto t = static_cast<double>(period_);
+
+    // Scheduled massive failures at the start of the period.
+    for (const MassiveFailure& failure : failures_) {
+      if (failure.period == period_) {
+        const auto victims = static_cast<std::size_t>(
+            std::llround(failure.fraction *
+                         static_cast<double>(group_.total_alive())));
+        for (ProcessId pid : group_.crash_random_alive(victims, rng_)) {
+          protocol_.on_crash(pid);
+        }
+      }
+    }
+
+    // Churn events that fall inside this period.
+    apply_churn_until(t + 1.0);
+
+    // Background crash-recovery failures.
+    if (crash_prob_ > 0.0) {
+      while (!recoveries_.empty() && recoveries_.top().first <= t) {
+        const ProcessId pid = recoveries_.top().second;
+        recoveries_.pop();
+        if (!group_.alive(pid)) {
+          group_.recover(pid, protocol_.rejoin_state());
+        }
+      }
+      const std::size_t crashes =
+          rng_.binomial(group_.total_alive(), crash_prob_);
+      for (ProcessId pid : group_.crash_random_alive(crashes, rng_)) {
+        protocol_.on_crash(pid);
+        if (mean_downtime_ > 0.0) {
+          recoveries_.emplace(t + 1.0 + rng_.exponential_mean(mean_downtime_),
+                              pid);
+        }
+      }
+    }
+
+    metrics_.begin_period(t);
+    group_.set_transition_observer(
+        [this](ProcessId, std::size_t from, std::size_t to) {
+          metrics_.record_transition(from, to);
+        });
+    protocol_.execute_period(group_, rng_, metrics_);
+    group_.set_transition_observer(nullptr);
+    metrics_.end_period(group_);
+    ++period_;
+  }
+}
+
+}  // namespace deproto::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+// Round-synchronous simulator: the execution model of the paper's own
+// experiments ("multiple instances running synchronously over a simulated
+// network, all on a single machine"). One round == one protocol period;
+// time on all plots is measured in periods. Supports scheduled massive
+// failures, crash-recovery, and churn-trace playback.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+
+#include "sim/churn.hpp"
+#include "sim/metrics.hpp"
+#include "sim/protocol.hpp"
+
+namespace deproto::sim {
+
+struct MassiveFailure {
+  std::size_t period = 0;   // applied at the start of this period
+  double fraction = 0.5;    // of currently-alive processes
+};
+
+class SyncSimulator {
+ public:
+  /// The group starts with all processes alive in protocol state 0 unless
+  /// the caller mutates `group()` before run().
+  SyncSimulator(std::size_t n, PeriodicProtocol& protocol,
+                std::uint64_t seed);
+
+  [[nodiscard]] Group& group() noexcept { return group_; }
+  [[nodiscard]] const Group& group() const noexcept { return group_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] MetricsCollector& metrics() noexcept { return metrics_; }
+  [[nodiscard]] std::size_t current_period() const noexcept {
+    return period_;
+  }
+
+  /// Crash `fraction` of the alive processes at the given period.
+  void schedule_massive_failure(std::size_t period, double fraction);
+
+  /// Play back a churn trace; `periods_per_hour` converts trace hours to
+  /// protocol periods (the paper: 6-minute periods => 10 periods/hour).
+  void attach_churn(const ChurnTrace& trace, double periods_per_hour);
+
+  /// Background crash-recovery failures: each alive process independently
+  /// crashes with probability `crash_prob` per period and recovers after an
+  /// exponential downtime with the given mean (in periods). A mean of 0
+  /// makes crashes permanent (crash-stop).
+  void set_crash_recovery(double crash_prob, double mean_downtime_periods);
+
+  /// Run `periods` more rounds. Metrics record one sample per round.
+  void run(std::size_t periods);
+
+  /// Convenience: distribute alive processes over states by counts
+  /// (counts must sum to <= N; remaining processes keep state 0).
+  void seed_states(const std::vector<std::size_t>& counts);
+
+ private:
+  void apply_churn_until(double period_time);
+
+  Group group_;
+  PeriodicProtocol& protocol_;
+  Rng rng_;
+  MetricsCollector metrics_;
+  std::size_t period_ = 0;
+  std::vector<MassiveFailure> failures_;
+  std::vector<ChurnEvent> churn_;  // in periods, sorted
+  std::size_t churn_next_ = 0;
+  double crash_prob_ = 0.0;
+  double mean_downtime_ = 0.0;
+  // Min-heap of (recovery period, pid) for crash-recovery failures.
+  std::priority_queue<std::pair<double, ProcessId>,
+                      std::vector<std::pair<double, ProcessId>>,
+                      std::greater<>>
+      recoveries_;
+};
+
+}  // namespace deproto::sim

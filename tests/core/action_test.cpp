@@ -1,0 +1,79 @@
+#include "core/action.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deproto::core {
+namespace {
+
+const std::vector<std::string> kStates{"x", "y", "z"};
+
+TEST(ActionTest, FlippingBasics) {
+  FlippingAction a;
+  a.from_state = 1;
+  a.to_state = 2;
+  a.coin_bias = 0.25;
+  const Action action = a;
+  EXPECT_EQ(executor_state(action), 1U);
+  EXPECT_EQ(messages_per_period(action), 0U);  // flipping is local
+  EXPECT_EQ(term_occurrences(action), 1U);
+  EXPECT_NE(to_string(action, kStates).find("flip"), std::string::npos);
+}
+
+TEST(ActionTest, SamplingMessageCount) {
+  // Term -c x^2 y z in f_x: i_x - 1 = 1 same-state samples plus targets
+  // {y, z} => 3 probes per period, |T| = 4.
+  SamplingAction a;
+  a.from_state = 0;
+  a.to_state = 2;
+  a.same_state_samples = 1;
+  a.target_states = {1, 2};
+  const Action action = a;
+  EXPECT_EQ(executor_state(action), 0U);
+  EXPECT_EQ(messages_per_period(action), 3U);
+  EXPECT_EQ(term_occurrences(action), 4U);
+}
+
+TEST(ActionTest, TokenizingCountsHandoffMessage) {
+  TokenizingAction a;
+  a.executor_state = 1;
+  a.token_state = 0;
+  a.to_state = 1;
+  a.same_state_samples = 0;
+  a.target_states = {};
+  const Action action = a;
+  EXPECT_EQ(executor_state(action), 1U);
+  EXPECT_EQ(messages_per_period(action), 1U);  // the token itself
+  EXPECT_NE(to_string(action, kStates).find("token"), std::string::npos);
+}
+
+TEST(ActionTest, PushAndPullFanout) {
+  PushAction push;
+  push.executor_state = 1;
+  push.target_state = 0;
+  push.to_state = 1;
+  push.fanout = 4;
+  EXPECT_EQ(messages_per_period(Action{push}), 4U);
+  EXPECT_EQ(executor_state(Action{push}), 1U);
+
+  AnyOfSamplingAction pull;
+  pull.from_state = 0;
+  pull.match_state = 1;
+  pull.to_state = 1;
+  pull.fanout = 4;
+  EXPECT_EQ(messages_per_period(Action{pull}), 4U);
+  EXPECT_EQ(executor_state(Action{pull}), 0U);
+}
+
+TEST(ActionTest, ToStringNamesStates) {
+  SamplingAction a;
+  a.from_state = 0;
+  a.to_state = 2;
+  a.target_states = {1};
+  a.coin_bias = 0.03;
+  const std::string text = to_string(Action{a}, kStates);
+  EXPECT_NE(text.find("[x]"), std::string::npos);
+  EXPECT_NE(text.find("-> z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deproto::core

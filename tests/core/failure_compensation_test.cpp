@@ -1,0 +1,64 @@
+#include "core/failure_compensation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mean_field.hpp"
+#include "core/synthesis.hpp"
+#include "ode/catalog.hpp"
+
+namespace deproto::core {
+namespace {
+
+TEST(FailureFactorTest, Values) {
+  EXPECT_DOUBLE_EQ(failure_factor(1, 0.5), 1.0);   // flipping: |T| = 1
+  EXPECT_DOUBLE_EQ(failure_factor(2, 0.5), 2.0);   // one probe
+  EXPECT_DOUBLE_EQ(failure_factor(3, 0.5), 4.0);   // two probes
+  EXPECT_DOUBLE_EQ(failure_factor(2, 0.0), 1.0);   // no loss, no factor
+  EXPECT_THROW((void)failure_factor(2, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)failure_factor(2, -0.1), std::invalid_argument);
+}
+
+TEST(FailureCompensationTest, PostHocCompensationMatchesSynthesisTime) {
+  // compensate_for_failures(synthesize(sys), f) must model the same system
+  // as synthesize(sys, {.failure_rate = f}).
+  const double f = 0.25;
+  const auto source = ode::catalog::endemic(4.0, 1.0, 0.01);
+  const ProtocolStateMachine post =
+      compensate_for_failures(synthesize(source).machine, f);
+  const ode::EquationSystem realized = mean_field(post, f);
+  // Realized dynamics must be a positive scalar multiple of the source.
+  const double p = post.normalizing_p();
+  EXPECT_TRUE(ode::equivalent(realized, source.scaled(p), 1e-9))
+      << realized.to_string();
+}
+
+TEST(FailureCompensationTest, FlippingCoinsUntouchedBeforeRenormalization) {
+  // Compensating a machine whose sampling coin has headroom must leave the
+  // flip biases unchanged.
+  const auto source = ode::catalog::endemic(4.0, 1.0, 0.01);
+  const auto machine = synthesize(source).machine;  // p = 0.25, coins <= .25
+  const ProtocolStateMachine out = compensate_for_failures(machine, 0.5);
+  // sampling coin would become 0.25*4*2 = 2.0 > 1 -> everything scales by
+  // 1/2; flips go from 0.25 -> 0.125 and 0.0025 -> 0.00125.
+  EXPECT_NEAR(out.normalizing_p(), 0.125, 1e-12);
+  for (const Action& a : out.actions()) {
+    if (const auto* flip = std::get_if<FlippingAction>(&a)) {
+      EXPECT_LT(flip->coin_bias, 0.2);
+    }
+    if (const auto* sample = std::get_if<SamplingAction>(&a)) {
+      EXPECT_NEAR(sample->coin_bias, 1.0, 1e-12);  // saturated at 1
+    }
+  }
+}
+
+TEST(FailureCompensationTest, NoOpAtZeroLoss) {
+  const auto machine = synthesize(ode::catalog::epidemic()).machine;
+  const ProtocolStateMachine out = compensate_for_failures(machine, 0.0);
+  EXPECT_DOUBLE_EQ(out.normalizing_p(), machine.normalizing_p());
+  const auto& a = std::get<SamplingAction>(out.actions()[0]);
+  const auto& b = std::get<SamplingAction>(machine.actions()[0]);
+  EXPECT_DOUBLE_EQ(a.coin_bias, b.coin_bias);
+}
+
+}  // namespace
+}  // namespace deproto::core

@@ -1,0 +1,115 @@
+#include "core/fluctuations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/synthesis.hpp"
+#include "ode/catalog.hpp"
+#include "sim/runtime.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace deproto::core {
+namespace {
+
+/// Measured stddev of a state's population over a long stationary run.
+double measured_stddev(const ProtocolStateMachine& machine,
+                       const num::Vec& equilibrium, std::size_t n,
+                       std::size_t state, std::uint64_t seed) {
+  sim::MachineExecutor executor(machine);
+  sim::SyncSimulator simulator(n, executor, seed);
+  std::vector<std::size_t> counts;
+  for (std::size_t s = 0; s + 1 < equilibrium.size(); ++s) {
+    counts.push_back(static_cast<std::size_t>(
+        equilibrium[s] * static_cast<double>(n)));
+  }
+  simulator.seed_states(counts);
+  simulator.run(500);  // settle
+  const std::size_t horizon = 6000;
+  simulator.run(horizon);
+  const auto& samples = simulator.metrics().samples();
+  double sum = 0.0, sum2 = 0.0;
+  std::size_t used = 0;
+  for (std::size_t k = 500; k < samples.size(); ++k) {
+    const double v = static_cast<double>(samples[k].alive_in_state[state]);
+    sum += v;
+    sum2 += v * v;
+    ++used;
+  }
+  const double mean = sum / static_cast<double>(used);
+  return std::sqrt(std::max(0.0, sum2 / static_cast<double>(used) -
+                                     mean * mean));
+}
+
+TEST(FluctuationsTest, DiffusionMatrixIsPsd) {
+  const auto synth = synthesize(ode::catalog::endemic(4.0, 0.4, 0.05));
+  // Equilibrium: x = gamma/beta = 0.1, y = (1-x)/(1+gamma/alpha) = 0.1.
+  const num::Vec point{0.1, 0.1, 0.8};
+  const num::Matrix b = diffusion_matrix(synth.machine, point);
+  EXPECT_EQ(b.rows(), 2U);
+  EXPECT_NEAR(b(0, 1), b(1, 0), 1e-12);
+  EXPECT_GE(b(0, 0), 0.0);
+  EXPECT_GE(b(1, 1), 0.0);
+  EXPECT_GE(b.determinant(), -1e-12);
+}
+
+TEST(FluctuationsTest, StddevScalesAsSqrtN) {
+  const auto synth = synthesize(ode::catalog::endemic(4.0, 0.4, 0.05));
+  const num::Vec point{0.1, 0.1, 0.8};
+  const auto at_n = [&](double n) {
+    return stationary_fluctuations(synth.machine, point, n)
+        .count_stddev[1];
+  };
+  // Count stddev grows as sqrt(N): quadrupling N doubles it.
+  EXPECT_NEAR(at_n(40000.0) / at_n(10000.0), 2.0, 1e-9);
+}
+
+TEST(FluctuationsTest, UnstablePointRejected) {
+  const auto synth = synthesize(ode::catalog::lv_partitionable(),
+                                {.p = 0.3});
+  // The centroid saddle is not stable: the Lyapunov solve must refuse.
+  EXPECT_THROW((void)stationary_fluctuations(
+                   synth.machine, {1.0 / 3, 1.0 / 3, 1.0 / 3}, 1000.0),
+               std::runtime_error);
+}
+
+TEST(FluctuationsTest, PredictsEndemicStashVariance) {
+  // The headline: predicted stationary stddev of the stash count matches
+  // simulation within ~25% (LNA + binomial-vs-poisson approximations).
+  const double beta = 4.0, gamma = 0.4, alpha = 0.05;
+  const auto synth = synthesize(ode::catalog::endemic(beta, gamma, alpha));
+  const double x = gamma / beta;
+  const double y = (1.0 - x) / (1.0 + gamma / alpha);
+  const num::Vec point{x, y, 1.0 - x - y};
+  const std::size_t n = 10000;
+
+  const auto report =
+      stationary_fluctuations(synth.machine, point, static_cast<double>(n));
+  const double predicted = report.count_stddev[1];
+  const double measured = measured_stddev(synth.machine, point, n, 1, 5);
+  EXPECT_GT(predicted, 0.0);
+  EXPECT_NEAR(measured / predicted, 1.0, 0.25)
+      << "predicted " << predicted << " measured " << measured;
+}
+
+TEST(FluctuationsTest, EpidemicHasNoStableInteriorPoint) {
+  // The epidemic's only interior rest points are the endpoints; at the
+  // absorbing all-infected state the fluctuation question degenerates
+  // (diffusion vanishes with x = 0).
+  const auto synth = synthesize(ode::catalog::epidemic());
+  const num::Matrix b =
+      diffusion_matrix(synth.machine, num::Vec{0.0, 1.0});
+  EXPECT_DOUBLE_EQ(b(0, 0), 0.0);
+}
+
+TEST(FluctuationsTest, ValidatesArguments) {
+  const auto synth = synthesize(ode::catalog::endemic(4.0, 0.4, 0.05));
+  EXPECT_THROW((void)stationary_fluctuations(synth.machine,
+                                             {0.1, 0.1, 0.8}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)diffusion_matrix(synth.machine, {0.1, 0.1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deproto::core

@@ -1,0 +1,175 @@
+#include "core/mean_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesis.hpp"
+#include "ode/catalog.hpp"
+#include "ode/rewriting.hpp"
+
+namespace deproto::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The mechanical content of Theorems 1 and 5: synthesize() then mean_field()
+// recovers p * (source system), for every mappable system in the catalog.
+// ---------------------------------------------------------------------------
+
+struct RoundTripCase {
+  std::string name;
+  ode::EquationSystem system;
+};
+
+class RoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(RoundTripTest, MeanFieldEqualsScaledSource) {
+  const ode::EquationSystem& source = GetParam().system;
+  const SynthesisResult result = synthesize(source);
+  EXPECT_TRUE(verifies_equivalence(result.machine, source))
+      << "derived:\n"
+      << mean_field(result.machine).to_string() << "expected p*source, p = "
+      << result.p << "\n"
+      << source.scaled(result.p).to_string();
+}
+
+TEST_P(RoundTripTest, ExactDriftMatchesMeanFieldPolynomial) {
+  const ode::EquationSystem& source = GetParam().system;
+  const SynthesisResult result = synthesize(source);
+  const ode::EquationSystem derived = mean_field(result.machine);
+  // Probe a few interior simplex points.
+  const std::size_t m = source.num_vars();
+  for (double skew : {0.0, 0.2, 0.4}) {
+    num::Vec x(m, (1.0 - skew) / static_cast<double>(m));
+    x[0] += skew;
+    const num::Vec drift = exact_drift(result.machine, x);
+    std::vector<double> expected(m);
+    derived.evaluate(x, expected);
+    for (std::size_t v = 0; v < m; ++v) {
+      EXPECT_NEAR(drift[v], expected[v], 1e-12) << "var " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, RoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"epidemic", ode::catalog::epidemic()},
+        RoundTripCase{"endemic_fig2", ode::catalog::endemic(4.0, 1.0, 0.01)},
+        RoundTripCase{"endemic_fig7",
+                      ode::catalog::endemic(2.0, 0.1, 0.001)},
+        RoundTripCase{"lv", ode::catalog::lv_partitionable()},
+        RoundTripCase{"sir", ode::catalog::sir(0.5, 0.1)},
+        RoundTripCase{"invitation", ode::catalog::invitation(0.25)},
+        RoundTripCase{"second_order",
+                      ode::reduce_order(ode::catalog::second_order_example())}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Failure compensation (Section 3, "The Effect of Failures").
+// ---------------------------------------------------------------------------
+
+TEST(MeanFieldFailureTest, UncompensatedMachineSlowsUnderLoss) {
+  // Without compensation, a failure rate f multiplies each sampling term by
+  // (1-f)^{|T|-1}: the epidemic's xy term (|T| = 2) slows by (1-f).
+  const SynthesisResult result = synthesize(ode::catalog::epidemic());
+  const double f = 0.25;
+  const ode::EquationSystem degraded = mean_field(result.machine, f);
+  const ode::EquationSystem expected =
+      ode::catalog::epidemic().scaled(1.0 - f);
+  EXPECT_TRUE(ode::equivalent(degraded, expected));
+}
+
+TEST(MeanFieldFailureTest, SynthesisTimeCompensationRestoresSource) {
+  // Synthesizing with failure_rate = f bakes (1/(1-f))^{|T|-1} into the
+  // coins; running under loss f then realizes exactly p * source.
+  const double f = 0.25;
+  const SynthesisResult result =
+      synthesize(ode::catalog::epidemic(), {.failure_rate = f});
+  EXPECT_TRUE(verifies_equivalence(result.machine,
+                                   ode::catalog::epidemic(), f));
+}
+
+TEST(MeanFieldFailureTest, CompensationShrinksPWhenCoinSaturates) {
+  // Epidemic coin is already at bias 1.0 (p = 1); compensating for f
+  // requires bias 1/(1-f) > 1, so p must drop to keep coins <= 1.
+  const double f = 0.2;
+  const SynthesisResult result =
+      synthesize(ode::catalog::epidemic(), {.failure_rate = f});
+  EXPECT_NEAR(result.p, 1.0 - f, 1e-12);
+}
+
+TEST(MeanFieldFailureTest, HighOrderTermGetsLargerFactor) {
+  // A term x*y^2 (|T| = 3) needs (1/(1-f))^2.
+  ode::EquationSystem sys({"x", "y"});
+  sys.add_term("x", -0.5, {{"x", 1}, {"y", 2}});
+  sys.add_term("y", +0.5, {{"x", 1}, {"y", 2}});
+  const double f = 0.3;
+  const SynthesisResult result = synthesize(sys, {.failure_rate = f});
+  EXPECT_TRUE(verifies_equivalence(result.machine, sys, f, 1e-9));
+  const auto& a = std::get<SamplingAction>(result.machine.actions()[0]);
+  EXPECT_NEAR(a.coin_bias,
+              result.p * 0.5 / ((1.0 - f) * (1.0 - f)), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Push-pull variant (Section 4.1.2).
+// ---------------------------------------------------------------------------
+
+TEST(MeanFieldPushPullTest, EndemicVariantModelsSourceAtFullRate) {
+  // With the push optimization, mean field == source system (p = 1,
+  // beta = 2b): "This does not change the differential equations modeled."
+  SynthesisOptions options;
+  options.push_pull.push_back(PushPullSpec{"x", "y"});
+  const ode::EquationSystem source = ode::catalog::endemic(4.0, 1.0, 0.01);
+  const SynthesisResult result = synthesize(source, options);
+  EXPECT_DOUBLE_EQ(result.p, 1.0);
+  EXPECT_TRUE(ode::equivalent(mean_field(result.machine), source));
+}
+
+TEST(MeanFieldPushPullTest, ExactDriftUsesFiniteFanoutPullProbability) {
+  // The pull side fires with probability 1 - (1-y)^b, not b*y; at large y
+  // the exact drift is smaller than the linearized mean field.
+  SynthesisOptions options;
+  options.push_pull.push_back(PushPullSpec{"x", "y"});
+  const SynthesisResult result =
+      synthesize(ode::catalog::endemic(4.0, 1.0, 0.01), options);
+  const num::Vec x{0.3, 0.6, 0.1};
+  const num::Vec drift = exact_drift(result.machine, x);
+  std::vector<double> linear(3);
+  mean_field(result.machine).evaluate(x, linear);
+  EXPECT_LT(drift[1], linear[1]);  // stash inflow saturates
+  // Conservation holds either way.
+  EXPECT_NEAR(drift[0] + drift[1] + drift[2], 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Structural properties of the derived system.
+// ---------------------------------------------------------------------------
+
+TEST(MeanFieldTest, DerivedSystemIsAlwaysComplete) {
+  for (const auto& source :
+       {ode::catalog::epidemic(), ode::catalog::lv_partitionable(),
+        ode::catalog::invitation(0.1)}) {
+    const SynthesisResult result = synthesize(source);
+    EXPECT_TRUE(ode::is_complete(mean_field(result.machine)));
+  }
+}
+
+TEST(MeanFieldTest, TokenizingDriftVanishesWhenTokenStateEmpty) {
+  // exact_drift honors the "drop token when x is empty" rule.
+  const SynthesisResult result = synthesize(ode::catalog::invitation(0.2));
+  const num::Vec no_x{0.0, 1.0};
+  const num::Vec drift = exact_drift(result.machine, no_x);
+  EXPECT_DOUBLE_EQ(drift[0], 0.0);
+  EXPECT_DOUBLE_EQ(drift[1], 0.0);
+}
+
+TEST(MeanFieldTest, RejectsBadFailureRate) {
+  const SynthesisResult result = synthesize(ode::catalog::epidemic());
+  EXPECT_THROW((void)mean_field(result.machine, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)mean_field(result.machine, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deproto::core

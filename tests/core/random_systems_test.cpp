@@ -1,0 +1,166 @@
+// Property tests over *randomly generated* equation systems: for any
+// polynomial, completely partitionable system (built by construction from
+// random {+T, -T} pairs), synthesis must succeed and the mean-field
+// round-trip must recover p * source. This exercises the Theorem 1/5
+// machinery far beyond the catalog systems.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/mean_field.hpp"
+#include "core/synthesis.hpp"
+#include "ode/taxonomy.hpp"
+
+namespace deproto::core {
+namespace {
+
+struct GeneratorParams {
+  std::uint64_t seed;
+  std::size_t num_vars;
+  std::size_t num_pairs;
+  unsigned max_degree;     // max exponent of any single variable in a term
+  bool force_restricted;   // ensure i_x >= 1 for each negative term
+};
+
+/// Build a random completely partitionable polynomial system by sampling
+/// `num_pairs` random monomials T with positive coefficients and placing
+/// -T on a random equation x (with i_x >= 1 if force_restricted) and +T on
+/// another random equation.
+ode::EquationSystem random_system(const GeneratorParams& params) {
+  std::mt19937_64 rng(params.seed);
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < params.num_vars; ++v) {
+    names.push_back("v" + std::to_string(v));
+  }
+  ode::EquationSystem sys(std::move(names));
+
+  std::uniform_int_distribution<std::size_t> var_dist(0,
+                                                      params.num_vars - 1);
+  std::uniform_int_distribution<unsigned> exp_dist(0, params.max_degree);
+  std::uniform_real_distribution<double> coeff_dist(0.05, 3.0);
+
+  for (std::size_t k = 0; k < params.num_pairs; ++k) {
+    const std::size_t eq_neg = var_dist(rng);
+    std::size_t eq_pos = var_dist(rng);
+    // Distinct coefficient per pair keeps the partition witness unique.
+    const double c =
+        coeff_dist(rng) + static_cast<double>(k) * 0.001;
+
+    std::vector<unsigned> exps(params.num_vars, 0U);
+    for (std::size_t v = 0; v < params.num_vars; ++v) {
+      exps[v] = exp_dist(rng);
+    }
+    if (params.force_restricted && exps[eq_neg] == 0) {
+      exps[eq_neg] = 1;
+    }
+    // A term with no variables at all would be a bare constant; give it a
+    // variable so the pure mapping rules apply.
+    unsigned total = 0;
+    for (unsigned e : exps) total += e;
+    if (total == 0) exps[eq_neg] = 1;
+
+    sys.add_term(eq_neg, ode::Term(-c, exps));
+    sys.add_term(eq_pos, ode::Term(+c, exps));
+  }
+  return sys;
+}
+
+class RandomSystemTest : public ::testing::TestWithParam<GeneratorParams> {};
+
+TEST_P(RandomSystemTest, GeneratedSystemIsCompletelyPartitionable) {
+  const ode::EquationSystem sys = random_system(GetParam());
+  const ode::TaxonomyReport report = ode::classify(sys);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.completely_partitionable);
+  if (GetParam().force_restricted) {
+    EXPECT_TRUE(report.restricted_polynomial);
+  }
+}
+
+TEST_P(RandomSystemTest, SynthesisRoundTripsThroughMeanField) {
+  const ode::EquationSystem sys = random_system(GetParam());
+  SynthesisOptions options;
+  options.allow_tokenizing = !GetParam().force_restricted;
+  const SynthesisResult result = synthesize(sys, options);
+  EXPECT_GT(result.p, 0.0);
+  EXPECT_LE(result.p, 1.0);
+  EXPECT_TRUE(verifies_equivalence(result.machine, sys, 0.0, 1e-7))
+      << "system:\n"
+      << sys.to_string() << "machine:\n"
+      << result.machine.to_string();
+}
+
+TEST_P(RandomSystemTest, RoundTripSurvivesFailureCompensation) {
+  const ode::EquationSystem sys = random_system(GetParam());
+  SynthesisOptions options;
+  options.allow_tokenizing = !GetParam().force_restricted;
+  options.failure_rate = 0.3;
+  const SynthesisResult result = synthesize(sys, options);
+  EXPECT_TRUE(verifies_equivalence(result.machine, sys, 0.3, 1e-7));
+}
+
+TEST_P(RandomSystemTest, MessageComplexityBoundHolds) {
+  // Section 3: messages per period for state x = sum over negative terms
+  // of f_x of (occurrences - 1). Verify against the machine (pure
+  // Flipping/Sampling mapping only).
+  const GeneratorParams params = GetParam();
+  if (!params.force_restricted) return;  // tokens charge the executor
+  const ode::EquationSystem sys = random_system(params);
+  const SynthesisResult result = synthesize(sys);
+  for (std::size_t v = 0; v < sys.num_vars(); ++v) {
+    std::size_t expected = 0;
+    for (const ode::Term& t : sys.rhs(v)) {
+      if (t.coefficient() < 0) {
+        expected += t.variable_occurrences() - 1;
+      }
+    }
+    EXPECT_EQ(result.machine.messages_per_period(v), expected)
+        << "state " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RestrictedPolynomial, RandomSystemTest,
+    ::testing::Values(
+        GeneratorParams{1, 2, 2, 1, true}, GeneratorParams{2, 3, 3, 1, true},
+        GeneratorParams{3, 3, 5, 2, true}, GeneratorParams{4, 4, 6, 2, true},
+        GeneratorParams{5, 5, 8, 1, true}, GeneratorParams{6, 4, 10, 3, true},
+        GeneratorParams{7, 6, 12, 2, true},
+        GeneratorParams{8, 3, 4, 4, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    GeneralPolynomial, RandomSystemTest,
+    ::testing::Values(
+        GeneratorParams{11, 2, 2, 1, false},
+        GeneratorParams{12, 3, 4, 2, false},
+        GeneratorParams{13, 4, 6, 2, false},
+        GeneratorParams{14, 5, 9, 2, false},
+        GeneratorParams{15, 4, 12, 3, false},
+        GeneratorParams{16, 6, 10, 1, false}));
+
+TEST(RandomSystemEdgeCases, SingleVariableSelfLoop) {
+  // -T and +T on the same equation: a self-loop action; still mappable and
+  // the mean field contribution cancels.
+  ode::EquationSystem sys({"x"});
+  sys.add_term(0, ode::Term(-0.5, {1U}));
+  sys.add_term(0, ode::Term(+0.5, {1U}));
+  const SynthesisResult result = synthesize(sys);
+  EXPECT_TRUE(verifies_equivalence(result.machine, sys));
+}
+
+TEST(RandomSystemEdgeCases, HighDegreeTermSamplesManyTargets) {
+  // -c x^3 y^2 z: 3-1+2+1 = 5 probes, |T| = 6.
+  ode::EquationSystem sys({"x", "y", "z"});
+  sys.add_term("x", -0.5, {{"x", 3}, {"y", 2}, {"z", 1}});
+  sys.add_term("y", +0.5, {{"x", 3}, {"y", 2}, {"z", 1}});
+  const SynthesisResult result = synthesize(sys);
+  const auto& a = std::get<SamplingAction>(result.machine.actions()[0]);
+  EXPECT_EQ(a.same_state_samples, 2U);
+  EXPECT_EQ(a.target_states.size(), 3U);
+  EXPECT_EQ(result.machine.messages_per_period(0), 5U);
+  EXPECT_TRUE(verifies_equivalence(result.machine, sys));
+}
+
+}  // namespace
+}  // namespace deproto::core

@@ -1,0 +1,71 @@
+#include "core/state_machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deproto::core {
+namespace {
+
+ProtocolStateMachine make_machine() {
+  ProtocolStateMachine m({"x", "y", "z"}, 0.5);
+  FlippingAction flip;
+  flip.from_state = 1;
+  flip.to_state = 2;
+  flip.coin_bias = 0.5;
+  m.add_action(flip);
+  SamplingAction sample;
+  sample.from_state = 0;
+  sample.to_state = 1;
+  sample.target_states = {1};
+  sample.coin_bias = 1.0;
+  m.add_action(sample);
+  return m;
+}
+
+TEST(StateMachineTest, StatesAndLookup) {
+  const ProtocolStateMachine m = make_machine();
+  EXPECT_EQ(m.num_states(), 3U);
+  EXPECT_EQ(m.state_name(1), "y");
+  EXPECT_EQ(m.state_index("z"), std::optional<std::size_t>(2));
+  EXPECT_FALSE(m.state_index("w").has_value());
+  EXPECT_THROW((void)m.state_name(9), std::out_of_range);
+}
+
+TEST(StateMachineTest, ActionsGroupedByExecutor) {
+  const ProtocolStateMachine m = make_machine();
+  EXPECT_EQ(m.actions().size(), 2U);
+  EXPECT_EQ(m.actions_of(0).size(), 1U);  // the sampling action
+  EXPECT_EQ(m.actions_of(1).size(), 1U);  // the flip
+  EXPECT_TRUE(m.actions_of(2).empty());
+}
+
+TEST(StateMachineTest, MessageComplexityPerState) {
+  const ProtocolStateMachine m = make_machine();
+  EXPECT_EQ(m.messages_per_period(0), 1U);
+  EXPECT_EQ(m.messages_per_period(1), 0U);
+  EXPECT_EQ(m.max_messages_per_period(), 1U);
+}
+
+TEST(StateMachineTest, NormalizingPValidated) {
+  EXPECT_THROW(ProtocolStateMachine({"x"}, 0.0), std::invalid_argument);
+  EXPECT_THROW(ProtocolStateMachine({"x"}, 1.5), std::invalid_argument);
+  EXPECT_THROW(ProtocolStateMachine(std::vector<std::string>{}),
+               std::invalid_argument);
+}
+
+TEST(StateMachineTest, AddActionValidatesState) {
+  ProtocolStateMachine m({"x"});
+  FlippingAction flip;
+  flip.from_state = 7;
+  flip.to_state = 0;
+  EXPECT_THROW(m.add_action(flip), std::out_of_range);
+}
+
+TEST(StateMachineTest, ToStringListsStatesAndP) {
+  const std::string text = make_machine().to_string();
+  EXPECT_NE(text.find("p = 0.5"), std::string::npos);
+  EXPECT_NE(text.find("state x"), std::string::npos);
+  EXPECT_NE(text.find("state z"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deproto::core

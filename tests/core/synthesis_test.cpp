@@ -1,0 +1,219 @@
+#include "core/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ode/catalog.hpp"
+
+namespace deproto::core {
+namespace {
+
+TEST(SynthesisTest, EpidemicYieldsCanonicalPullProtocol) {
+  // Eq. (0) must synthesize into exactly the canonical epidemic: one
+  // one-time-sampling action, executed by susceptibles, sampling a single
+  // target, matching the infected state, with coin bias p*c = 1.
+  const SynthesisResult result = synthesize(ode::catalog::epidemic());
+  EXPECT_DOUBLE_EQ(result.p, 1.0);
+  ASSERT_EQ(result.machine.actions().size(), 1U);
+  const auto& a = std::get<SamplingAction>(result.machine.actions()[0]);
+  EXPECT_EQ(a.from_state, result.machine.state_index("x"));
+  EXPECT_EQ(a.to_state, result.machine.state_index("y"));
+  EXPECT_EQ(a.same_state_samples, 0U);
+  ASSERT_EQ(a.target_states.size(), 1U);
+  EXPECT_EQ(a.target_states[0], result.machine.state_index("y"));
+  EXPECT_DOUBLE_EQ(a.coin_bias, 1.0);
+  // Message complexity (Section 3): occurrences (2) - negative terms (1).
+  EXPECT_EQ(result.machine.messages_per_period(0), 1U);
+}
+
+TEST(SynthesisTest, LvMachineMatchesFigure3) {
+  const SynthesisResult result =
+      synthesize(ode::catalog::lv_partitionable(), {.p = 0.01});
+  const auto& m = result.machine;
+  const std::size_t x = *m.state_index("x");
+  const std::size_t y = *m.state_index("y");
+  const std::size_t z = *m.state_index("z");
+
+  // x and y each run one action; z runs two (Figure 3).
+  EXPECT_EQ(m.actions_of(x).size(), 1U);
+  EXPECT_EQ(m.actions_of(y).size(), 1U);
+  EXPECT_EQ(m.actions_of(z).size(), 2U);
+
+  // x: sample one target; if in y and coin 3p heads -> z.
+  const auto& ax = std::get<SamplingAction>(m.actions()[m.actions_of(x)[0]]);
+  EXPECT_EQ(ax.to_state, z);
+  ASSERT_EQ(ax.target_states.size(), 1U);
+  EXPECT_EQ(ax.target_states[0], y);
+  EXPECT_DOUBLE_EQ(ax.coin_bias, 0.03);
+
+  // y: sample one target; if in x -> z.
+  const auto& ay = std::get<SamplingAction>(m.actions()[m.actions_of(y)[0]]);
+  EXPECT_EQ(ay.to_state, z);
+  EXPECT_EQ(ay.target_states[0], x);
+
+  // z: one action moves to x on meeting x, the other to y on meeting y.
+  bool to_x = false, to_y = false;
+  for (std::size_t idx : m.actions_of(z)) {
+    const auto& az = std::get<SamplingAction>(m.actions()[idx]);
+    if (az.to_state == x && az.target_states[0] == x) to_x = true;
+    if (az.to_state == y && az.target_states[0] == y) to_y = true;
+    EXPECT_DOUBLE_EQ(az.coin_bias, 0.03);
+  }
+  EXPECT_TRUE(to_x);
+  EXPECT_TRUE(to_y);
+}
+
+TEST(SynthesisTest, EndemicPureMachineNeedsSmallP) {
+  // beta = 4 > 1 forces p = 1/4 so the sampling coin stays a probability.
+  const SynthesisResult result =
+      synthesize(ode::catalog::endemic(4.0, 1.0, 0.01));
+  EXPECT_DOUBLE_EQ(result.p, 0.25);
+  // Actions: sampling (beta term), flip (gamma), flip (alpha).
+  std::size_t flips = 0, samplings = 0;
+  for (const Action& a : result.machine.actions()) {
+    if (std::holds_alternative<FlippingAction>(a)) ++flips;
+    if (std::holds_alternative<SamplingAction>(a)) ++samplings;
+  }
+  EXPECT_EQ(flips, 2U);
+  EXPECT_EQ(samplings, 1U);
+  // gamma flip bias = p * 1.0 = 0.25.
+  for (const Action& a : result.machine.actions()) {
+    if (const auto* flip = std::get_if<FlippingAction>(&a)) {
+      EXPECT_LE(flip->coin_bias, 0.25 + 1e-12);
+    }
+  }
+}
+
+TEST(SynthesisTest, EndemicPushPullKeepsFullRate) {
+  // The Section 4.1.2 optimization: -4xy as pull+push with b = 2, leaving
+  // p = 1 (the flips run at full alpha/gamma rates).
+  SynthesisOptions options;
+  options.push_pull.push_back(PushPullSpec{"x", "y"});
+  const SynthesisResult result =
+      synthesize(ode::catalog::endemic(4.0, 1.0, 0.01), options);
+  EXPECT_DOUBLE_EQ(result.p, 1.0);
+
+  bool pull_found = false, push_found = false;
+  for (const Action& a : result.machine.actions()) {
+    if (const auto* pull = std::get_if<AnyOfSamplingAction>(&a)) {
+      EXPECT_EQ(pull->fanout, 2U);
+      EXPECT_DOUBLE_EQ(pull->coin_bias, 1.0);
+      pull_found = true;
+    }
+    if (const auto* push = std::get_if<PushAction>(&a)) {
+      EXPECT_EQ(push->fanout, 2U);
+      push_found = true;
+    }
+  }
+  EXPECT_TRUE(pull_found);
+  EXPECT_TRUE(push_found);
+}
+
+TEST(SynthesisTest, PushPullRequiresEvenIntegerBeta) {
+  SynthesisOptions options;
+  options.push_pull.push_back(PushPullSpec{"x", "y"});
+  EXPECT_THROW(
+      (void)synthesize(ode::catalog::endemic(3.0, 1.0, 0.01), options),
+      SynthesisError);
+}
+
+TEST(SynthesisTest, InvitationUsesTokenizing) {
+  const SynthesisResult result = synthesize(ode::catalog::invitation(0.2));
+  ASSERT_EQ(result.machine.actions().size(), 1U);
+  const auto& a = std::get<TokenizingAction>(result.machine.actions()[0]);
+  EXPECT_EQ(a.executor_state, result.machine.state_index("y"));
+  EXPECT_EQ(a.token_state, result.machine.state_index("x"));
+  EXPECT_EQ(a.to_state, result.machine.state_index("y"));
+  EXPECT_EQ(a.same_state_samples, 0U);
+  EXPECT_TRUE(a.target_states.empty());
+}
+
+TEST(SynthesisTest, TokenizingCanBeDisabled) {
+  SynthesisOptions options;
+  options.allow_tokenizing = false;
+  EXPECT_THROW((void)synthesize(ode::catalog::invitation(0.2), options),
+               SynthesisError);
+}
+
+TEST(SynthesisTest, ConstantTermsNeedAutoRewrite) {
+  EXPECT_THROW((void)synthesize(ode::catalog::constant_flow(0.3)),
+               SynthesisError);
+  SynthesisOptions options;
+  options.auto_rewrite = true;
+  const SynthesisResult result =
+      synthesize(ode::catalog::constant_flow(0.3), options);
+  EXPECT_GE(result.machine.actions().size(), 2U);  // flip + tokenizing
+}
+
+TEST(SynthesisTest, IncompleteSystemNeedsAutoRewrite) {
+  EXPECT_THROW((void)synthesize(ode::catalog::logistic(1.0)),
+               SynthesisError);
+  SynthesisOptions options;
+  options.auto_rewrite = true;
+  const SynthesisResult result =
+      synthesize(ode::catalog::logistic(1.0), options);
+  EXPECT_EQ(result.source.num_vars(), 2U);  // slack z added
+  EXPECT_TRUE(result.taxonomy.completely_partitionable);
+}
+
+TEST(SynthesisTest, NonPartitionableSystemIsRejected) {
+  // Complete but unmatched coefficients: -2xy vs two +1xy terms.
+  ode::EquationSystem sys({"x", "y"});
+  sys.add_term("x", -2.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +1.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +1.0, {{"x", 1}, {"y", 1}});
+  EXPECT_THROW((void)synthesize(sys), SynthesisError);
+}
+
+TEST(SynthesisTest, ExplicitPValidated) {
+  EXPECT_THROW((void)synthesize(ode::catalog::epidemic(), {.p = 0.0}),
+               SynthesisError);
+  EXPECT_THROW((void)synthesize(ode::catalog::epidemic(), {.p = 1.5}),
+               SynthesisError);
+  // p too large for endemic's beta = 4 coin.
+  EXPECT_THROW(
+      (void)synthesize(ode::catalog::endemic(4.0, 1.0, 0.01), {.p = 0.5}),
+      SynthesisError);
+  // A smaller p is always admissible.
+  const SynthesisResult r =
+      synthesize(ode::catalog::endemic(4.0, 1.0, 0.01), {.p = 0.1});
+  EXPECT_DOUBLE_EQ(r.p, 0.1);
+}
+
+TEST(SynthesisTest, SecondOrderExampleSynthesizesAfterReduction) {
+  // Section 7 pipeline: x-ddot + x-dot = x -> first-order complete system
+  // -> machine. The system has negative terms with i_x = 0 (e.g. z-dot =
+  // -x), so Tokenizing is required.
+  const ode::EquationSystem sys =
+      ode::reduce_order(ode::catalog::second_order_example());
+  const SynthesisResult result = synthesize(sys);
+  EXPECT_EQ(result.machine.num_states(), 3U);
+  EXPECT_GE(result.machine.actions().size(), 3U);
+}
+
+TEST(SynthesisTest, NotesDocumentEveryDecision) {
+  const SynthesisResult result =
+      synthesize(ode::catalog::endemic(4.0, 1.0, 0.01));
+  // One note per partition pair plus the p note.
+  EXPECT_EQ(result.notes.size(), 4U);
+  bool mentions_p = false;
+  for (const std::string& note : result.notes) {
+    if (note.find("normalizing constant") != std::string::npos) {
+      mentions_p = true;
+    }
+  }
+  EXPECT_TRUE(mentions_p);
+}
+
+TEST(SynthesisTest, MessageComplexityBound) {
+  // Section 3: messages sent by a process in state x per period = total
+  // variable occurrences in negative terms of f_x minus the number of
+  // negative terms. For LV state z: terms -3xz, -3yz => (2-1) + (2-1) = 2.
+  const SynthesisResult result =
+      synthesize(ode::catalog::lv_partitionable(), {.p = 0.01});
+  const std::size_t z = *result.machine.state_index("z");
+  EXPECT_EQ(result.machine.messages_per_period(z), 2U);
+  EXPECT_EQ(result.machine.max_messages_per_period(), 2U);
+}
+
+}  // namespace
+}  // namespace deproto::core

@@ -1,0 +1,154 @@
+// The paper's analytic claims checked end-to-end against the numerics
+// substrate: Theorem 4's basins of attraction, Theorem 3's spiral, the
+// phase-portrait figures' qualitative content.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/integrator.hpp"
+#include "numerics/phase_portrait.hpp"
+#include "numerics/stability.hpp"
+#include "ode/catalog.hpp"
+#include "protocols/analysis.hpp"
+
+namespace deproto {
+namespace {
+
+using num::Vec;
+
+/// Integrate the LV system (eq. 7) from (x0, y0) and report the limit.
+Vec lv_limit(double x0, double y0, double t_end = 60.0) {
+  const auto sys = ode::catalog::lv_partitionable();
+  const num::OdeFunction f = num::ode_function(sys);
+  Vec x{x0, y0, 1.0 - x0 - y0};
+  num::AdaptiveOptions opts;
+  opts.abs_tol = opts.rel_tol = 1e-11;
+  num::integrate_adaptive(f, x, 0.0, t_end, opts);
+  return x;
+}
+
+// Theorem 4, clause 1: x0 > y0 converges to (1, 0).
+class Theorem4RightBasin
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(Theorem4RightBasin, ConvergesToAllX) {
+  const auto [x0, y0] = GetParam();
+  ASSERT_GT(x0, y0);
+  const Vec limit = lv_limit(x0, y0);
+  EXPECT_NEAR(limit[0], 1.0, 1e-3);
+  EXPECT_NEAR(limit[1], 0.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InitialPoints, Theorem4RightBasin,
+    ::testing::Values(std::pair{0.2, 0.1}, std::pair{0.5, 0.3},
+                      std::pair{0.8, 0.1}, std::pair{0.101, 0.1},
+                      std::pair{0.34, 0.33}));
+
+// Theorem 4, clause 2: x0 < y0 converges to (0, 1).
+class Theorem4LeftBasin
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(Theorem4LeftBasin, ConvergesToAllY) {
+  const auto [x0, y0] = GetParam();
+  ASSERT_LT(x0, y0);
+  const Vec limit = lv_limit(x0, y0);
+  EXPECT_NEAR(limit[0], 0.0, 1e-3);
+  EXPECT_NEAR(limit[1], 1.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InitialPoints, Theorem4LeftBasin,
+    ::testing::Values(std::pair{0.1, 0.2}, std::pair{0.3, 0.5},
+                      std::pair{0.1, 0.8}, std::pair{0.33, 0.34}));
+
+TEST(Theorem4Test, DiagonalFlowsToTheSaddle) {
+  // Clause 3: x0 = y0 flows to (1/3, 1/3) (in infinite precision it stays
+  // on the separatrix).
+  const Vec limit = lv_limit(0.2, 0.2, 200.0);
+  EXPECT_NEAR(limit[0], 1.0 / 3.0, 1e-2);
+  EXPECT_NEAR(limit[1], 1.0 / 3.0, 1e-2);
+}
+
+TEST(Theorem4Test, LvConvergenceComplexityMatchesOde) {
+  // Near (0, 1): x(t) = u0 e^{-3t}. Start at (u0, 1 - u0) and compare.
+  const double u0 = 0.01;
+  const auto sys = ode::catalog::lv_partitionable();
+  const num::OdeFunction f = num::ode_function(sys);
+  Vec x{u0, 1.0 - u0, 0.0};
+  num::AdaptiveOptions opts;
+  opts.abs_tol = opts.rel_tol = 1e-12;
+  num::integrate_adaptive(f, x, 0.0, 2.0, opts);
+  const proto::LvConvergence conv{.u0 = u0, .v0 = u0, .p = 1.0};
+  EXPECT_NEAR(x[0], conv.x(2.0), 0.1 * conv.x(2.0));
+}
+
+TEST(Theorem3Test, EndemicSpiralsIntoSecondEquilibrium) {
+  // Figure 2's content: from several of the paper's initial points, the
+  // system ends at eq. (2), and the approach oscillates (stable spiral).
+  const double beta = 4.0, gamma = 1.0, alpha = 0.01;
+  const auto sys = ode::catalog::endemic(beta, gamma, alpha);
+  const proto::EndemicParams params{.b = 2, .gamma = gamma, .alpha = alpha};
+  const proto::EndemicEquilibrium eq = proto::endemic_equilibrium(params);
+
+  // The paper's Figure 2 initial points (as fractions of N = 1000).
+  const std::vector<Vec> starts{
+      {0.999, 0.001, 0.0}, {0.0, 0.001, 0.999}, {0.0, 1.0, 0.0},
+      {0.5, 0.5, 0.0},     {0.5, 0.001, 0.499}, {0.001, 0.5, 0.499},
+      {0.333, 0.333, 0.334}};
+  num::PhasePortraitOptions opts;
+  opts.t_end = 4000.0;
+  opts.observe_dt = 5.0;
+  opts.integrate.dt_max = 1.0;
+  const num::PhasePortrait portrait =
+      num::compute_phase_portrait(sys, starts, opts);
+  for (const num::Trajectory& traj : portrait.trajectories) {
+    const Vec& last = traj.points.back();
+    EXPECT_NEAR(last[0], eq.x, 0.02);
+    EXPECT_NEAR(last[1], eq.y, 0.01);
+  }
+
+  // Oscillation: x(t) crosses its equilibrium value multiple times from the
+  // first initial point (damped spiral, not a monotone node).
+  const num::Trajectory& spiral = portrait.trajectories[0];
+  int crossings = 0;
+  for (std::size_t k = 1; k < spiral.points.size(); ++k) {
+    const double prev = spiral.points[k - 1][0] - eq.x;
+    const double curr = spiral.points[k][0] - eq.x;
+    if (prev * curr < 0.0) ++crossings;
+  }
+  EXPECT_GE(crossings, 3);
+}
+
+TEST(Theorem2Test, SafetyIsOnlyProbabilistic) {
+  // Theorem 2 (impossibility): crash every stasher simultaneously; the
+  // object is gone and the all-receptive saddle holds from then on
+  // (y = 0 is invariant).
+  const auto sys = ode::catalog::endemic(4.0, 1.0, 0.01);
+  const num::OdeFunction f = num::ode_function(sys);
+  Vec x{0.99, 0.0, 0.01};  // no stashers anywhere
+  num::integrate_fixed(f, x, 0.0, 500.0, 0.1);
+  EXPECT_NEAR(x[1], 0.0, 1e-12);
+  // Averse thaw back to receptive at rate alpha = 0.01: z ~ e^-5 remains.
+  EXPECT_NEAR(x[0], 1.0, 1e-2);
+  EXPECT_GT(x[0], 0.999);
+}
+
+TEST(EpidemicClaimTest, LogNRoundsFromTheOde) {
+  // Section 1: x ~ O(1) after O(log N) rounds. In the ODE, time for x to
+  // fall from 1 - 1/N to 1/N is ~ 2 ln N (logistic symmetry).
+  const auto sys = ode::catalog::epidemic();
+  const num::OdeFunction f = num::ode_function(sys);
+  for (double n : {1e3, 1e6}) {
+    Vec x{1.0 - 1.0 / n, 1.0 / n};
+    const auto t = num::integrate_until(
+        f, x, 0.0, 0.05, 100.0,
+        [&](const Vec& state, double) { return state[0] <= 1.0 / n; });
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 2.0 * std::log(n - 1.0), 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace deproto

@@ -1,0 +1,119 @@
+#include "numerics/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace deproto::num {
+namespace {
+
+void expect_contains_real(const std::vector<Complex>& values, double real,
+                          double tol = 1e-8) {
+  const bool found = std::any_of(values.begin(), values.end(), [&](Complex z) {
+    return std::abs(z.real() - real) < tol && std::abs(z.imag()) < tol;
+  });
+  EXPECT_TRUE(found) << "eigenvalue " << real << " not found";
+}
+
+TEST(EigenTest, TwoByTwoRealEigenvalues) {
+  const Matrix a{{3.0, 0.0}, {0.0, -2.0}};
+  auto [l1, l2] = eigenvalues_2x2(a);
+  EXPECT_NEAR(std::max(l1.real(), l2.real()), 3.0, 1e-12);
+  EXPECT_NEAR(std::min(l1.real(), l2.real()), -2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(l1.imag(), 0.0);
+}
+
+TEST(EigenTest, TwoByTwoComplexPair) {
+  // Rotation-like matrix: eigenvalues a +- bi.
+  const Matrix a{{1.0, -2.0}, {2.0, 1.0}};
+  auto [l1, l2] = eigenvalues_2x2(a);
+  EXPECT_NEAR(l1.real(), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(l1.imag()), 2.0, 1e-12);
+  EXPECT_NEAR(l2.imag(), -l1.imag(), 1e-12);
+}
+
+TEST(EigenTest, CharacteristicPolynomialOfDiagonal) {
+  const Matrix a{{1.0, 0.0, 0.0}, {0.0, 2.0, 0.0}, {0.0, 0.0, 3.0}};
+  // (l-1)(l-2)(l-3) = l^3 - 6l^2 + 11l - 6.
+  const std::vector<double> c = characteristic_polynomial(a);
+  ASSERT_EQ(c.size(), 4U);
+  EXPECT_NEAR(c[0], 1.0, 1e-12);
+  EXPECT_NEAR(c[1], -6.0, 1e-12);
+  EXPECT_NEAR(c[2], 11.0, 1e-12);
+  EXPECT_NEAR(c[3], -6.0, 1e-12);
+}
+
+TEST(EigenTest, PolynomialRootsQuadratic) {
+  // l^2 - 5l + 6: roots 2 and 3.
+  const auto roots = polynomial_roots({1.0, -5.0, 6.0});
+  ASSERT_EQ(roots.size(), 2U);
+  expect_contains_real(roots, 2.0);
+  expect_contains_real(roots, 3.0);
+}
+
+TEST(EigenTest, PolynomialRootsComplex) {
+  // l^2 + 1: roots +-i.
+  const auto roots = polynomial_roots({1.0, 0.0, 1.0});
+  ASSERT_EQ(roots.size(), 2U);
+  EXPECT_NEAR(std::abs(roots[0].imag()), 1.0, 1e-8);
+  EXPECT_NEAR(roots[0].real(), 0.0, 1e-8);
+}
+
+TEST(EigenTest, PolynomialRootsRejectNonMonic) {
+  EXPECT_THROW((void)polynomial_roots({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(EigenTest, ThreeByThreeKnownSpectrum) {
+  // Upper-triangular: eigenvalues on the diagonal.
+  const Matrix a{{4.0, 1.0, -2.0}, {0.0, -1.0, 3.0}, {0.0, 0.0, 2.5}};
+  const auto values = eigenvalues(a);
+  ASSERT_EQ(values.size(), 3U);
+  expect_contains_real(values, 4.0);
+  expect_contains_real(values, -1.0);
+  expect_contains_real(values, 2.5);
+}
+
+TEST(EigenTest, RepeatedEigenvalueConverges) {
+  // The LV Jacobian at (0, 1): [[-3, 0], [-6, -3]] -- defective, repeated -3.
+  const Matrix a{{-3.0, 0.0}, {-6.0, -3.0}};
+  auto [l1, l2] = eigenvalues_2x2(a);
+  EXPECT_NEAR(l1.real(), -3.0, 1e-10);
+  EXPECT_NEAR(l2.real(), -3.0, 1e-10);
+  EXPECT_NEAR(l1.imag(), 0.0, 1e-10);
+}
+
+TEST(EigenTest, EigenvectorInverseIteration) {
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};  // eigenpairs: 3 -> (1,1)/sqrt2
+  const Vec v = eigenvector(a, 3.0);
+  EXPECT_NEAR(std::abs(v[0]), std::abs(v[1]), 1e-8);
+  // A v = 3 v.
+  const Vec av = a * v;
+  EXPECT_NEAR(av[0], 3.0 * v[0], 1e-6);
+  EXPECT_NEAR(av[1], 3.0 * v[1], 1e-6);
+}
+
+TEST(EigenTest, SpectralAbscissa) {
+  const Matrix stable{{-1.0, 0.0}, {0.0, -4.0}};
+  EXPECT_NEAR(spectral_abscissa(stable), -1.0, 1e-10);
+  const Matrix saddle{{-1.0, 0.0}, {0.0, 2.0}};
+  EXPECT_NEAR(spectral_abscissa(saddle), 2.0, 1e-10);
+}
+
+TEST(EigenTest, FourByFourSpectrum) {
+  Matrix a(4, 4);
+  a(0, 0) = 1.0;
+  a(1, 1) = -2.0;
+  a(2, 2) = 0.5;
+  a(3, 3) = 7.0;
+  a(0, 1) = 3.0;  // triangular perturbation keeps the spectrum
+  a(1, 2) = -1.0;
+  const auto values = eigenvalues(a);
+  ASSERT_EQ(values.size(), 4U);
+  expect_contains_real(values, 1.0, 1e-6);
+  expect_contains_real(values, -2.0, 1e-6);
+  expect_contains_real(values, 0.5, 1e-6);
+  expect_contains_real(values, 7.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace deproto::num

@@ -1,0 +1,143 @@
+#include "numerics/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/catalog.hpp"
+
+namespace deproto::num {
+namespace {
+
+// dx/dt = -x: closed form x(t) = x0 e^{-t}.
+const OdeFunction kDecay = [](const Vec& x, Vec& d, double) {
+  d.resize(1);
+  d[0] = -x[0];
+};
+
+// Harmonic oscillator: x'' = -x as a 2d system.
+const OdeFunction kOscillator = [](const Vec& x, Vec& d, double) {
+  d.resize(2);
+  d[0] = x[1];
+  d[1] = -x[0];
+};
+
+TEST(IntegratorTest, EulerStepMatchesFirstOrder) {
+  Vec x{1.0};
+  euler_step(kDecay, x, 0.0, 0.1);
+  EXPECT_NEAR(x[0], 0.9, 1e-12);
+}
+
+TEST(IntegratorTest, Rk4DecayAccuracy) {
+  Vec x{1.0};
+  integrate_fixed(kDecay, x, 0.0, 1.0, 0.01);
+  EXPECT_NEAR(x[0], std::exp(-1.0), 1e-9);
+}
+
+// Property: RK4 global error scales as O(dt^4): halving dt cuts the error
+// by roughly 16.
+class Rk4OrderTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Rk4OrderTest, FourthOrderConvergence) {
+  const double dt = GetParam();
+  auto error_at = [&](double step) {
+    Vec x{1.0};
+    integrate_fixed(kDecay, x, 0.0, 2.0, step);
+    return std::abs(x[0] - std::exp(-2.0));
+  };
+  const double e1 = error_at(dt);
+  const double e2 = error_at(dt / 2.0);
+  EXPECT_GT(e1 / e2, 10.0);  // ideal 16; allow slack for roundoff
+  EXPECT_LT(e1 / e2, 24.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(StepSizes, Rk4OrderTest,
+                         ::testing::Values(0.2, 0.1, 0.05));
+
+TEST(IntegratorTest, AdaptiveRkf45MatchesClosedForm) {
+  Vec x{1.0};
+  AdaptiveOptions opts;
+  opts.abs_tol = 1e-10;
+  opts.rel_tol = 1e-10;
+  integrate_adaptive(kDecay, x, 0.0, 3.0, opts, nullptr,
+                     AdaptiveStepper::Rkf45);
+  EXPECT_NEAR(x[0], std::exp(-3.0), 1e-8);
+}
+
+TEST(IntegratorTest, AdaptiveDopri5MatchesClosedForm) {
+  Vec x{1.0};
+  AdaptiveOptions opts;
+  opts.abs_tol = 1e-10;
+  opts.rel_tol = 1e-10;
+  const std::size_t steps =
+      integrate_adaptive(kDecay, x, 0.0, 3.0, opts, nullptr,
+                         AdaptiveStepper::Dopri5);
+  EXPECT_NEAR(x[0], std::exp(-3.0), 1e-8);
+  EXPECT_GT(steps, 0U);
+}
+
+TEST(IntegratorTest, OscillatorEnergyConservedByDopri5) {
+  Vec x{1.0, 0.0};
+  AdaptiveOptions opts;
+  opts.abs_tol = 1e-11;
+  opts.rel_tol = 1e-11;
+  integrate_adaptive(kOscillator, x, 0.0, 8.0 * M_PI, opts);
+  const double energy = x[0] * x[0] + x[1] * x[1];
+  EXPECT_NEAR(energy, 1.0, 1e-6);
+  EXPECT_NEAR(x[0], 1.0, 1e-6);  // back to the start after 4 full cycles
+}
+
+TEST(IntegratorTest, ObserverSeesMonotoneTime) {
+  Vec x{1.0};
+  double last = -1.0;
+  std::size_t calls = 0;
+  integrate_fixed(kDecay, x, 0.0, 1.0, 0.1, [&](const Vec&, double t) {
+    EXPECT_GT(t, last - 1e-15);
+    last = t;
+    ++calls;
+  });
+  EXPECT_EQ(calls, 11U);  // t0 + 10 steps
+  EXPECT_NEAR(last, 1.0, 1e-12);
+}
+
+TEST(IntegratorTest, EpidemicLogisticClosedForm) {
+  // Eq. (0) with x + y = 1 collapses to dy/dt = y(1-y):
+  // y(t) = y0 / (y0 + (1-y0) e^{-t}).
+  const OdeFunction f = ode_function(ode::catalog::epidemic());
+  const double y0 = 0.01;
+  Vec x{1.0 - y0, y0};
+  AdaptiveOptions opts;
+  opts.abs_tol = 1e-12;
+  opts.rel_tol = 1e-12;
+  integrate_adaptive(f, x, 0.0, 5.0, opts);
+  const double expected = y0 / (y0 + (1.0 - y0) * std::exp(-5.0));
+  EXPECT_NEAR(x[1], expected, 1e-8);
+  EXPECT_NEAR(x[0] + x[1], 1.0, 1e-10);  // completeness conserves the sum
+}
+
+TEST(IntegratorTest, IntegrateUntilFindsThresholdCrossing) {
+  // x(t) = e^{-t} crosses 0.5 at t = ln 2.
+  Vec x{1.0};
+  const auto t = integrate_until(
+      kDecay, x, 0.0, 0.05, 10.0,
+      [](const Vec& state, double) { return state[0] <= 0.5; });
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, std::log(2.0), 1e-3);
+}
+
+TEST(IntegratorTest, IntegrateUntilTimesOut) {
+  Vec x{1.0};
+  const auto t = integrate_until(
+      kDecay, x, 0.0, 0.1, 1.0,
+      [](const Vec& state, double) { return state[0] < 0.0; });
+  EXPECT_FALSE(t.has_value());
+}
+
+TEST(IntegratorTest, BadStepSizesThrow) {
+  Vec x{1.0};
+  EXPECT_THROW(integrate_fixed(kDecay, x, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deproto::num

@@ -1,0 +1,81 @@
+#include "numerics/lyapunov.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deproto::num {
+namespace {
+
+TEST(KroneckerTest, SmallProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix k = kronecker(a, b);
+  ASSERT_EQ(k.rows(), 4U);
+  EXPECT_DOUBLE_EQ(k(0, 1), 1.0);  // a00 * b01
+  EXPECT_DOUBLE_EQ(k(0, 3), 2.0);  // a01 * b01
+  EXPECT_DOUBLE_EQ(k(3, 0), 3.0);  // a10 * b10
+  EXPECT_DOUBLE_EQ(k(2, 3), 4.0);  // a11 * b01
+}
+
+TEST(KroneckerTest, IdentityIdentity) {
+  const Matrix k = kronecker(Matrix::identity(2), Matrix::identity(3));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(k(i, i), 1.0);
+  }
+}
+
+TEST(ContinuousLyapunovTest, ScalarCase) {
+  // a x + x a + q = 0 => x = -q / (2a).
+  const Matrix x =
+      solve_continuous_lyapunov(Matrix{{-2.0}}, Matrix{{4.0}});
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+}
+
+TEST(ContinuousLyapunovTest, ResidualVanishes) {
+  const Matrix a{{-1.0, 0.5}, {0.0, -3.0}};
+  const Matrix q{{2.0, 0.2}, {0.2, 1.0}};
+  const Matrix x = solve_continuous_lyapunov(a, q);
+  const Matrix residual = a * x + x * a.transposed() + q;
+  EXPECT_LT(residual.norm_max(), 1e-10);
+  // Solution of a Lyapunov equation with symmetric positive Q and Hurwitz A
+  // is symmetric positive definite.
+  EXPECT_NEAR(x(0, 1), x(1, 0), 1e-12);
+  EXPECT_GT(x(0, 0), 0.0);
+  EXPECT_GT(x.determinant(), 0.0);
+}
+
+TEST(DiscreteLyapunovTest, ScalarCase) {
+  // x = m^2 x + q => x = q / (1 - m^2).
+  const Matrix x = solve_discrete_lyapunov(Matrix{{0.5}}, Matrix{{3.0}});
+  EXPECT_NEAR(x(0, 0), 4.0, 1e-12);
+}
+
+TEST(DiscreteLyapunovTest, ResidualVanishes) {
+  const Matrix m{{0.9, 0.05}, {-0.1, 0.8}};
+  const Matrix q{{1.0, 0.1}, {0.1, 2.0}};
+  const Matrix x = solve_discrete_lyapunov(m, q);
+  const Matrix residual = m * x * m.transposed() + q - x;
+  EXPECT_LT(residual.norm_max(), 1e-9);
+}
+
+TEST(DiscreteLyapunovTest, AgreesWithSimulatedLinearRecursion) {
+  // Iterate X_{k+1} = M X_k M^T + Q to its fixed point and compare.
+  const Matrix m{{0.7, 0.2}, {0.0, 0.6}};
+  const Matrix q{{0.5, 0.0}, {0.0, 0.25}};
+  Matrix x(2, 2);
+  for (int k = 0; k < 300; ++k) {
+    x = m * x * m.transposed() + q;
+  }
+  const Matrix solved = solve_discrete_lyapunov(m, q);
+  EXPECT_LT((x - solved).norm_max(), 1e-9);
+}
+
+TEST(LyapunovTest, ShapeMismatchThrows) {
+  EXPECT_THROW(
+      (void)solve_continuous_lyapunov(Matrix{{1.0}}, Matrix(2, 2)),
+      std::invalid_argument);
+  EXPECT_THROW((void)solve_discrete_lyapunov(Matrix(2, 3), Matrix(2, 2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deproto::num

@@ -1,0 +1,90 @@
+#include "numerics/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deproto::num {
+namespace {
+
+TEST(MatrixTest, BraceConstructionAndIndexing) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 2U);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_THROW((void)m(2, 0), std::out_of_range);
+  EXPECT_THROW(Matrix({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix prod = a * Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(prod(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(prod(1, 1), 4.0);
+
+  const Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix ab = a * b;  // column swap
+  EXPECT_DOUBLE_EQ(ab(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ab(0, 1), 1.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vec v{1.0, 1.0};
+  const Vec av = a * v;
+  EXPECT_DOUBLE_EQ(av[0], 3.0);
+  EXPECT_DOUBLE_EQ(av[1], 7.0);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  const Matrix b{{0.0, 2.0}, {2.0, 0.0}};
+  EXPECT_DOUBLE_EQ((a + b)(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ((a - b)(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(a.scaled(5.0)(0, 0), 5.0);
+}
+
+TEST(MatrixTest, TraceAndTranspose) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.trace(), 5.0);
+  EXPECT_DOUBLE_EQ(a.transposed()(0, 1), 3.0);
+}
+
+TEST(MatrixTest, Determinants) {
+  EXPECT_DOUBLE_EQ((Matrix{{3.0}}).determinant(), 3.0);
+  EXPECT_DOUBLE_EQ((Matrix{{1.0, 2.0}, {3.0, 4.0}}).determinant(), -2.0);
+  const Matrix m3{{2.0, 0.0, 1.0}, {1.0, 1.0, 0.0}, {0.0, 3.0, 1.0}};
+  EXPECT_NEAR(m3.determinant(), 2.0 * 1.0 + 1.0 * 3.0, 1e-12);  // = 5
+  // 4x4 via LU: block-diagonal of two 2x2s with dets -2 and -2.
+  Matrix m4(4, 4);
+  m4(0, 0) = 1; m4(0, 1) = 2; m4(1, 0) = 3; m4(1, 1) = 4;
+  m4(2, 2) = 1; m4(2, 3) = 2; m4(3, 2) = 3; m4(3, 3) = 4;
+  EXPECT_NEAR(m4.determinant(), 4.0, 1e-9);
+}
+
+TEST(MatrixTest, SolveRoundTrip) {
+  const Matrix a{{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  const Vec x_true{1.0, -2.0, 3.0};
+  const Vec b = a * x_true;
+  const Vec x = a.solve(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(MatrixTest, SolveSingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW((void)a.solve(Vec{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(MatrixTest, SolveNeedsPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vec x = a.solve(Vec{5.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(MatrixTest, NormMax) {
+  const Matrix a{{1.0, -9.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.norm_max(), 9.0);
+}
+
+}  // namespace
+}  // namespace deproto::num

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/jacobian.hpp"
+#include "numerics/newton.hpp"
+#include "ode/catalog.hpp"
+#include "ode/rewriting.hpp"
+
+namespace deproto::num {
+namespace {
+
+TEST(JacobianTest, SymbolicJacobianOfEpidemic) {
+  // f = (-xy, +xy): J = [[-y, -x], [y, x]].
+  const auto sys = ode::catalog::epidemic();
+  const Matrix j = jacobian_at(sys, Vec{0.25, 0.5});
+  EXPECT_NEAR(j(0, 0), -0.5, 1e-12);
+  EXPECT_NEAR(j(0, 1), -0.25, 1e-12);
+  EXPECT_NEAR(j(1, 0), +0.5, 1e-12);
+  EXPECT_NEAR(j(1, 1), +0.25, 1e-12);
+}
+
+TEST(JacobianTest, SymbolicEntriesMatchFiniteDifferences) {
+  const auto sys = ode::catalog::endemic(4.0, 1.0, 0.01);
+  const Vec point{0.3, 0.25, 0.45};
+  const Matrix j = jacobian_at(sys, point);
+  const double h = 1e-7;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      Vec hi = point, lo = point;
+      hi[c] += h;
+      lo[c] -= h;
+      Vec fhi(3), flo(3);
+      sys.evaluate(hi, fhi);
+      sys.evaluate(lo, flo);
+      const double fd = (fhi[i] - flo[i]) / (2.0 * h);
+      EXPECT_NEAR(j(i, c), fd, 1e-6);
+    }
+  }
+}
+
+TEST(JacobianTest, CompleteSystemJacobianColumnsSumToZero) {
+  // Rows of a complete system's Jacobian sum to zero down each column
+  // (d/dx_j of Sum_i f_i == 0) -- the spurious neutral direction the
+  // reduced Jacobian removes.
+  const auto sys = ode::catalog::lv_partitionable();
+  const Matrix j = jacobian_at(sys, Vec{0.2, 0.3, 0.5});
+  for (std::size_t c = 0; c < 3; ++c) {
+    double col = 0.0;
+    for (std::size_t r = 0; r < 3; ++r) col += j(r, c);
+    EXPECT_NEAR(col, 0.0, 1e-12);
+  }
+}
+
+TEST(JacobianTest, ReducedJacobianMatchesEliminatedSystem) {
+  const auto full = ode::catalog::endemic(4.0, 1.0, 0.01);
+  const auto reduced_sys = ode::eliminate_last(full, 1.0);
+  const Vec point3{0.3, 0.25, 0.45};
+  const Vec point2{0.3, 0.25};
+  const Matrix a = reduced_jacobian_at(full, point3);
+  const Matrix b = jacobian_at(reduced_sys, point2);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(a(r, c), b(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(NewtonTest, SolvesQuadraticRoot) {
+  // f(x) = x^2 - 4 has roots +-2.
+  ode::EquationSystem sys({"x"});
+  sys.add_term("x", 1.0, {{"x", 2}});
+  sys.add_term("x", -4.0, {});
+  const auto root = newton_solve(sys, Vec{3.0});
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NEAR((*root)[0], 2.0, 1e-10);
+}
+
+TEST(NewtonTest, FindsAllFourLvEquilibria) {
+  // Theorem 4's fixed points of eq. (6): (0,0), (0,1), (1,0), (1/3,1/3).
+  const auto equilibria = find_equilibria(ode::catalog::lv_original());
+  ASSERT_EQ(equilibria.size(), 4U);
+  auto has = [&](double x, double y) {
+    for (const Vec& e : equilibria) {
+      if (std::abs(e[0] - x) < 1e-6 && std::abs(e[1] - y) < 1e-6) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(0.0, 0.0));
+  EXPECT_TRUE(has(0.0, 1.0));
+  EXPECT_TRUE(has(1.0, 0.0));
+  EXPECT_TRUE(has(1.0 / 3.0, 1.0 / 3.0));
+}
+
+TEST(NewtonTest, FindsEndemicEquilibriaOnSimplex) {
+  // Reduce the endemic system to (x, y) and find eq. (2)'s two points.
+  const double beta = 4.0, gamma = 1.0, alpha = 0.01;
+  const auto reduced =
+      ode::eliminate_last(ode::catalog::endemic(beta, gamma, alpha), 1.0);
+  const auto equilibria = find_equilibria(reduced);
+  const double x_inf = gamma / beta;
+  const double y_inf = (1.0 - x_inf) / (1.0 + gamma / alpha);
+  bool trivial = false, nontrivial = false;
+  for (const Vec& e : equilibria) {
+    if (std::abs(e[0] - 1.0) < 1e-6 && std::abs(e[1]) < 1e-6) trivial = true;
+    if (std::abs(e[0] - x_inf) < 1e-6 && std::abs(e[1] - y_inf) < 1e-6) {
+      nontrivial = true;
+    }
+  }
+  EXPECT_TRUE(trivial);     // (N, 0, 0) in fraction form
+  EXPECT_TRUE(nontrivial);  // the eq. (2) second equilibrium
+}
+
+TEST(NewtonTest, ReturnsNulloptWhenHopeless) {
+  // f(x) = x^2 + 1 has no real root.
+  ode::EquationSystem sys({"x"});
+  sys.add_term("x", 1.0, {{"x", 2}});
+  sys.add_term("x", 1.0, {});
+  EXPECT_FALSE(newton_solve(sys, Vec{1.0}).has_value());
+}
+
+}  // namespace
+}  // namespace deproto::num

@@ -1,0 +1,83 @@
+#include "numerics/phase_portrait.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ode/catalog.hpp"
+
+namespace deproto::num {
+namespace {
+
+TEST(PhasePortraitTest, TrajectoriesRecorded) {
+  const auto sys = ode::catalog::epidemic();
+  PhasePortraitOptions opts;
+  opts.t_end = 5.0;
+  opts.observe_dt = 0.5;
+  const PhasePortrait portrait =
+      compute_phase_portrait(sys, {Vec{0.99, 0.01}, Vec{0.5, 0.5}}, opts);
+  ASSERT_EQ(portrait.trajectories.size(), 2U);
+  for (const Trajectory& traj : portrait.trajectories) {
+    EXPECT_GE(traj.points.size(), 8U);
+    EXPECT_EQ(traj.points.size(), traj.times.size());
+  }
+}
+
+TEST(PhasePortraitTest, CompleteSystemStaysOnSimplex) {
+  const auto sys = ode::catalog::lv_partitionable();
+  PhasePortraitOptions opts;
+  opts.t_end = 10.0;
+  const PhasePortrait portrait =
+      compute_phase_portrait(sys, {Vec{0.6, 0.4, 0.0}, Vec{0.1, 0.2, 0.7}},
+                             opts);
+  for (const Trajectory& traj : portrait.trajectories) {
+    for (const Vec& p : traj.points) {
+      EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-7);
+    }
+  }
+}
+
+TEST(PhasePortraitTest, EndemicTrajectoryConvergesToSecondEquilibrium) {
+  // Figure 2 parameters; any interior start spirals into eq. (2).
+  const double beta = 4.0, gamma = 1.0, alpha = 0.01;
+  const auto sys = ode::catalog::endemic(beta, gamma, alpha);
+  PhasePortraitOptions opts;
+  opts.t_end = 3000.0;
+  opts.observe_dt = 10.0;
+  opts.integrate.dt_max = 1.0;
+  const PhasePortrait portrait =
+      compute_phase_portrait(sys, {Vec{0.999, 0.001, 0.0}}, opts);
+  const Vec& last = portrait.trajectories[0].points.back();
+  const double x_inf = gamma / beta;
+  const double y_inf = (1.0 - x_inf) / (1.0 + gamma / alpha);
+  EXPECT_NEAR(last[0], x_inf, 0.01);
+  EXPECT_NEAR(last[1], y_inf, 0.005);
+}
+
+TEST(PhasePortraitTest, AsciiRenderShowsMarks) {
+  const auto sys = ode::catalog::epidemic();
+  PhasePortraitOptions opts;
+  opts.t_end = 5.0;
+  const PhasePortrait portrait =
+      compute_phase_portrait(sys, {Vec{0.9, 0.1}}, opts);
+  const std::string art = render_ascii(portrait, {0, 1}, 1.0, 40, 12);
+  EXPECT_NE(art.find('o'), std::string::npos);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 12);
+}
+
+TEST(PhasePortraitTest, GnuplotOutputScalesByN) {
+  const auto sys = ode::catalog::epidemic();
+  PhasePortraitOptions opts;
+  opts.t_end = 1.0;
+  opts.observe_dt = 0.5;
+  const PhasePortrait portrait =
+      compute_phase_portrait(sys, {Vec{1.0, 0.0}}, opts);
+  std::ostringstream out;
+  write_gnuplot(portrait, out, {0, 1}, 1000.0);
+  // x stays at 1.0 (no infective), scaled to 1000.
+  EXPECT_NE(out.str().find("1000 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deproto::num

@@ -1,0 +1,123 @@
+#include "numerics/stability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numerics/linearization.hpp"
+#include "ode/catalog.hpp"
+
+namespace deproto::num {
+namespace {
+
+TEST(StabilityTest, CanonicalPlanarTypes) {
+  EXPECT_EQ(classify_matrix(Matrix{{-1.0, 0.0}, {0.0, -2.0}}).type,
+            EquilibriumType::StableNode);
+  EXPECT_EQ(classify_matrix(Matrix{{1.0, 0.0}, {0.0, 2.0}}).type,
+            EquilibriumType::UnstableNode);
+  EXPECT_EQ(classify_matrix(Matrix{{1.0, 0.0}, {0.0, -2.0}}).type,
+            EquilibriumType::Saddle);
+  EXPECT_EQ(classify_matrix(Matrix{{-0.1, -1.0}, {1.0, -0.1}}).type,
+            EquilibriumType::StableSpiral);
+  EXPECT_EQ(classify_matrix(Matrix{{0.1, -1.0}, {1.0, 0.1}}).type,
+            EquilibriumType::UnstableSpiral);
+  EXPECT_EQ(classify_matrix(Matrix{{0.0, -1.0}, {1.0, 0.0}}).type,
+            EquilibriumType::Center);
+  EXPECT_EQ(classify_matrix(Matrix{{-3.0, 0.0}, {-6.0, -3.0}}).type,
+            EquilibriumType::StableDegenerate);
+  EXPECT_EQ(classify_matrix(Matrix{{0.0, 0.0}, {0.0, -1.0}}).type,
+            EquilibriumType::NonIsolated);
+}
+
+TEST(StabilityTest, StableFlagMatchesTypes) {
+  EXPECT_TRUE(classify_matrix(Matrix{{-1.0, 0.0}, {0.0, -2.0}}).stable);
+  EXPECT_FALSE(classify_matrix(Matrix{{0.0, -1.0}, {1.0, 0.0}}).stable);
+  EXPECT_FALSE(classify_matrix(Matrix{{1.0, 0.0}, {0.0, -2.0}}).stable);
+}
+
+TEST(StabilityTest, TraceDetDiscriminantReported) {
+  const StabilityReport r = classify_matrix(Matrix{{-2.0, 1.0}, {0.0, -3.0}});
+  EXPECT_NEAR(r.trace, -5.0, 1e-12);
+  EXPECT_NEAR(r.determinant, 6.0, 1e-12);
+  EXPECT_NEAR(r.discriminant, 25.0 - 24.0, 1e-12);
+}
+
+TEST(StabilityTest, LvFixedPointsMatchTheorem4) {
+  const auto lv = ode::catalog::lv_original();
+  // (0, 1) and (1, 0): stable (degenerate node, repeated eigenvalue -3).
+  EXPECT_TRUE(classify_equilibrium(lv, Vec{0.0, 1.0}).stable);
+  EXPECT_TRUE(classify_equilibrium(lv, Vec{1.0, 0.0}).stable);
+  // (0, 0): unstable (a star node: J = 3I, repeated eigenvalue +3).
+  const auto origin = classify_equilibrium(lv, Vec{0.0, 0.0});
+  EXPECT_FALSE(origin.stable);
+  EXPECT_EQ(origin.type, EquilibriumType::UnstableDegenerate);
+  // (1/3, 1/3): saddle.
+  EXPECT_EQ(classify_equilibrium(lv, Vec{1.0 / 3.0, 1.0 / 3.0}).type,
+            EquilibriumType::Saddle);
+}
+
+TEST(StabilityTest, LvOnSimplexMatchesPlanarClassification) {
+  const auto lv3 = ode::catalog::lv_partitionable();
+  EXPECT_TRUE(classify_on_simplex(lv3, Vec{0.0, 1.0, 0.0}).stable);
+  EXPECT_EQ(classify_on_simplex(lv3, Vec{1.0 / 3, 1.0 / 3, 1.0 / 3}).type,
+            EquilibriumType::Saddle);
+}
+
+TEST(StabilityTest, ToStringCoversAllTypes) {
+  EXPECT_EQ(to_string(EquilibriumType::StableSpiral), "stable spiral");
+  EXPECT_EQ(to_string(EquilibriumType::Saddle), "saddle point");
+  EXPECT_FALSE(to_string(EquilibriumType::NonIsolated).empty());
+}
+
+// Theorem 3 as a property: for every (alpha, gamma, beta) with
+// alpha, gamma in (0, 1], beta > gamma, the matrix A of eq. (4) has
+// tau < 0 and Delta > 0, i.e. the second equilibrium is always stable.
+struct Theorem3Params {
+  double beta, gamma, alpha;
+};
+
+class Theorem3Sweep : public ::testing::TestWithParam<Theorem3Params> {};
+
+TEST_P(Theorem3Sweep, SecondEquilibriumAlwaysStable) {
+  const auto [beta, gamma, alpha] = GetParam();
+  const double sigma = endemic_sigma(beta, gamma, alpha);
+  ASSERT_GT(sigma, 0.0);
+  const StabilityReport r =
+      classify_matrix(endemic_matrix_A(sigma, alpha, gamma));
+  EXPECT_LT(r.trace, 0.0);
+  EXPECT_GT(r.determinant, 0.0);
+  EXPECT_TRUE(r.stable);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, Theorem3Sweep,
+    ::testing::Values(Theorem3Params{4.0, 1.0, 0.01},     // Figure 2
+                      Theorem3Params{4.0, 0.001, 1e-6},   // Figure 5
+                      Theorem3Params{4.0, 0.1, 0.001},    // Figures 7-8
+                      Theorem3Params{64.0, 0.1, 0.005},   // Figures 9-10
+                      Theorem3Params{2.0, 0.5, 0.5},
+                      Theorem3Params{8.0, 1.0, 1.0},
+                      Theorem3Params{2.0, 1.0, 0.2},
+                      Theorem3Params{100.0, 0.9, 0.3}));
+
+TEST(StabilityTest, EndemicFirstEquilibriumIsSaddleOnSimplex) {
+  // Corollary to Theorem 3: (1, 0, 0) (all receptive) is a saddle -- stable
+  // along y = 0, unstable once a single stasher exists.
+  const auto endemic = ode::catalog::endemic(4.0, 1.0, 0.01);
+  const auto report = classify_on_simplex(endemic, Vec{1.0, 0.0, 0.0});
+  EXPECT_EQ(report.type, EquilibriumType::Saddle);
+}
+
+TEST(StabilityTest, EndemicSecondEquilibriumSpiralAtFigure2Parameters) {
+  // Figure 2's caption: "the non-trivial equilibrium point above is a
+  // stable spiral" (N = 1000, alpha = 0.01, beta = 4, gamma = 1).
+  const double beta = 4.0, gamma = 1.0, alpha = 0.01;
+  const auto endemic = ode::catalog::endemic(beta, gamma, alpha);
+  const double x = gamma / beta;
+  const double y = (1.0 - x) / (1.0 + gamma / alpha);
+  const double z = (1.0 - x) / (1.0 + alpha / gamma);
+  const auto report = classify_on_simplex(endemic, Vec{x, y, z});
+  EXPECT_EQ(report.type, EquilibriumType::StableSpiral);
+  EXPECT_TRUE(report.stable);
+}
+
+}  // namespace
+}  // namespace deproto::num

@@ -1,0 +1,94 @@
+#include "ode/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ode/taxonomy.hpp"
+
+namespace deproto::ode {
+namespace {
+
+TEST(CatalogTest, EpidemicMatchesEquationZero) {
+  const EquationSystem sys = catalog::epidemic();
+  // x-dot = -xy at the canonical starting point.
+  std::vector<double> x{0.999, 0.001};
+  std::vector<double> d(2);
+  sys.evaluate(x, d);
+  EXPECT_NEAR(d[0], -0.000999, 1e-12);
+  EXPECT_NEAR(d[1], +0.000999, 1e-12);
+}
+
+TEST(CatalogTest, EpidemicRawNormalizesToEpidemic) {
+  const EquationSystem raw = catalog::epidemic_raw(64.0);
+  std::vector<double> counts{32.0, 32.0};
+  std::vector<double> d(2);
+  raw.evaluate(counts, d);
+  EXPECT_NEAR(d[0], -16.0, 1e-12);  // -xy/N = -32*32/64
+}
+
+TEST(CatalogTest, EndemicStructure) {
+  const EquationSystem sys = catalog::endemic(4.0, 1.0, 0.01);
+  EXPECT_EQ(sys.names(), (std::vector<std::string>{"x", "y", "z"}));
+  // At (x, y, z) = (0.25, 0.5, 0.25):
+  //   x-dot = -4*0.25*0.5 + 0.01*0.25 = -0.4975
+  //   y-dot = +0.5       - 1.0*0.5    = 0.0
+  //   z-dot = +0.5       - 0.0025     = 0.4975
+  std::vector<double> x{0.25, 0.5, 0.25};
+  std::vector<double> d(3);
+  sys.evaluate(x, d);
+  EXPECT_NEAR(d[0], -0.4975, 1e-12);
+  EXPECT_NEAR(d[1], 0.0, 1e-12);
+  EXPECT_NEAR(d[2], +0.4975, 1e-12);
+}
+
+TEST(CatalogTest, LvOriginalRhs) {
+  const EquationSystem sys = catalog::lv_original();
+  // x-dot = 3x(1 - x - 2y).
+  std::vector<double> x{0.2, 0.3};
+  std::vector<double> d(2);
+  sys.evaluate(x, d);
+  EXPECT_NEAR(d[0], 3.0 * 0.2 * (1.0 - 0.2 - 0.6), 1e-12);
+  EXPECT_NEAR(d[1], 3.0 * 0.3 * (1.0 - 0.3 - 0.4), 1e-12);
+}
+
+TEST(CatalogTest, LvPartitionableAgreesWithOriginalOnSimplex) {
+  const EquationSystem part = catalog::lv_partitionable();
+  const EquationSystem orig = catalog::lv_original();
+  for (double x0 : {0.1, 0.3, 0.5}) {
+    for (double y0 : {0.1, 0.2, 0.4}) {
+      std::vector<double> p3{x0, y0, 1.0 - x0 - y0};
+      std::vector<double> p2{x0, y0};
+      std::vector<double> d3(3), d2(2);
+      part.evaluate(p3, d3);
+      orig.evaluate(p2, d2);
+      EXPECT_NEAR(d3[0], d2[0], 1e-12);
+      EXPECT_NEAR(d3[1], d2[1], 1e-12);
+      EXPECT_NEAR(d3[2], -(d2[0] + d2[1]), 1e-12);
+    }
+  }
+}
+
+TEST(CatalogTest, EndemicLinearizedIsMatrixA) {
+  const double sigma = 2.0, alpha = 0.01, gamma = 1.0;
+  const EquationSystem sys =
+      catalog::endemic_linearized(sigma, alpha, gamma);
+  // t-dot = -(sigma+alpha) t - sigma(gamma+alpha) u; u-dot = t.
+  std::vector<double> p{1.0, 1.0};
+  std::vector<double> d(2);
+  sys.evaluate(p, d);
+  EXPECT_NEAR(d[0], -(sigma + alpha) - sigma * (gamma + alpha), 1e-12);
+  EXPECT_NEAR(d[1], 1.0, 1e-12);
+}
+
+TEST(CatalogTest, SirAndLogisticShapes) {
+  EXPECT_EQ(catalog::sir(0.5, 0.1).num_vars(), 3U);
+  EXPECT_EQ(catalog::logistic(2.0).num_vars(), 1U);
+  EXPECT_TRUE(is_completely_partitionable(catalog::sir(0.5, 0.1)));
+}
+
+TEST(CatalogTest, InvitationAndConstantFlowShapes) {
+  EXPECT_EQ(catalog::invitation(0.1).num_vars(), 2U);
+  EXPECT_EQ(catalog::constant_flow(0.1).num_vars(), 2U);
+}
+
+}  // namespace
+}  // namespace deproto::ode

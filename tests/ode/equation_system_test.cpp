@@ -1,0 +1,111 @@
+#include "ode/equation_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ode/catalog.hpp"
+
+namespace deproto::ode {
+namespace {
+
+TEST(EquationSystemTest, ConstructionAndLookup) {
+  const EquationSystem sys({"x", "y", "z"});
+  EXPECT_EQ(sys.num_vars(), 3U);
+  EXPECT_EQ(sys.name(1), "y");
+  EXPECT_EQ(sys.index_of("z"), std::optional<std::size_t>(2));
+  EXPECT_FALSE(sys.index_of("w").has_value());
+  EXPECT_EQ(sys.require("x"), 0U);
+  EXPECT_THROW((void)sys.require("nope"), std::invalid_argument);
+}
+
+TEST(EquationSystemTest, RejectsDuplicateAndEmptyNames) {
+  EXPECT_THROW(EquationSystem({"x", "x"}), std::invalid_argument);
+  EXPECT_THROW(EquationSystem({""}), std::invalid_argument);
+}
+
+TEST(EquationSystemTest, AddVariableExtends) {
+  EquationSystem sys({"x"});
+  const std::size_t z = sys.add_variable("z");
+  EXPECT_EQ(z, 1U);
+  EXPECT_EQ(sys.num_vars(), 2U);
+  EXPECT_THROW((void)sys.add_variable("x"), std::invalid_argument);
+}
+
+TEST(EquationSystemTest, NameBasedTermBuilder) {
+  EquationSystem sys({"x", "y"});
+  sys.add_term("x", -1.0, {{"x", 1}, {"y", 1}});
+  ASSERT_EQ(sys.rhs("x").size(), 1U);
+  EXPECT_EQ(sys.rhs("x")[0].exponent(0), 1U);
+  EXPECT_EQ(sys.rhs("x")[0].exponent(1), 1U);
+}
+
+TEST(EquationSystemTest, AddTermRejectsUnknownVariableIds) {
+  EquationSystem sys({"x"});
+  EXPECT_THROW(sys.add_term(0, Term(1.0, {0, 1})), std::invalid_argument);
+  EXPECT_THROW(sys.add_term(3, Term(1.0, {1})), std::out_of_range);
+}
+
+TEST(EquationSystemTest, EvaluateEpidemic) {
+  const EquationSystem sys = catalog::epidemic();
+  std::vector<double> x{0.75, 0.25};
+  std::vector<double> dxdt(2);
+  sys.evaluate(x, dxdt);
+  EXPECT_DOUBLE_EQ(dxdt[0], -0.1875);  // -xy
+  EXPECT_DOUBLE_EQ(dxdt[1], +0.1875);
+}
+
+TEST(EquationSystemTest, LexicographicOrderSortsByName) {
+  const EquationSystem sys({"y", "x", "a"});
+  const auto order = sys.lexicographic_order();
+  ASSERT_EQ(order.size(), 3U);
+  EXPECT_EQ(sys.name(order[0]), "a");
+  EXPECT_EQ(sys.name(order[1]), "x");
+  EXPECT_EQ(sys.name(order[2]), "y");
+}
+
+TEST(EquationSystemTest, SimplifiedMergesAcrossTerms) {
+  EquationSystem sys({"x"});
+  sys.add_term("x", 1.0, {{"x", 1}});
+  sys.add_term("x", 2.0, {{"x", 1}});
+  const EquationSystem s = sys.simplified();
+  ASSERT_EQ(s.rhs(0).size(), 1U);
+  EXPECT_DOUBLE_EQ(s.rhs(0)[0].coefficient(), 3.0);
+}
+
+TEST(EquationSystemTest, ScaledMultipliesAllTerms) {
+  const EquationSystem sys = catalog::epidemic();
+  const EquationSystem half = sys.scaled(0.5);
+  std::vector<double> x{0.5, 0.5};
+  std::vector<double> a(2), b(2);
+  sys.evaluate(x, a);
+  half.evaluate(x, b);
+  EXPECT_DOUBLE_EQ(b[0], 0.5 * a[0]);
+  EXPECT_DOUBLE_EQ(b[1], 0.5 * a[1]);
+}
+
+TEST(EquationSystemTest, EquivalenceIsAlgebraic) {
+  EquationSystem a({"x"});
+  a.add_term("x", 1.0, {{"x", 1}});
+  a.add_term("x", 1.0, {{"x", 1}});
+  EquationSystem b({"x"});
+  b.add_term("x", 2.0, {{"x", 1}});
+  EXPECT_TRUE(equivalent(a, b));
+
+  EquationSystem c({"y"});
+  c.add_term("y", 2.0, {{"y", 1}});
+  EXPECT_FALSE(equivalent(a, c));  // different variable names
+}
+
+TEST(EquationSystemTest, ToStringMentionsEveryVariable) {
+  const std::string s = catalog::endemic(4.0, 1.0, 0.01).to_string();
+  EXPECT_NE(s.find("dx/dt"), std::string::npos);
+  EXPECT_NE(s.find("dy/dt"), std::string::npos);
+  EXPECT_NE(s.find("dz/dt"), std::string::npos);
+}
+
+TEST(EquationSystemTest, TotalTermsCounts) {
+  EXPECT_EQ(catalog::epidemic().total_terms(), 2U);
+  EXPECT_EQ(catalog::lv_partitionable().total_terms(), 8U);
+}
+
+}  // namespace
+}  // namespace deproto::ode

@@ -1,0 +1,105 @@
+#include "ode/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ode/catalog.hpp"
+#include "ode/taxonomy.hpp"
+
+namespace deproto::ode {
+namespace {
+
+TEST(ParserTest, ParsesEpidemic) {
+  const EquationSystem sys = parse_system(
+      "x' = -x*y\n"
+      "y' = x*y\n");
+  EXPECT_TRUE(equivalent(sys, catalog::epidemic()));
+}
+
+TEST(ParserTest, ParsesEndemicWithCoefficients) {
+  const EquationSystem sys = parse_system(
+      "x' = -4*x*y + 0.01*z\n"
+      "y' = 4*x*y - 1.0*y\n"
+      "z' = 1.0*y - 0.01*z\n");
+  EXPECT_TRUE(equivalent(sys, catalog::endemic(4.0, 1.0, 0.01)));
+}
+
+TEST(ParserTest, DxDtFormAndComments) {
+  const EquationSystem sys = parse_system(
+      "# the epidemic, eq. (0)\n"
+      "dx/dt = -x*y   # susceptibles\n"
+      "\n"
+      "dy/dt = +x*y   # infectives\n");
+  EXPECT_TRUE(equivalent(sys, catalog::epidemic()));
+}
+
+TEST(ParserTest, ExponentsAndImplicitCoefficient) {
+  const EquationSystem sys = parse_system(
+      "x' = -0.5*x^2*y + y^3\n"
+      "y' = 0.5*x^2*y - y^3\n");
+  EXPECT_EQ(sys.rhs(0)[0].exponent(0), 2U);
+  EXPECT_EQ(sys.rhs(0)[1].exponent(1), 3U);
+  EXPECT_DOUBLE_EQ(sys.rhs(0)[1].coefficient(), 1.0);
+  EXPECT_TRUE(is_completely_partitionable(sys));
+}
+
+TEST(ParserTest, ScientificNotationAndBareConstants) {
+  const EquationSystem sys = parse_system(
+      "x' = -1e-3*x + 2.5e-2\n"
+      "y' = 1e-3*x - 2.5e-2\n");
+  EXPECT_DOUBLE_EQ(sys.rhs(0)[0].coefficient(), -1e-3);
+  EXPECT_TRUE(sys.rhs(0)[1].is_constant());
+  EXPECT_DOUBLE_EQ(sys.rhs(0)[1].coefficient(), 2.5e-2);
+}
+
+TEST(ParserTest, CoefficientWithoutStar) {
+  const EquationSystem sys = parse_system(
+      "x' = -2 x\n"
+      "y' = 2 x\n");
+  EXPECT_DOUBLE_EQ(sys.rhs(0)[0].coefficient(), -2.0);
+  EXPECT_EQ(sys.rhs(0)[0].exponent(0), 1U);
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  // parse(print(sys)) == sys for catalog systems (to_string emits the same
+  // grammar).
+  for (const EquationSystem& sys :
+       {catalog::epidemic(), catalog::endemic(4.0, 1.0, 0.01),
+        catalog::lv_partitionable(), catalog::sir(0.5, 0.1)}) {
+    const EquationSystem reparsed = parse_system(sys.to_string());
+    EXPECT_TRUE(equivalent(reparsed, sys)) << sys.to_string();
+  }
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_system("x' = -x*y\ny' = x*w\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2U);
+    EXPECT_NE(std::string(e.what()).find("unknown variable"),
+              std::string::npos);
+  }
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_system(""), ParseError);
+  EXPECT_THROW((void)parse_system("x = -x\n"), ParseError);   // missing '
+  EXPECT_THROW((void)parse_system("x' -x\n"), ParseError);    // missing =
+  EXPECT_THROW((void)parse_system("x' = \n"), ParseError);    // empty rhs
+  EXPECT_THROW((void)parse_system("x' = x x' = y\n"), ParseError);
+  EXPECT_THROW((void)parse_system("x' = x\nx' = y\n"), ParseError);  // dup
+  EXPECT_THROW((void)parse_system("x' = x^\n"), ParseError);  // bad exp
+}
+
+TEST(ParserTest, ParsePolynomialAgainstExistingSystem) {
+  const EquationSystem sys = catalog::epidemic();
+  const Polynomial p = parse_polynomial("-2*x*y + 0.5*x", sys);
+  ASSERT_EQ(p.size(), 2U);
+  EXPECT_DOUBLE_EQ(p[0].coefficient(), -2.0);
+  EXPECT_DOUBLE_EQ(p[1].coefficient(), 0.5);
+  EXPECT_THROW((void)parse_polynomial("x + ", sys), ParseError);
+  EXPECT_THROW((void)parse_polynomial("q", sys), ParseError);
+}
+
+}  // namespace
+}  // namespace deproto::ode

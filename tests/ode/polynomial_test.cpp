@@ -1,0 +1,67 @@
+#include "ode/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deproto::ode {
+namespace {
+
+TEST(PolynomialTest, EvaluateSumsTerms) {
+  // x^2 - 2y at (3, 4) = 9 - 8 = 1.
+  const Polynomial p{Term(1.0, {2}), Term(-2.0, {0, 1})};
+  const std::vector<double> point{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(evaluate(p, point), 1.0);
+}
+
+TEST(PolynomialTest, SimplifiedMergesLikeTerms) {
+  const Polynomial p{Term(1.0, {1, 1}), Term(2.0, {1, 1}), Term(-1.0, {2})};
+  const Polynomial s = simplified(p);
+  ASSERT_EQ(s.size(), 2U);
+  EXPECT_DOUBLE_EQ(evaluate(s, std::vector<double>{2.0, 3.0}),
+                   evaluate(p, std::vector<double>{2.0, 3.0}));
+}
+
+TEST(PolynomialTest, SimplifiedDropsCancellingTerms) {
+  const Polynomial p{Term(1.0, {1}), Term(-1.0, {1})};
+  EXPECT_TRUE(simplified(p).empty());
+}
+
+TEST(PolynomialTest, SimplifiedKeepsSeparateMonomials) {
+  const Polynomial p{Term(1.0, {1, 0}), Term(1.0, {0, 1})};
+  EXPECT_EQ(simplified(p).size(), 2U);
+}
+
+TEST(PolynomialTest, SumConcatenatesWithoutMerging) {
+  const Polynomial p{Term(1.0, {1})};
+  const Polynomial q{Term(2.0, {1})};
+  EXPECT_EQ(sum(p, q).size(), 2U);
+}
+
+TEST(PolynomialTest, EquivalentDetectsAlgebraicEquality) {
+  const Polynomial p{Term(1.0, {1}), Term(1.0, {1})};
+  const Polynomial q{Term(2.0, {1})};
+  EXPECT_TRUE(equivalent(p, q));
+  const Polynomial r{Term(2.0000001, {1})};
+  EXPECT_FALSE(equivalent(p, r, 1e-9));
+}
+
+TEST(PolynomialTest, NegatedAndScaled) {
+  const Polynomial p{Term(1.0, {1}), Term(-3.0, {0, 1})};
+  EXPECT_TRUE(equivalent(negated(negated(p)), p));
+  EXPECT_TRUE(equivalent(scaled(p, 2.0), sum(p, p)));
+}
+
+TEST(PolynomialTest, DerivativeTermwise) {
+  // d/dy (x*y + y^2 - 7) = x + 2y.
+  const Polynomial p{Term(1.0, {1, 1}), Term(1.0, {0, 2}), Term(-7.0, {})};
+  const Polynomial d = derivative(p, 1);
+  const Polynomial expected{Term(1.0, {1, 0}), Term(2.0, {0, 1})};
+  EXPECT_TRUE(equivalent(d, expected));
+}
+
+TEST(PolynomialTest, ToStringOfEmptyIsZero) {
+  const std::vector<std::string> names{"x"};
+  EXPECT_EQ(to_string(Polynomial{}, names), "0");
+}
+
+}  // namespace
+}  // namespace deproto::ode

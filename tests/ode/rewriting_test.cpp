@@ -1,0 +1,136 @@
+#include "ode/rewriting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ode/catalog.hpp"
+#include "ode/taxonomy.hpp"
+
+namespace deproto::ode {
+namespace {
+
+TEST(RewritingTest, CompleteAddsSlackClosingTheSystem) {
+  const EquationSystem lv = catalog::lv_original();
+  const EquationSystem closed = complete(lv, "z");
+  EXPECT_EQ(closed.num_vars(), 3U);
+  EXPECT_TRUE(is_complete(closed));
+  // The original right-hand sides are untouched.
+  EXPECT_TRUE(equivalent(closed.rhs(0), lv.rhs(0)));
+  EXPECT_TRUE(equivalent(closed.rhs(1), lv.rhs(1)));
+}
+
+TEST(RewritingTest, CompleteRejectsNameCollision) {
+  EXPECT_THROW((void)complete(catalog::epidemic(), "x"),
+               std::invalid_argument);
+}
+
+TEST(RewritingTest, CompletedLvMatchesPartitionableFormOnTheSimplex) {
+  // Eq. (7) restricted to z = 1 - x - y must reproduce eq. (6).
+  const EquationSystem reduced =
+      eliminate_last(catalog::lv_partitionable(), 1.0);
+  EXPECT_TRUE(equivalent(reduced, catalog::lv_original()));
+}
+
+TEST(RewritingTest, NormalizeScalesByDegree) {
+  // x-dot = -(1/N) x y over numbers becomes x-dot = -x y over fractions.
+  const double N = 1000.0;
+  const EquationSystem normalized = normalize(catalog::epidemic_raw(N), N);
+  EXPECT_TRUE(equivalent(normalized, catalog::epidemic()));
+}
+
+TEST(RewritingTest, NormalizeRejectsBadN) {
+  EXPECT_THROW((void)normalize(catalog::epidemic(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)normalize(catalog::epidemic(), -5.0),
+               std::invalid_argument);
+}
+
+TEST(RewritingTest, ExpandConstantsPreservesValueOnTheSimplex) {
+  const EquationSystem sys = catalog::constant_flow(0.3);
+  const EquationSystem expanded = expand_constants(sys);
+  // No bare constants remain.
+  for (std::size_t v = 0; v < expanded.num_vars(); ++v) {
+    for (const Term& t : expanded.rhs(v)) {
+      EXPECT_FALSE(t.is_constant());
+    }
+  }
+  // On Sum x = 1 the two systems agree.
+  const std::vector<double> point{0.4, 0.6};
+  std::vector<double> a(2), b(2);
+  sys.evaluate(point, a);
+  expanded.evaluate(point, b);
+  EXPECT_NEAR(a[0], b[0], 1e-12);
+  EXPECT_NEAR(a[1], b[1], 1e-12);
+}
+
+TEST(RewritingTest, ReduceOrderPaperExample) {
+  // x-ddot + x-dot = x  ==>  x-dot = u; u-dot = x - u; z-dot = -x.
+  const EquationSystem sys =
+      reduce_order(catalog::second_order_example(), true, "z");
+  ASSERT_EQ(sys.num_vars(), 3U);
+  EXPECT_EQ(sys.name(0), "x");
+  EXPECT_EQ(sys.name(1), "x_1");
+  EXPECT_EQ(sys.name(2), "z");
+  EXPECT_TRUE(is_complete(sys));
+
+  // d(x)/dt = x_1.
+  EXPECT_TRUE(equivalent(sys.rhs(0), Polynomial{Term(1.0, {0, 1})}));
+  // d(x_1)/dt = x - x_1.
+  EXPECT_TRUE(equivalent(sys.rhs(1),
+                         Polynomial{Term(1.0, {1, 0}), Term(-1.0, {0, 1})}));
+  // d(z)/dt = -x  (the -x_1 and +x_1 contributions cancel).
+  EXPECT_TRUE(
+      equivalent(simplified(sys.rhs(2)), Polynomial{Term(-1.0, {1, 0})}));
+}
+
+TEST(RewritingTest, ReduceOrderWithoutSlack) {
+  const EquationSystem sys =
+      reduce_order(catalog::second_order_example(), false);
+  EXPECT_EQ(sys.num_vars(), 2U);
+  EXPECT_FALSE(is_complete(sys));
+}
+
+TEST(RewritingTest, ReduceOrderThirdOrderChain) {
+  // x''' = -x  ==>  x-dot = x_1, x_1-dot = x_2, x_2-dot = -x.
+  HigherOrderEquation eq;
+  eq.order = 3;
+  eq.rhs.push_back(Term(-1.0, {1U}));
+  const EquationSystem sys = reduce_order(eq, false);
+  ASSERT_EQ(sys.num_vars(), 3U);
+  EXPECT_TRUE(equivalent(sys.rhs(0), Polynomial{Term(1.0, {0, 1, 0})}));
+  EXPECT_TRUE(equivalent(sys.rhs(1), Polynomial{Term(1.0, {0, 0, 1})}));
+  EXPECT_TRUE(equivalent(sys.rhs(2), Polynomial{Term(-1.0, {1, 0, 0})}));
+}
+
+TEST(RewritingTest, ReduceOrderRejectsTooHighDerivatives) {
+  HigherOrderEquation eq;
+  eq.order = 2;
+  eq.rhs.push_back(Term(1.0, {0, 0, 1}));  // references x'' in g
+  EXPECT_THROW((void)reduce_order(eq), std::invalid_argument);
+}
+
+TEST(RewritingTest, EliminateLastExpandsPowers) {
+  // x-dot = z^2 over (x, z) with z = 1 - x:
+  // reduced: x-dot = (1-x)^2 = 1 - 2x + x^2.
+  EquationSystem sys({"x", "z"});
+  sys.add_term("x", 1.0, {{"z", 2}});
+  sys.add_term("z", -1.0, {{"z", 2}});
+  const EquationSystem reduced = eliminate_last(sys, 1.0);
+  ASSERT_EQ(reduced.num_vars(), 1U);
+  const Polynomial expected{Term(1.0, {}), Term(-2.0, {1}), Term(1.0, {2})};
+  EXPECT_TRUE(equivalent(reduced.rhs(0), expected));
+}
+
+TEST(RewritingTest, EliminateThenEvaluateAgreesWithFullSystem) {
+  const EquationSystem full = catalog::endemic(4.0, 1.0, 0.01);
+  const EquationSystem reduced = eliminate_last(full, 1.0);
+  const std::vector<double> xy{0.3, 0.2};
+  const std::vector<double> xyz{0.3, 0.2, 0.5};
+  std::vector<double> dr(2), df(3);
+  reduced.evaluate(xy, dr);
+  full.evaluate(xyz, df);
+  EXPECT_NEAR(dr[0], df[0], 1e-12);
+  EXPECT_NEAR(dr[1], df[1], 1e-12);
+}
+
+}  // namespace
+}  // namespace deproto::ode

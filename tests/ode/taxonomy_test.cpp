@@ -1,0 +1,110 @@
+#include "ode/taxonomy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ode/catalog.hpp"
+
+namespace deproto::ode {
+namespace {
+
+TEST(TaxonomyTest, EpidemicIsCompletelyPartitionableAndRestricted) {
+  const EquationSystem sys = catalog::epidemic();
+  EXPECT_TRUE(is_complete(sys));
+  EXPECT_TRUE(is_completely_partitionable(sys));
+  EXPECT_TRUE(is_restricted_polynomial(sys));
+}
+
+TEST(TaxonomyTest, EndemicIsCompletelyPartitionableAndRestricted) {
+  const EquationSystem sys = catalog::endemic(4.0, 1.0, 0.01);
+  const TaxonomyReport report = classify(sys);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.completely_partitionable);
+  EXPECT_TRUE(report.restricted_polynomial);
+  EXPECT_EQ(report.partition.size(), 3U);  // three {+T, -T} pairs
+}
+
+TEST(TaxonomyTest, LvOriginalIsNotComplete) {
+  const EquationSystem sys = catalog::lv_original();
+  EXPECT_FALSE(is_complete(sys));
+  const TaxonomyReport report = classify(sys);
+  EXPECT_FALSE(report.completely_partitionable);
+  EXPECT_NE(report.detail.find("not complete"), std::string::npos);
+}
+
+TEST(TaxonomyTest, LvPartitionableIsExactlyThat) {
+  const EquationSystem sys = catalog::lv_partitionable();
+  const TaxonomyReport report = classify(sys);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.completely_partitionable);
+  EXPECT_TRUE(report.restricted_polynomial);
+  EXPECT_EQ(report.partition.size(), 4U);  // the two -3xy pair separately
+}
+
+TEST(TaxonomyTest, InvitationIsPartitionableButNotRestricted) {
+  const EquationSystem sys = catalog::invitation(0.2);
+  EXPECT_TRUE(is_completely_partitionable(sys));
+  // -c*y on the rhs of x-dot has i_x = 0.
+  EXPECT_FALSE(is_restricted_polynomial(sys));
+}
+
+TEST(TaxonomyTest, ConstantFlowIsPartitionable) {
+  const EquationSystem sys = catalog::constant_flow(0.3);
+  EXPECT_TRUE(is_completely_partitionable(sys));
+  EXPECT_FALSE(is_restricted_polynomial(sys));
+}
+
+TEST(TaxonomyTest, SirIsCompleteButLogisticIsNot) {
+  EXPECT_TRUE(is_complete(catalog::sir(0.5, 0.1)));
+  EXPECT_FALSE(is_complete(catalog::logistic(1.0)));
+}
+
+TEST(TaxonomyTest, CompleteButNotPartitionable) {
+  // x-dot = -x^2, y-dot = +x*y: sums to zero only at no point; actually
+  // build a complete system whose terms do not pair: x-dot = -2xy,
+  // y-dot = +xy + x y (same monomial, but 2 + (-2) pair only if
+  // coefficients match one-to-one: -2xy vs two +1xy -- not pairable).
+  EquationSystem sys({"x", "y"});
+  sys.add_term("x", -2.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +1.0, {{"x", 1}, {"y", 1}});
+  sys.add_term("y", +1.0, {{"x", 1}, {"y", 1}});
+  EXPECT_TRUE(is_complete(sys));
+  EXPECT_FALSE(is_completely_partitionable(sys));
+  const PartitionResult partition = partition_terms(sys);
+  EXPECT_EQ(partition.pairs.size(), 0U);
+  EXPECT_EQ(partition.unpaired.size(), 3U);
+}
+
+// Property: every partition pair is a genuine {+T, -T} pair -- same
+// monomial, coefficients summing to zero, negative side is negative.
+class PartitionWitnessTest
+    : public ::testing::TestWithParam<EquationSystem> {};
+
+TEST_P(PartitionWitnessTest, PairsSumToZero) {
+  const EquationSystem& sys = GetParam();
+  const TaxonomyReport report = classify(sys);
+  ASSERT_TRUE(report.completely_partitionable);
+  // Every term is used exactly once.
+  std::size_t used = 0;
+  for (const PartitionPair& pair : report.partition) {
+    const Term& neg = sys.rhs(pair.negative.equation)[pair.negative.term];
+    const Term& pos = sys.rhs(pair.positive.equation)[pair.positive.term];
+    EXPECT_LT(neg.coefficient(), 0.0);
+    EXPECT_GT(pos.coefficient(), 0.0);
+    EXPECT_TRUE(neg.same_monomial(pos));
+    EXPECT_NEAR(neg.coefficient() + pos.coefficient(), 0.0, 1e-12);
+    used += 2;
+  }
+  EXPECT_EQ(used, sys.total_terms());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalog, PartitionWitnessTest,
+    ::testing::Values(catalog::epidemic(), catalog::endemic(4.0, 1.0, 0.01),
+                      catalog::endemic(2.0, 0.1, 0.001),
+                      catalog::lv_partitionable(), catalog::sir(0.5, 0.1),
+                      catalog::invitation(0.25), catalog::constant_flow(0.5)));
+
+}  // namespace
+}  // namespace deproto::ode

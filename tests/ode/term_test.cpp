@@ -1,0 +1,112 @@
+#include "ode/term.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace deproto::ode {
+namespace {
+
+TEST(TermTest, DefaultIsZeroConstant) {
+  const Term t;
+  EXPECT_DOUBLE_EQ(t.coefficient(), 0.0);
+  EXPECT_TRUE(t.is_constant());
+  EXPECT_EQ(t.total_degree(), 0U);
+}
+
+TEST(TermTest, EvaluateMonomial) {
+  // -2 * x * y^2 at (3, 5): -2 * 3 * 25 = -150.
+  const Term t(-2.0, {1, 2});
+  const std::vector<double> point{3.0, 5.0};
+  EXPECT_DOUBLE_EQ(t.evaluate(point), -150.0);
+}
+
+TEST(TermTest, EvaluateConstant) {
+  const Term t(7.5, {});
+  const std::vector<double> point{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(t.evaluate(point), 7.5);
+}
+
+TEST(TermTest, EvaluateThrowsOnShortPoint) {
+  const Term t(1.0, {0, 0, 1});
+  const std::vector<double> point{1.0};
+  EXPECT_THROW((void)t.evaluate(point), std::out_of_range);
+}
+
+TEST(TermTest, ExponentBeyondVectorIsZero) {
+  const Term t(1.0, {2});
+  EXPECT_EQ(t.exponent(0), 2U);
+  EXPECT_EQ(t.exponent(5), 0U);
+}
+
+TEST(TermTest, TotalDegreeCountsOccurrences) {
+  // x^2 * y: |T| = 3 -- the paper's variable-occurrence count.
+  const Term t(1.0, {2, 1});
+  EXPECT_EQ(t.total_degree(), 3U);
+  EXPECT_EQ(t.variable_occurrences(), 3U);
+  EXPECT_EQ(t.distinct_variables(), 2U);
+}
+
+TEST(TermTest, SameMonomialIgnoresTrailingZeros) {
+  const Term a(2.0, {1, 1});
+  const Term b(-2.0, {1, 1, 0, 0});
+  const Term c(2.0, {1, 2});
+  EXPECT_TRUE(a.same_monomial(b));
+  EXPECT_FALSE(a.same_monomial(c));
+}
+
+TEST(TermTest, NegatedFlipsSign) {
+  const Term t(3.0, {1});
+  EXPECT_DOUBLE_EQ(t.negated().coefficient(), -3.0);
+  EXPECT_TRUE(t.negated().same_monomial(t));
+}
+
+TEST(TermTest, ScaledMultipliesCoefficient) {
+  const Term t(3.0, {1});
+  EXPECT_DOUBLE_EQ(t.scaled(0.5).coefficient(), 1.5);
+}
+
+TEST(TermTest, DerivativePowerRule) {
+  // d/dx (4 x^3 y) = 12 x^2 y.
+  const Term t(4.0, {3, 1});
+  const Term d = t.derivative(0);
+  EXPECT_DOUBLE_EQ(d.coefficient(), 12.0);
+  EXPECT_EQ(d.exponent(0), 2U);
+  EXPECT_EQ(d.exponent(1), 1U);
+}
+
+TEST(TermTest, DerivativeOfMissingVariableIsZero) {
+  const Term t(4.0, {3});
+  EXPECT_DOUBLE_EQ(t.derivative(1).coefficient(), 0.0);
+}
+
+TEST(TermTest, WithExtraExponentGrowsVector) {
+  const Term t(1.0, {1});
+  const Term u = t.with_extra_exponent(2, 3);
+  EXPECT_EQ(u.exponent(2), 3U);
+  EXPECT_EQ(u.exponent(0), 1U);
+}
+
+TEST(TermTest, NonFiniteCoefficientThrows) {
+  EXPECT_THROW(Term(std::numeric_limits<double>::infinity(), {}),
+               std::invalid_argument);
+  EXPECT_THROW(Term(std::nan(""), {}), std::invalid_argument);
+}
+
+TEST(TermTest, MakeTermAccumulatesPowers) {
+  const Term t = make_term(-3.0, {{0, 1}, {2, 2}, {0, 1}});
+  EXPECT_DOUBLE_EQ(t.coefficient(), -3.0);
+  EXPECT_EQ(t.exponent(0), 2U);
+  EXPECT_EQ(t.exponent(2), 2U);
+}
+
+TEST(TermTest, ToStringRendersNamesAndPowers) {
+  const std::vector<std::string> names{"x", "y"};
+  EXPECT_EQ(Term(-0.5, {2, 1}).to_string(names), "-0.5*x^2*y");
+  EXPECT_EQ(Term(1.0, {}).to_string(names), "+1");
+}
+
+}  // namespace
+}  // namespace deproto::ode

@@ -1,0 +1,84 @@
+#include "protocols/epidemic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/sync_sim.hpp"
+
+namespace deproto::proto {
+namespace {
+
+TEST(EpidemicTest, FullInfectionFromOneSeed) {
+  const std::size_t rounds = epidemic_rounds_to_full_infection(1000, 42);
+  EXPECT_GT(rounds, 0U);
+  EXPECT_LT(rounds, 60U);
+}
+
+TEST(EpidemicTest, InfectionIsMonotone) {
+  PullEpidemic protocol;
+  sim::SyncSimulator simulator(200, protocol, 1);
+  simulator.seed_states({199, 1});
+  std::size_t last = 1;
+  for (int round = 0; round < 30; ++round) {
+    simulator.run(1);
+    const std::size_t now = simulator.group().count(PullEpidemic::kInfected);
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(EpidemicTest, NoSpontaneousInfection) {
+  PullEpidemic protocol;
+  sim::SyncSimulator simulator(100, protocol, 2);
+  simulator.run(20);  // zero infectives seeded
+  EXPECT_EQ(simulator.group().count(PullEpidemic::kInfected), 0U);
+}
+
+TEST(EpidemicTest, HigherFanoutConvergesFaster) {
+  double slow = 0.0, fast = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    slow += static_cast<double>(
+        epidemic_rounds_to_full_infection(2000, seed, 1));
+    fast += static_cast<double>(
+        epidemic_rounds_to_full_infection(2000, seed, 4));
+  }
+  EXPECT_LT(fast, slow);
+}
+
+// Property (Section 1): convergence takes O(log N) rounds. Fitting rounds
+// against log2(N) should give a roughly constant ratio as N grows 4x.
+class LogScalingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LogScalingTest, RoundsScaleLogarithmically) {
+  const std::size_t n = GetParam();
+  double rounds = 0.0;
+  const int trials = 3;
+  for (int t = 0; t < trials; ++t) {
+    rounds += static_cast<double>(
+        epidemic_rounds_to_full_infection(n, 100 + t));
+  }
+  rounds /= trials;
+  const double ratio = rounds / std::log2(static_cast<double>(n));
+  // Pull epidemics complete in ~log2(N) + O(log log N) rounds; the ratio
+  // stays within a narrow constant band across two decades of N.
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, LogScalingTest,
+                         ::testing::Values(256, 1024, 4096, 16384));
+
+TEST(EpidemicTest, SurvivesMassiveFailure) {
+  PullEpidemic protocol;
+  sim::SyncSimulator simulator(1000, protocol, 3);
+  simulator.seed_states({999, 1});
+  simulator.schedule_massive_failure(3, 0.5);
+  simulator.run(80);
+  // All alive processes still get the multicast.
+  EXPECT_EQ(simulator.group().count(PullEpidemic::kInfected),
+            simulator.group().total_alive());
+}
+
+}  // namespace
+}  // namespace deproto::proto

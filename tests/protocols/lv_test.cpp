@@ -1,0 +1,147 @@
+#include "protocols/lv_majority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/sync_sim.hpp"
+
+namespace deproto::proto {
+namespace {
+
+TEST(LvTest, ParameterValidation) {
+  EXPECT_THROW(LvMajority({.p = 0.0}), std::invalid_argument);
+  EXPECT_THROW(LvMajority({.p = 0.4}), std::invalid_argument);  // 3p > 1
+  EXPECT_NO_THROW(LvMajority({.p = 1.0 / 3.0}));
+}
+
+TEST(LvTest, DecisionReadout) {
+  LvMajority protocol({.p = 0.01});
+  sim::SyncSimulator simulator(3, protocol, 1);
+  simulator.seed_states({1, 1, 1});
+  EXPECT_EQ(LvMajority::decision_of(simulator.group(), 0),
+            LvMajority::Decision::Zero);
+  EXPECT_EQ(LvMajority::decision_of(simulator.group(), 1),
+            LvMajority::Decision::One);
+  EXPECT_EQ(LvMajority::decision_of(simulator.group(), 2),
+            LvMajority::Decision::Undecided);
+  EXPECT_FALSE(LvMajority::converged(simulator.group()));
+  EXPECT_EQ(LvMajority::winner(simulator.group()), -1);
+}
+
+// The headline property: the initial majority wins w.h.p. Run several seeds
+// on a 60/40 split; every run must converge to the majority value 0.
+class MajoritySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MajoritySeedTest, InitialMajorityWins) {
+  LvMajority protocol({.p = 0.05});
+  sim::SyncSimulator simulator(1000, protocol, GetParam());
+  simulator.seed_states({600, 400, 0});
+  std::size_t period = 0;
+  while (!LvMajority::converged(simulator.group()) && period < 3000) {
+    simulator.run(10);
+    period += 10;
+  }
+  ASSERT_TRUE(LvMajority::converged(simulator.group()));
+  EXPECT_EQ(LvMajority::winner(simulator.group()), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MajoritySeedTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(LvTest, MirroredStartFavorsOne) {
+  LvMajority protocol({.p = 0.05});
+  sim::SyncSimulator simulator(1000, protocol, 5);
+  simulator.seed_states({400, 600, 0});
+  std::size_t period = 0;
+  while (!LvMajority::converged(simulator.group()) && period < 3000) {
+    simulator.run(10);
+    period += 10;
+  }
+  ASSERT_TRUE(LvMajority::converged(simulator.group()));
+  EXPECT_EQ(LvMajority::winner(simulator.group()), 1);
+}
+
+TEST(LvTest, TieBreaksToSomeValue) {
+  // x0 = y0: the saddle at (1/3, 1/3) is unsustainable at finite N;
+  // randomization must eventually break the tie either way.
+  LvMajority protocol({.p = 0.1});
+  sim::SyncSimulator simulator(300, protocol, 6);
+  simulator.seed_states({150, 150, 0});
+  std::size_t period = 0;
+  while (!LvMajority::converged(simulator.group()) && period < 20000) {
+    simulator.run(50);
+    period += 50;
+  }
+  ASSERT_TRUE(LvMajority::converged(simulator.group()));
+  EXPECT_NE(LvMajority::winner(simulator.group()), -1);
+}
+
+TEST(LvTest, ConvergesDespiteMassiveFailure) {
+  // Figure 12 shape at laptop scale: 50% crash mid-run delays but does not
+  // prevent convergence to the initial majority.
+  LvMajority protocol({.p = 0.05});
+  sim::SyncSimulator simulator(2000, protocol, 7);
+  simulator.seed_states({1200, 800, 0});
+  simulator.schedule_massive_failure(20, 0.5);
+  std::size_t period = 0;
+  while (!LvMajority::converged(simulator.group()) && period < 5000) {
+    simulator.run(10);
+    period += 10;
+  }
+  ASSERT_TRUE(LvMajority::converged(simulator.group()));
+  EXPECT_EQ(LvMajority::winner(simulator.group()), 0);
+  EXPECT_EQ(simulator.group().total_alive(), 1000U);
+}
+
+TEST(LvTest, SelfStabilizesAfterPerturbation) {
+  // Self-stabilization (Section 4.2.2): after convergence to all-x, flip a
+  // minority of processes to y; the system must re-converge to x.
+  LvMajority protocol({.p = 0.1});
+  sim::SyncSimulator simulator(500, protocol, 8);
+  simulator.seed_states({400, 100, 0});
+  std::size_t period = 0;
+  while (!LvMajority::converged(simulator.group()) && period < 5000) {
+    simulator.run(10);
+    period += 10;
+  }
+  ASSERT_EQ(LvMajority::winner(simulator.group()), 0);
+  // Perturb: 100 processes switch to proposing 1.
+  for (sim::ProcessId pid = 0; pid < 100; ++pid) {
+    simulator.group().transition(pid, LvMajority::kY);
+  }
+  EXPECT_FALSE(LvMajority::converged(simulator.group()));
+  period = 0;
+  while (!LvMajority::converged(simulator.group()) && period < 5000) {
+    simulator.run(10);
+    period += 10;
+  }
+  ASSERT_TRUE(LvMajority::converged(simulator.group()));
+  EXPECT_EQ(LvMajority::winner(simulator.group()), 0);
+}
+
+TEST(LvTest, LargerPConvergesFaster) {
+  auto periods_to_converge = [](double p, std::uint64_t seed) {
+    LvMajority protocol({.p = p});
+    sim::SyncSimulator simulator(500, protocol, seed);
+    simulator.seed_states({300, 200, 0});
+    std::size_t period = 0;
+    while (!LvMajority::converged(simulator.group()) && period < 50000) {
+      simulator.run(10);
+      period += 10;
+    }
+    return period;
+  };
+  double slow = 0.0, fast = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    slow += static_cast<double>(periods_to_converge(0.02, 10 + seed));
+    fast += static_cast<double>(periods_to_converge(0.2, 10 + seed));
+  }
+  EXPECT_LT(fast, slow);
+}
+
+TEST(LvTest, RejoinsAsUndecided) {
+  LvMajority protocol({.p = 0.01});
+  EXPECT_EQ(protocol.rejoin_state(), LvMajority::kZ);
+}
+
+}  // namespace
+}  // namespace deproto::proto

@@ -1,0 +1,75 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deproto::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.executed(), 3U);
+}
+
+TEST(EventQueueTest, FifoAtEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ClockAdvancesWithEvents) {
+  EventQueue q;
+  q.schedule(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+  q.step();
+  EXPECT_DOUBLE_EQ(q.now(), 2.5);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.schedule(5.0, [&] { ++fired; });
+  q.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1U);
+}
+
+TEST(EventQueueTest, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(1.0, recurse);
+  };
+  q.schedule(0.0, recurse);
+  q.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueueTest, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.step();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, StepOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace deproto::sim

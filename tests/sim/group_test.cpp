@@ -1,0 +1,136 @@
+#include "sim/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deproto::sim {
+namespace {
+
+TEST(GroupTest, InitialStateAllAlive) {
+  const Group g(10, 3, 1);
+  EXPECT_EQ(g.size(), 10U);
+  EXPECT_EQ(g.num_states(), 3U);
+  EXPECT_EQ(g.count(1), 10U);
+  EXPECT_EQ(g.count(0), 0U);
+  EXPECT_EQ(g.total_alive(), 10U);
+  EXPECT_TRUE(g.alive(0));
+  EXPECT_EQ(g.state_of(7), 1U);
+}
+
+TEST(GroupTest, ConstructionValidation) {
+  EXPECT_THROW(Group(0, 2), std::invalid_argument);
+  EXPECT_THROW(Group(5, 0), std::invalid_argument);
+  EXPECT_THROW(Group(5, 2, 7), std::invalid_argument);
+}
+
+TEST(GroupTest, TransitionMovesBetweenBuckets) {
+  Group g(5, 2);
+  g.transition(3, 1);
+  EXPECT_EQ(g.count(0), 4U);
+  EXPECT_EQ(g.count(1), 1U);
+  EXPECT_EQ(g.state_of(3), 1U);
+  // Self-transition is a no-op.
+  g.transition(3, 1);
+  EXPECT_EQ(g.count(1), 1U);
+}
+
+TEST(GroupTest, BucketsStayConsistentUnderManyTransitions) {
+  Group g(50, 3);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto pid = static_cast<ProcessId>(rng.uniform_int(50));
+    g.transition(pid, rng.uniform_int(3));
+  }
+  std::size_t total = g.count(0) + g.count(1) + g.count(2);
+  EXPECT_EQ(total, 50U);
+  // Each process is in the bucket its state claims.
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (ProcessId pid : g.members(s)) {
+      EXPECT_EQ(g.state_of(pid), s);
+    }
+  }
+}
+
+TEST(GroupTest, CrashRemovesFromBucketKeepsState) {
+  Group g(4, 2);
+  g.transition(2, 1);
+  g.crash(2);
+  EXPECT_FALSE(g.alive(2));
+  EXPECT_EQ(g.count(1), 0U);
+  EXPECT_EQ(g.total_alive(), 3U);
+  EXPECT_EQ(g.state_of(2), 1U);  // last known state
+  g.crash(2);                    // idempotent
+  EXPECT_EQ(g.total_alive(), 3U);
+}
+
+TEST(GroupTest, TransitionOfCrashedProcessThrows) {
+  Group g(4, 2);
+  g.crash(1);
+  EXPECT_THROW(g.transition(1, 1), std::logic_error);
+}
+
+TEST(GroupTest, RecoverReinserts) {
+  Group g(4, 3);
+  g.crash(1);
+  g.recover(1, 2);
+  EXPECT_TRUE(g.alive(1));
+  EXPECT_EQ(g.state_of(1), 2U);
+  EXPECT_EQ(g.count(2), 1U);
+  EXPECT_EQ(g.total_alive(), 4U);
+  EXPECT_THROW(g.recover(1, 0), std::logic_error);  // already alive
+}
+
+TEST(GroupTest, RandomMemberOnlyFromRequestedState) {
+  Group g(30, 2);
+  Rng rng(2);
+  for (ProcessId pid = 0; pid < 10; ++pid) g.transition(pid, 1);
+  for (int i = 0; i < 200; ++i) {
+    const ProcessId m = g.random_member(1, rng);
+    EXPECT_LT(m, 10U);
+  }
+  Group empty(3, 2);
+  EXPECT_THROW((void)empty.random_member(1, rng), std::logic_error);
+}
+
+TEST(GroupTest, RandomTargetExcludesSelfButNotCrashed) {
+  Group g(10, 1);
+  Rng rng(3);
+  g.crash(5);
+  bool saw_crashed = false;
+  for (int i = 0; i < 2000; ++i) {
+    const ProcessId t = g.random_target(2, rng);
+    EXPECT_NE(t, 2U);  // never self
+    if (t == 5) saw_crashed = true;
+  }
+  // The maximal membership includes crashed processes (fruitless contacts).
+  EXPECT_TRUE(saw_crashed);
+}
+
+TEST(GroupTest, CrashRandomAliveCrashesExactly) {
+  Group g(100, 2);
+  Rng rng(4);
+  const auto victims = g.crash_random_alive(40, rng);
+  EXPECT_EQ(victims.size(), 40U);
+  EXPECT_EQ(g.total_alive(), 60U);
+  // Requesting more than alive crashes everyone.
+  g.crash_random_alive(1000, rng);
+  EXPECT_EQ(g.total_alive(), 0U);
+}
+
+TEST(GroupTest, TransitionObserverFires) {
+  Group g(5, 2);
+  int calls = 0;
+  g.set_transition_observer(
+      [&](ProcessId pid, std::size_t from, std::size_t to) {
+        ++calls;
+        EXPECT_EQ(pid, 4U);
+        EXPECT_EQ(from, 0U);
+        EXPECT_EQ(to, 1U);
+      });
+  g.transition(4, 1);
+  g.set_transition_observer(nullptr);
+  g.transition(4, 0);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace deproto::sim

@@ -1,0 +1,137 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace deproto::sim {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, Uniform01Range) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7U);
+  EXPECT_EQ(*seen.rbegin(), 6U);
+  EXPECT_THROW((void)rng.uniform_int(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntExcludingNeverReturnsSelf) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_NE(rng.uniform_int_excluding(10, 4), 4U);
+  }
+  // Still covers the other 9 values.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int_excluding(10, 4));
+  EXPECT_EQ(seen.size(), 9U);
+}
+
+TEST(RngTest, BernoulliEdgesAndMean) {
+  Rng rng(11);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, BinomialMeanAndVariance) {
+  Rng rng(13);
+  const std::uint64_t n = 1000;
+  const double p = 0.2;
+  double sum = 0.0, sum2 = 0.0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    const double k = static_cast<double>(rng.binomial(n, p));
+    sum += k;
+    sum2 += k * k;
+  }
+  const double mean = sum / trials;
+  const double var = sum2 / trials - mean * mean;
+  EXPECT_NEAR(mean, 200.0, 2.0);
+  EXPECT_NEAR(var, 160.0, 20.0);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0U);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10U);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential_mean(2.5);
+  EXPECT_NEAR(sum / trials, 2.5, 0.1);
+  EXPECT_THROW((void)rng.exponential_mean(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(19);
+  for (std::uint64_t k : {1ULL, 5ULL, 50ULL, 100ULL}) {
+    const auto sample = rng.sample_without_replacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    const std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::uint64_t v : sample) EXPECT_LT(v, 100U);
+  }
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4),
+               std::invalid_argument);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  // Each element of [0, 10) should appear in a 3-sample about 30% of runs.
+  Rng rng(23);
+  std::vector<int> hits(10, 0);
+  const int trials = 10000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::uint64_t v : rng.sample_without_replacement(10, 3)) {
+      ++hits[v];
+    }
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.3, 0.03);
+  }
+}
+
+TEST(RngTest, SplitStreamsAreIndependentAndStable) {
+  Rng base(99);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  Rng s1_again = base.split(1);
+  EXPECT_DOUBLE_EQ(s1.uniform01(), s1_again.uniform01());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1.uniform01() == s2.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace deproto::sim

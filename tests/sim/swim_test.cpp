@@ -1,0 +1,146 @@
+#include "sim/swim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deproto::sim {
+namespace {
+
+struct Harness {
+  EventQueue queue;
+  Rng rng;
+  Network network;
+  SwimMembership swim;
+
+  Harness(std::size_t n, double loss, SwimOptions options = {},
+          std::uint64_t seed = 1)
+      : rng(seed),
+        network(queue, rng,
+                NetworkOptions{loss, 0.01, 0.05}),
+        swim(n, queue, network, rng, options) {}
+};
+
+TEST(SwimTest, AllAliveViewsStayAccurate) {
+  Harness h(24, 0.0);
+  h.queue.run_until(30.0);
+  EXPECT_DOUBLE_EQ(h.swim.view_accuracy(), 1.0);
+  EXPECT_EQ(h.swim.false_positives(), 0U);
+}
+
+TEST(SwimTest, CrashDetectedAndDisseminated) {
+  Harness h(24, 0.0);
+  h.queue.run_until(5.0);
+  h.swim.crash(7);
+  h.queue.run_until(60.0);
+  // Every up node eventually believes node 7 dead.
+  for (ProcessId observer = 0; observer < 24; ++observer) {
+    if (observer == 7) continue;
+    EXPECT_EQ(h.swim.view(observer, 7), SwimMembership::MemberState::Dead)
+        << "observer " << observer;
+  }
+  EXPECT_DOUBLE_EQ(h.swim.view_accuracy(), 1.0);
+}
+
+TEST(SwimTest, DetectionLatencyIsBounded) {
+  Harness h(16, 0.0);
+  h.queue.run_until(3.0);
+  h.swim.crash(3);
+  // Randomized round-robin + 3-period suspicion: well under 40 periods for
+  // the first observer, then dissemination is O(log N) periods.
+  double detected_at = -1.0;
+  for (double t = 4.0; t <= 60.0; t += 1.0) {
+    h.queue.run_until(t);
+    bool anyone = false;
+    for (ProcessId observer = 0; observer < 16; ++observer) {
+      if (observer != 3 &&
+          h.swim.view(observer, 3) == SwimMembership::MemberState::Dead) {
+        anyone = true;
+      }
+    }
+    if (anyone) {
+      detected_at = t;
+      break;
+    }
+  }
+  ASSERT_GT(detected_at, 0.0);
+  EXPECT_LT(detected_at, 40.0);
+}
+
+TEST(SwimTest, NoFalsePositivesWithoutLoss) {
+  Harness h(32, 0.0);
+  h.queue.run_until(80.0);
+  EXPECT_EQ(h.swim.false_positives(), 0U);
+}
+
+TEST(SwimTest, RefutationRescuesSuspectedNode) {
+  // With message loss, suspicions happen; the incarnation-numbered Alive
+  // refutation must keep *live* nodes from staying marked dead. The
+  // suspicion timeout gives the subject time to hear about and refute the
+  // suspicion (SWIM's design rationale for the suspicion mechanism).
+  SwimOptions options;
+  options.suspicion_periods = 8;
+  Harness h(24, 0.15, options, 3);
+  h.queue.run_until(200.0);
+  EXPECT_GT(h.swim.refutations(), 0U);
+  // Accuracy stays high despite 15% loss.
+  EXPECT_GT(h.swim.view_accuracy(), 0.9);
+}
+
+TEST(SwimTest, RestartRejoinsWithFreshIncarnation) {
+  Harness h(16, 0.0);
+  h.queue.run_until(3.0);
+  h.swim.crash(5);
+  h.queue.run_until(40.0);
+  ASSERT_EQ(h.swim.view(0, 5), SwimMembership::MemberState::Dead);
+  h.swim.restart(5);
+  h.queue.run_until(120.0);
+  // The rejoin announcement (higher incarnation) overrides Dead.
+  std::size_t believers = 0;
+  for (ProcessId observer = 0; observer < 16; ++observer) {
+    if (observer != 5 &&
+        h.swim.view(observer, 5) == SwimMembership::MemberState::Alive) {
+      ++believers;
+    }
+  }
+  EXPECT_GT(believers, 12U);
+}
+
+TEST(SwimTest, AliveViewExcludesSelfAndDead) {
+  Harness h(8, 0.0);
+  h.queue.run_until(2.0);
+  h.swim.crash(2);
+  h.queue.run_until(40.0);
+  const auto view = h.swim.alive_view(0);
+  EXPECT_EQ(view.size(), 6U);  // 8 minus self minus the dead node
+  for (ProcessId pid : view) {
+    EXPECT_NE(pid, 0U);
+    EXPECT_NE(pid, 2U);
+  }
+}
+
+TEST(SwimTest, ValidatesGroupSize) {
+  EventQueue queue;
+  Rng rng(1);
+  Network network(queue, rng);
+  EXPECT_THROW(SwimMembership(1, queue, network, rng),
+               std::invalid_argument);
+}
+
+TEST(SwimTest, TokenDirectoryUseCase) {
+  // Section 6 integration sketch: route tokens to a target drawn from the
+  // executor's SWIM view instead of an omniscient directory. After a crash
+  // wave, views converge and tokens stop being routed to dead hosts.
+  Harness h(20, 0.0);
+  h.queue.run_until(5.0);
+  for (ProcessId pid : {3U, 9U, 15U}) h.swim.crash(pid);
+  h.queue.run_until(80.0);
+  Rng pick(9);
+  for (int k = 0; k < 50; ++k) {
+    const auto view = h.swim.alive_view(0);
+    ASSERT_FALSE(view.empty());
+    const ProcessId target = view[pick.uniform_int(view.size())];
+    EXPECT_TRUE(h.swim.node_up(target));  // never a dead token receiver
+  }
+}
+
+}  // namespace
+}  // namespace deproto::sim

@@ -1,0 +1,172 @@
+// deproto-synth: synthesize a distributed protocol from a differential
+// equation system given as text (see src/ode/parser.hpp for the grammar).
+//
+//   deproto-synth [options] [file]       (reads stdin when no file given)
+//
+// Options:
+//   --p <value>        normalizing constant p (default: auto)
+//   --loss <f>         compensate coins for a failure rate f in [0, 1)
+//   --auto-rewrite     complete the system / expand constants as needed
+//   --no-tokenizing    restrict to Flipping + One-Time-Sampling
+//   --simulate <N>     run the machine on N processes and print populations
+//   --periods <k>      simulation length (default 100)
+//   --seed <s>         simulation seed (default 1)
+//
+// Example:
+//   printf "x' = -x*y\ny' = x*y\n" | deproto-synth --simulate 1000
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/mean_field.hpp"
+#include "core/synthesis.hpp"
+#include "ode/parser.hpp"
+#include "ode/taxonomy.hpp"
+#include "sim/runtime.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace {
+
+struct CliOptions {
+  deproto::core::SynthesisOptions synthesis;
+  std::string file;
+  std::size_t simulate_n = 0;
+  std::size_t periods = 100;
+  std::uint64_t seed = 1;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--p v] [--loss f] [--auto-rewrite] "
+               "[--no-tokenizing] [--simulate N] [--periods k] [--seed s] "
+               "[file]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atof(argv[++i]);
+      return true;
+    };
+    double value = 0.0;
+    if (arg == "--p" && next_value(&value)) {
+      options->synthesis.p = value;
+    } else if (arg == "--loss" && next_value(&value)) {
+      options->synthesis.failure_rate = value;
+    } else if (arg == "--auto-rewrite") {
+      options->synthesis.auto_rewrite = true;
+    } else if (arg == "--no-tokenizing") {
+      options->synthesis.allow_tokenizing = false;
+    } else if (arg == "--simulate" && next_value(&value)) {
+      options->simulate_n = static_cast<std::size_t>(value);
+    } else if (arg == "--periods" && next_value(&value)) {
+      options->periods = static_cast<std::size_t>(value);
+    } else if (arg == "--seed" && next_value(&value)) {
+      options->seed = static_cast<std::uint64_t>(value);
+    } else if (!arg.empty() && arg[0] != '-') {
+      options->file = arg;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, &options)) return usage(argv[0]);
+
+  std::string text;
+  if (options.file.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(options.file);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", options.file.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  try {
+    const deproto::ode::EquationSystem sys =
+        deproto::ode::parse_system(text);
+    std::printf("parsed system:\n%s\n", sys.to_string().c_str());
+
+    const deproto::ode::TaxonomyReport taxonomy =
+        deproto::ode::classify(sys);
+    std::printf("taxonomy: complete=%s, completely-partitionable=%s, "
+                "restricted-polynomial=%s\n",
+                taxonomy.complete ? "yes" : "no",
+                taxonomy.completely_partitionable ? "yes" : "no",
+                taxonomy.restricted_polynomial ? "yes" : "no");
+    if (!taxonomy.detail.empty()) {
+      std::printf("  %s\n", taxonomy.detail.c_str());
+    }
+
+    const deproto::core::SynthesisResult result =
+        deproto::core::synthesize(sys, options.synthesis);
+    std::printf("\n%s\n", result.machine.to_string().c_str());
+    for (const std::string& note : result.notes) {
+      std::printf("note: %s\n", note.c_str());
+    }
+    std::printf("\nmean field == p * source (f=%.3g): %s\n",
+                options.synthesis.failure_rate,
+                deproto::core::verifies_equivalence(
+                    result.machine, result.source,
+                    options.synthesis.failure_rate)
+                    ? "verified"
+                    : "MISMATCH");
+
+    if (options.simulate_n > 0) {
+      deproto::sim::RuntimeOptions runtime;
+      runtime.message_loss = options.synthesis.failure_rate;
+      deproto::sim::MachineExecutor executor(result.machine, runtime);
+      deproto::sim::SyncSimulator simulator(options.simulate_n, executor,
+                                            options.seed);
+      // Spread processes evenly over the states to start.
+      const std::size_t m = result.machine.num_states();
+      std::vector<std::size_t> counts(m, options.simulate_n / m);
+      simulator.seed_states(counts);
+
+      std::printf("\nsimulating %zu processes for %zu periods:\n",
+                  options.simulate_n, options.periods);
+      std::printf("%10s", "period");
+      for (const std::string& name : result.machine.state_names()) {
+        std::printf(" %12s", name.c_str());
+      }
+      std::printf("\n");
+      const std::size_t step = std::max<std::size_t>(1, options.periods / 20);
+      for (std::size_t t = 0; t <= options.periods; t += step) {
+        std::printf("%10zu", t);
+        for (std::size_t s = 0; s < m; ++s) {
+          std::printf(" %12zu", simulator.group().count(s));
+        }
+        std::printf("\n");
+        if (t < options.periods) {
+          simulator.run(std::min(step, options.periods - t));
+        }
+      }
+    }
+  } catch (const deproto::ode::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  } catch (const deproto::core::SynthesisError& e) {
+    std::fprintf(stderr, "synthesis error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
