@@ -1,0 +1,34 @@
+# Usage: cmake -P aggregate_bench.cmake <output.json> <bench1.json> ...
+#
+# Merges the per-bench google-benchmark JSON reports into one top-level JSON
+# object keyed by bench name, and validates the result parses before writing.
+
+if(CMAKE_ARGC LESS 5)
+  message(FATAL_ERROR
+    "usage: cmake -P aggregate_bench.cmake <output.json> <bench1.json> ...")
+endif()
+
+set(output "${CMAKE_ARGV3}")
+math(EXPR last "${CMAKE_ARGC} - 1")
+
+set(merged "{\n  \"benches\": {")
+set(separator "")
+foreach(i RANGE 4 ${last})
+  set(path "${CMAKE_ARGV${i}}")
+  if(NOT EXISTS "${path}")
+    message(FATAL_ERROR "bench report missing: ${path}")
+  endif()
+  get_filename_component(name "${path}" NAME_WE)
+  file(READ "${path}" report)
+  string(APPEND merged "${separator}\n    \"${name}\": ${report}")
+  set(separator ",")
+endforeach()
+string(APPEND merged "\n  }\n}\n")
+
+string(JSON count ERROR_VARIABLE parse_error LENGTH "${merged}" "benches")
+if(parse_error)
+  message(FATAL_ERROR "aggregated JSON is malformed: ${parse_error}")
+endif()
+
+file(WRITE "${output}" "${merged}")
+message(STATUS "wrote ${output} (${count} benches)")

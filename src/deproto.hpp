@@ -1,0 +1,54 @@
+#pragma once
+
+// Umbrella header: the full public surface of the deproto library, in layer
+// order. Downstream consumers can `#include "deproto.hpp"` and reach every
+// layer; tests/build/umbrella_header_test.cpp keeps this list honest.
+
+// ode: polynomial differential equation systems and their taxonomy
+#include "ode/term.hpp"
+#include "ode/polynomial.hpp"
+#include "ode/equation_system.hpp"
+#include "ode/parser.hpp"
+#include "ode/rewriting.hpp"
+#include "ode/taxonomy.hpp"
+#include "ode/catalog.hpp"
+
+// numerics: integration, linearization, and stability analysis
+#include "numerics/vector.hpp"
+#include "numerics/matrix.hpp"
+#include "numerics/eigen.hpp"
+#include "numerics/jacobian.hpp"
+#include "numerics/newton.hpp"
+#include "numerics/integrator.hpp"
+#include "numerics/linearization.hpp"
+#include "numerics/stability.hpp"
+#include "numerics/lyapunov.hpp"
+#include "numerics/phase_portrait.hpp"
+
+// core: the equation -> state machine synthesis mapping
+#include "core/action.hpp"
+#include "core/state_machine.hpp"
+#include "core/synthesis.hpp"
+#include "core/mean_field.hpp"
+#include "core/failure_compensation.hpp"
+#include "core/fluctuations.hpp"
+
+// protocols: the paper's case studies and comparison baselines
+#include "protocols/epidemic.hpp"
+#include "protocols/endemic_replication.hpp"
+#include "protocols/lv_majority.hpp"
+#include "protocols/baselines.hpp"
+#include "protocols/analysis.hpp"
+
+// sim: synchronous and event-driven group simulation
+#include "sim/rng.hpp"
+#include "sim/protocol.hpp"
+#include "sim/group.hpp"
+#include "sim/network.hpp"
+#include "sim/metrics.hpp"
+#include "sim/churn.hpp"
+#include "sim/swim.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/sync_sim.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/runtime.hpp"

@@ -1,0 +1,46 @@
+// Build-integrity test: includes ONLY the umbrella header and exercises one
+// symbol from each of the five layers. If a header drops out of deproto.hpp
+// (or deproto.hpp stops compiling standalone), this fails to build.
+
+#include "deproto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+TEST(UmbrellaHeaderTest, OdeLayerIsReachable) {
+  const deproto::ode::Term t;
+  EXPECT_TRUE(t.is_constant());
+  EXPECT_DOUBLE_EQ(t.coefficient(), 0.0);
+}
+
+TEST(UmbrellaHeaderTest, NumericsLayerIsReachable) {
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {10.0, 20.0};
+  deproto::num::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(UmbrellaHeaderTest, CoreLayerIsReachable) {
+  const deproto::core::ProtocolStateMachine machine({"x", "y"}, 0.25);
+  EXPECT_EQ(machine.num_states(), 2U);
+  EXPECT_DOUBLE_EQ(machine.normalizing_p(), 0.25);
+}
+
+TEST(UmbrellaHeaderTest, ProtocolsLayerIsReachable) {
+  const deproto::proto::LvMajority lv(deproto::proto::LvParams{});
+  EXPECT_EQ(lv.num_states(), 3U);
+  EXPECT_EQ(lv.rejoin_state(), deproto::proto::LvMajority::kZ);
+}
+
+TEST(UmbrellaHeaderTest, SimLayerIsReachable) {
+  deproto::sim::Rng rng(42);
+  const double u = rng.uniform01();
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+}  // namespace
