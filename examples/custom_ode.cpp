@@ -4,20 +4,20 @@
 //   A. A second-order equation, x-ddot + x-dot = x: order reduction to a
 //      first-order complete system, then synthesis (needs Tokenizing).
 //   B. A "recruitment with burnout" model with a bare-constant term:
-//      completion + constant expansion, then synthesis, then a run with
-//      failure compensation over a lossy network.
+//      completion + constant expansion, then synthesis, then runs over a
+//      lossy network -- with and without Section 3 failure compensation --
+//      each described as a declarative api::ScenarioSpec and executed by
+//      api::Experiment.
 //
 // Build & run:  ./examples/custom_ode
 
 #include <cstdio>
 
-#include "core/failure_compensation.hpp"
+#include "api/experiment.hpp"
 #include "core/mean_field.hpp"
 #include "core/synthesis.hpp"
 #include "ode/catalog.hpp"
 #include "ode/rewriting.hpp"
-#include "sim/runtime.hpp"
-#include "sim/sync_sim.hpp"
 
 int main() {
   using namespace deproto;
@@ -49,30 +49,42 @@ int main() {
   recruit.add_term("y", -0.05, {});
   std::printf("%s", recruit.to_string().c_str());
 
-  core::SynthesisOptions options;
-  options.auto_rewrite = true;  // expands +/-c into c * (x + y)
-  const core::SynthesisResult synth_b = core::synthesize(recruit, options);
+  // One declarative spec: the system as text, auto-rewriting on (expands
+  // +/-c into c * (x + y)), a 20% lossy network, 20,000 processes split
+  // 50/50, 800 periods. The compensated variant only flips failure_rate.
+  const double loss = 0.2;
+  api::ScenarioSpec spec;
+  spec.name = "recruitment";
+  spec.source.ode_text = recruit.to_string();
+  spec.synthesis.auto_rewrite = true;
+  spec.runtime.message_loss = loss;
+  spec.n = 20000;
+  spec.seed = 99;
+  spec.periods = 800;
+  spec.initial_counts = {10000, 10000};
+
+  api::Experiment uncompensated_experiment(spec);
+  const api::Experiment::Artifacts& art = uncompensated_experiment.artifacts();
   std::printf("\nafter auto-rewriting, machine (p = %.3f):\n%s",
-              synth_b.p, synth_b.machine.to_string().c_str());
-  for (const std::string& note : synth_b.notes) {
+              art.synthesis.p, art.synthesis.machine.to_string().c_str());
+  for (const std::string& note : art.synthesis.notes) {
     std::printf("  note: %s\n", note.c_str());
   }
 
-  // Run over a network that drops 20% of probes, twice: once uncompensated,
-  // once with the Section 3 failure factor applied.
-  const double loss = 0.2;
-  auto run = [&](const core::ProtocolStateMachine& machine) {
-    sim::RuntimeOptions rt;
-    rt.message_loss = loss;
-    sim::MachineExecutor executor(machine, rt);
-    sim::SyncSimulator simulator(20000, executor, 99);
-    simulator.seed_states({10000, 10000});
-    simulator.run(800);
-    return static_cast<double>(simulator.group().count(1)) / 20000.0;
+  // Run twice: once uncompensated, once with the Section 3 failure factor
+  // applied (synthesis.failure_rate folds (1/(1-f))^{|T|-1} into the coins).
+  api::ScenarioSpec compensated_spec = spec;
+  compensated_spec.name = "recruitment-compensated";
+  compensated_spec.synthesis.failure_rate = loss;
+  api::Experiment compensated_experiment(compensated_spec);
+
+  auto recruited_fraction = [](const api::ExperimentResult& result) {
+    return static_cast<double>(result.final_counts[1]) /
+           static_cast<double>(result.final_alive);
   };
-  const double uncompensated = run(synth_b.machine);
-  const double compensated =
-      run(core::compensate_for_failures(synth_b.machine, loss));
+  const double uncompensated =
+      recruited_fraction(uncompensated_experiment.run());
+  const double compensated = recruited_fraction(compensated_experiment.run());
 
   // Analytic equilibrium of the source: k*x*y = c with x + y = 1.
   // 0.4*y*(1-y) = 0.05 -> y = (1 +- sqrt(1 - 0.5))/2; stable root ~ 0.854.

@@ -5,12 +5,18 @@
 // variable may be read at any time and the protocol self-stabilizes, so a
 // later wave of writes flips the group to the new majority.
 //
+// The protocol machine is synthesized from the rewritten Lotka-Volterra
+// system (eq. 7) by the api::Experiment facade; because the vote is
+// convergence-driven (run until unanimous, then keep running), the example
+// uses Experiment::launch() and steps the returned run by hand instead of
+// the one-shot Experiment::run().
+//
 // Build & run:  ./examples/majority_vote
 
 #include <cstdio>
 
+#include "api/experiment.hpp"
 #include "protocols/lv_majority.hpp"
-#include "sim/sync_sim.hpp"
 
 namespace {
 
@@ -40,26 +46,35 @@ int main() {
   using LV = proto::LvMajority;
   constexpr std::size_t kN = 20000;
 
-  proto::LvMajority protocol({.p = 0.05});
-  sim::SyncSimulator simulator(kN, protocol, /*seed=*/1234);
+  // The LV majority scenario: eq. (7) synthesized at p = 0.05, a 55%/45%
+  // split over 20,000 replicas, and a 30% massive failure at period 20.
+  api::ScenarioSpec spec;
+  spec.name = "repair-vote";
+  spec.source.catalog = "lv";
+  spec.synthesis.p = 0.05;
+  spec.n = kN;
+  spec.seed = 1234;
+  spec.periods = 5000;  // upper bound; the loop stops at convergence
+  spec.initial_counts = {11000, 9000, 0};
+  spec.faults.massive_failures.push_back(sim::MassiveFailure{20, 0.3});
 
-  // Round 1: 55% of the replicas hold version A (state x), 45% version B.
-  simulator.seed_states({11000, 9000, 0});
+  api::Experiment experiment(spec);
+  api::ExperimentRun run = experiment.launch();
+
   std::printf("phase 1: 55%%/45%% split, plus a 30%% crash at period 20\n");
   std::printf("%8s %12s %12s %12s\n", "period", "version A", "version B",
               "undecided");
-  simulator.schedule_massive_failure(20, 0.3);
   std::size_t period = 0;
-  while (!LV::converged(simulator.group()) && period < 5000) {
-    if (period % 20 == 0) report(simulator.group(), period);
-    simulator.run(10);
+  while (!LV::converged(run.group()) && period < 5000) {
+    if (period % 20 == 0) report(run.group(), period);
+    run.advance(10);
     period += 10;
   }
-  report(simulator.group(), period);
+  report(run.group(), period);
 
   // A host can read its running decision variable at any moment:
   std::printf("\nhost 17's decision variable: %s\n\n",
-              decision_name(LV::decision_of(simulator.group(), 17)));
+              decision_name(LV::decision_of(run.group(), 17)));
 
   // Phase 2: a new document version lands on 70% of the (alive) replicas.
   // Because the protocol runs forever, it simply re-converges -- the
@@ -67,7 +82,7 @@ int main() {
   std::printf("phase 2: fresh writes flip 70%% of alive replicas to "
               "version B\n");
   {
-    auto& group = simulator.group();
+    sim::Group& group = run.group();
     std::size_t flipped = 0;
     const std::size_t target = group.total_alive() * 7 / 10;
     for (sim::ProcessId pid = 0; pid < kN && flipped < target; ++pid) {
@@ -78,15 +93,15 @@ int main() {
     }
   }
   period = 0;
-  while (!LV::converged(simulator.group()) && period < 5000) {
-    if (period % 20 == 0) report(simulator.group(), period);
-    simulator.run(10);
+  while (!LV::converged(run.group()) && period < 5000) {
+    if (period % 20 == 0) report(run.group(), period);
+    run.advance(10);
     period += 10;
   }
-  report(simulator.group(), period);
+  report(run.group(), period);
 
   std::printf("\nfinal agreement: %s (initial majority of the second "
               "round)\n",
-              LV::winner(simulator.group()) == 1 ? "version B" : "version A");
-  return LV::winner(simulator.group()) == 1 ? 0 : 1;
+              LV::winner(run.group()) == 1 ? "version B" : "version A");
+  return LV::winner(run.group()) == 1 ? 0 : 1;
 }

@@ -4,28 +4,33 @@
 // Overnet-style churn and a targeted attack on one file's replica set, and
 // shows that every file survives with bounded per-host bandwidth.
 //
+// Each file is one api::ScenarioSpec -- the synthesized Figure-1 machine
+// (endemic system with the push-pull optimization, b = beta/2 = 4) plus a
+// churn attachment in the fault plan -- launched through api::Experiment.
+// The targeted attack needs mid-run access to one file's group, so the
+// demo steps the launched runs by hand, hour by hour.
+//
 // Build & run:  ./examples/persistent_store
 
 #include <cstdio>
+#include <deque>
 #include <string>
 #include <vector>
 
+#include "api/experiment.hpp"
 #include "protocols/analysis.hpp"
-#include "protocols/endemic_replication.hpp"
-#include "sim/sync_sim.hpp"
 
 namespace {
 
 struct File {
   std::string name;
-  deproto::proto::EndemicReplication protocol;
-  deproto::sim::SyncSimulator simulator;
+  deproto::api::Experiment experiment;
+  deproto::api::ExperimentRun run;
 
-  File(std::string file_name, std::size_t hosts,
-       deproto::proto::EndemicParams params, std::uint64_t seed)
+  File(std::string file_name, deproto::api::ScenarioSpec spec)
       : name(std::move(file_name)),
-        protocol(params),
-        simulator(hosts, protocol, seed) {}
+        experiment(std::move(spec)),
+        run(experiment.launch()) {}
 };
 
 }  // namespace
@@ -33,6 +38,7 @@ struct File {
 int main() {
   using namespace deproto;
   constexpr std::size_t kHosts = 5000;
+  // b = 4 contacts per period with the push action enabled -> beta = 2b.
   const proto::EndemicParams params{.b = 4, .gamma = 0.1, .alpha = 0.02};
   const auto expected = proto::endemic_expectation(kHosts, params);
   std::printf(
@@ -42,43 +48,56 @@ int main() {
       kHosts, params.b, params.gamma, params.alpha, expected.receptives,
       expected.stashers, expected.averse);
 
-  // One protocol instance per file (the paper: "each file has a
-  // responsibility migration protocol running on its behalf").
-  std::vector<File> files;
-  files.reserve(3);
-  files.emplace_back("alpha.dat", kHosts, params, 101);
-  files.emplace_back("beta.dat", kHosts, params, 202);
-  files.emplace_back("gamma.dat", kHosts, params, 303);
+  // One scenario instance per file (the paper: "each file has a
+  // responsibility migration protocol running on its behalf"). All files
+  // see the same churn process (same churn seed); only the simulation
+  // seed differs. Insert: the uploader pushes the file to 8 hosts -- a
+  // single initial replica would escape the saddle only w.p.
+  // ~ 1 - gamma/(beta*x), so 8 make the insertion loss negligible.
+  api::ScenarioSpec base;
+  base.source.catalog = "endemic";
+  base.source.params = {2.0 * params.b, params.gamma, params.alpha};
+  base.synthesis.push_pull.push_back(core::PushPullSpec{"x", "y"});
+  base.n = kHosts;
+  base.periods = 600;  // 60 hours at 10 periods per hour
+  base.initial_counts = {kHosts - 8, 8, 0};
+  base.faults.churn.enabled = true;
+  base.faults.churn.hours = 60.0;
+  base.faults.churn.min_rate = 0.05;
+  base.faults.churn.max_rate = 0.15;
+  base.faults.churn.mean_downtime_hours = 0.5;
+  base.faults.churn.seed = 7;
+  base.faults.churn.periods_per_hour = 10.0;
 
-  // Insert: the uploader pushes the file to 8 hosts. A single initial
-  // replica would escape the saddle w.p. ~ 1 - gamma/(beta*x) (the lone
-  // stasher's deletion coin can fire before it spreads); 8 replicas make
-  // the insertion loss probability negligible.
-  for (File& f : files) f.simulator.seed_states({kHosts - 8, 8, 0});
-
-  // All files see the same churn process; beta.dat additionally suffers a
-  // targeted attack at hour 30: the attacker snapshots its replica set and
-  // destroys those hosts 1 hour (10 periods) later.
-  for (File& f : files) {
-    sim::Rng churn_rng(7);
-    const auto trace = sim::ChurnTrace::synthetic_overnet(
-        kHosts, 60.0, 0.05, 0.15, 0.5, churn_rng);
-    f.simulator.attach_churn(trace, 10.0);
+  // deque, not vector: each File's ExperimentRun points back at its
+  // Experiment, so Files must never relocate as the store grows.
+  std::deque<File> files;
+  const std::uint64_t seeds[] = {101, 202, 303};
+  const char* names[] = {"alpha.dat", "beta.dat", "gamma.dat"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    api::ScenarioSpec spec = base;
+    spec.name = names[i];
+    spec.seed = seeds[i];
+    files.emplace_back(names[i], std::move(spec));
   }
 
+  constexpr std::size_t kStash = 1;  // machine state y
+
+  // beta.dat additionally suffers a targeted attack at hour 30: the
+  // attacker snapshots its replica set and destroys those hosts 1 hour
+  // (10 periods) later.
   std::printf("%6s  %14s  %14s  %14s\n", "hour", files[0].name.c_str(),
               files[1].name.c_str(), files[2].name.c_str());
   std::vector<sim::ProcessId> attack_snapshot;
   for (int hour = 0; hour <= 60; ++hour) {
     if (hour == 30) {
-      attack_snapshot = files[1].simulator.group().members(
-          proto::EndemicReplication::kStash);
+      attack_snapshot = files[1].run.group().members(kStash);
     }
     if (hour == 31) {
       std::size_t killed = 0;
       for (sim::ProcessId pid : attack_snapshot) {
-        if (files[1].simulator.group().alive(pid)) {
-          files[1].simulator.group().crash(pid);
+        if (files[1].run.group().alive(pid)) {
+          files[1].run.group().crash(pid);
           ++killed;
         }
       }
@@ -88,17 +107,17 @@ int main() {
     }
     if (hour % 5 == 0) {
       std::printf("%6d  %14zu  %14zu  %14zu\n", hour,
-                  files[0].simulator.group().count(1),
-                  files[1].simulator.group().count(1),
-                  files[2].simulator.group().count(1));
+                  files[0].run.group().count(kStash),
+                  files[1].run.group().count(kStash),
+                  files[2].run.group().count(kStash));
     }
-    for (File& f : files) f.simulator.run(10);  // 10 periods per hour
+    for (File& f : files) f.run.advance(10);  // 10 periods per hour
   }
 
   std::printf("\nsurvival: ");
   bool all = true;
   for (File& f : files) {
-    const bool alive = f.simulator.group().count(1) > 0;
+    const bool alive = f.run.group().count(kStash) > 0;
     all = all && alive;
     std::printf("%s=%s  ", f.name.c_str(), alive ? "alive" : "LOST");
   }

@@ -1,65 +1,65 @@
-// Quickstart: the full pipeline on the paper's motivating example.
+// Quickstart: the full pipeline on the paper's motivating example, driven
+// through the deproto::api::Experiment facade. One declarative ScenarioSpec
+// (here: the registry's "epidemic" scenario) replaces the hand-wired
+// parse -> classify -> synthesize -> verify -> simulate glue:
 //
-//   1. Write down a differential equation system (the epidemic, eq. 0).
-//   2. Classify it against the Section 2 taxonomy.
-//   3. Synthesize a distributed protocol (Section 3 mapping rules).
-//   4. Verify the protocol's mean field equals the source equations.
-//   5. Run it on a simulated group and watch the infection take over.
+//   1. The spec names the source system (the epidemic, eq. 0) and the run
+//      parameters (N, seed, periods, initial populations).
+//   2. Experiment::artifacts() classifies the system against the Section 2
+//      taxonomy and synthesizes a protocol (Section 3 mapping rules).
+//   3. It also verifies the protocol's mean field equals the source
+//      equations (Theorem 1).
+//   4. Experiment::run() executes the machine on a simulated group and
+//      returns the per-period populations as a structured result.
 //
 // Build & run:  ./examples/quickstart
 
+#include <cmath>
 #include <cstdio>
 
-#include "core/mean_field.hpp"
-#include "core/synthesis.hpp"
-#include "ode/catalog.hpp"
-#include "ode/taxonomy.hpp"
-#include "sim/runtime.hpp"
-#include "sim/sync_sim.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
 
 int main() {
   using namespace deproto;
 
+  // The registry's epidemic scenario: x' = -xy, y' = +xy on 10,000
+  // processes, one initial infective, seed 2004.
+  api::Experiment experiment(api::registry_get("epidemic"));
+  const api::Experiment::Artifacts& art = experiment.artifacts();
+
   // 1. The source equations: x susceptible, y infected, fractions of N.
-  ode::EquationSystem epidemic({"x", "y"});
-  epidemic.add_term("x", -1.0, {{"x", 1}, {"y", 1}});  // x-dot = -xy
-  epidemic.add_term("y", +1.0, {{"x", 1}, {"y", 1}});  // y-dot = +xy
-  std::printf("source system:\n%s\n", epidemic.to_string().c_str());
+  std::printf("source system:\n%s\n", art.source.to_string().c_str());
 
   // 2. Taxonomy (Section 2): complete? completely partitionable?
-  const ode::TaxonomyReport taxonomy = ode::classify(epidemic);
   std::printf("complete: %s, completely partitionable: %s, "
               "restricted polynomial: %s\n\n",
-              taxonomy.complete ? "yes" : "no",
-              taxonomy.completely_partitionable ? "yes" : "no",
-              taxonomy.restricted_polynomial ? "yes" : "no");
+              art.taxonomy.complete ? "yes" : "no",
+              art.taxonomy.completely_partitionable ? "yes" : "no",
+              art.taxonomy.restricted_polynomial ? "yes" : "no");
 
   // 3. Synthesis (Section 3): one One-Time-Sampling action -- exactly the
   //    canonical pull epidemic used in Clearinghouse.
-  const core::SynthesisResult synth = core::synthesize(epidemic);
-  std::printf("synthesized machine:\n%s\n", synth.machine.to_string().c_str());
-  for (const std::string& note : synth.notes) {
+  std::printf("synthesized machine:\n%s\n",
+              art.synthesis.machine.to_string().c_str());
+  for (const std::string& note : art.synthesis.notes) {
     std::printf("  note: %s\n", note.c_str());
   }
 
   // 4. Theorem 1, mechanically: the machine's mean field over protocol
   //    periods is p * f(X).
-  const bool equivalent = core::verifies_equivalence(synth.machine, epidemic);
   std::printf("\nmean field == p * source: %s\n\n",
-              equivalent ? "verified" : "MISMATCH");
+              art.mean_field_verified ? "verified" : "MISMATCH");
 
   // 5. Run 10,000 processes from a single infective.
-  sim::MachineExecutor executor(synth.machine);
-  sim::SyncSimulator simulator(10000, executor, /*seed=*/2004);
-  simulator.seed_states({9999, 1});
+  const api::ExperimentResult result = experiment.run();
   std::printf("%8s %14s %14s\n", "period", "susceptible", "infected");
   for (int period = 0; period <= 24; period += 2) {
-    std::printf("%8d %14zu %14zu\n", period, simulator.group().count(0),
-                simulator.group().count(1));
-    simulator.run(2);
+    const auto& counts = result.counts_at(static_cast<std::size_t>(period));
+    std::printf("%8d %14zu %14zu\n", period, counts[0], counts[1]);
   }
   std::printf("\nO(log2 N) = %.1f rounds predicted; everyone infected: %s\n",
               std::log2(10000.0),
-              simulator.group().count(1) == 10000 ? "yes" : "nearly");
+              result.final_counts[1] == 10000 ? "yes" : "nearly");
   return 0;
 }

@@ -1,0 +1,344 @@
+#include "api/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "core/mean_field.hpp"
+#include "sim/churn.hpp"
+#include "sim/metrics.hpp"
+
+namespace deproto::api {
+
+namespace {
+
+ConvergenceSummary summarize_convergence(
+    const std::vector<PeriodPoint>& series,
+    const std::vector<std::size_t>& final_counts, std::size_t final_alive) {
+  ConvergenceSummary summary;
+  if (final_counts.empty()) return summary;
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < final_counts.size(); ++s) {
+    if (final_counts[s] > final_counts[best]) best = s;
+  }
+  summary.dominant_state = best;
+  summary.dominant_fraction =
+      final_alive == 0 ? 0.0
+                       : static_cast<double>(final_counts[best]) /
+                             static_cast<double>(final_alive);
+  summary.absorbed = final_alive > 0 && final_counts[best] == final_alive;
+  const double final_value = static_cast<double>(final_counts[best]);
+  const double tol = std::max(2.0, 0.02 * final_value);
+  for (auto it = series.rbegin(); it != series.rend(); ++it) {
+    if (std::abs(static_cast<double>(it->counts[best]) - final_value) > tol) {
+      break;
+    }
+    summary.settle_time = it->time;
+  }
+  return summary;
+}
+
+}  // namespace
+
+const std::vector<std::size_t>& ExperimentResult::counts_at(
+    std::size_t period) const {
+  if (period == 0) return initial_counts;
+  if (period > series.size()) {
+    throw std::out_of_range("ExperimentResult::counts_at: period " +
+                            std::to_string(period) + " > " +
+                            std::to_string(series.size()));
+  }
+  return series[period - 1].counts;
+}
+
+Json ExperimentResult::to_json() const {
+  Json j = Json::object();
+  if (!scenario.empty()) j.set("scenario", Json::string(scenario));
+  Json names = Json::array();
+  for (const std::string& n : state_names) names.push(Json::string(n));
+  j.set("state_names", std::move(names));
+  j.set("taxonomy",
+        Json::object()
+            .set("complete", Json::boolean(taxonomy.complete))
+            .set("completely_partitionable",
+                 Json::boolean(taxonomy.completely_partitionable))
+            .set("restricted_polynomial",
+                 Json::boolean(taxonomy.restricted_polynomial))
+            .set("detail", Json::string(taxonomy.detail)));
+  j.set("p", Json::number(p));
+  j.set("mean_field_verified", Json::boolean(mean_field_verified));
+  Json note_arr = Json::array();
+  for (const std::string& n : notes) note_arr.push(Json::string(n));
+  j.set("notes", std::move(note_arr));
+  j.set("machine", Json::string(machine_text));
+  j.set("initial_counts", json_from_counts(initial_counts));
+  // Columnar series: one time array plus one population array per state.
+  Json time = Json::array();
+  Json alive = Json::array();
+  std::vector<Json> cols(state_names.size(), Json::array());
+  for (const PeriodPoint& point : series) {
+    time.push(Json::number(point.time));
+    alive.push(Json::number(point.total_alive));
+    for (std::size_t s = 0; s < cols.size(); ++s) {
+      cols[s].push(Json::number(point.counts[s]));
+    }
+  }
+  Json columns = Json::array();
+  for (Json& column : cols) columns.push(std::move(column));
+  j.set("series", Json::object()
+                      .set("time", std::move(time))
+                      .set("alive", std::move(alive))
+                      .set("counts", std::move(columns)));
+  j.set("final_counts", json_from_counts(final_counts));
+  j.set("final_alive", Json::number(final_alive));
+  j.set("tokens", Json::object()
+                      .set("generated", Json::number(tokens.generated))
+                      .set("delivered", Json::number(tokens.delivered))
+                      .set("dropped", Json::number(tokens.dropped)));
+  j.set("probes_total", Json::number(probes_total));
+  j.set("messages_sent", Json::number(messages_sent));
+  j.set("messages_dropped", Json::number(messages_dropped));
+  j.set("convergence",
+        Json::object()
+            .set("dominant_state", Json::number(convergence.dominant_state))
+            .set("dominant_fraction",
+                 Json::number(convergence.dominant_fraction))
+            .set("absorbed", Json::boolean(convergence.absorbed))
+            .set("settle_time", Json::number(convergence.settle_time)));
+  return j;
+}
+
+ExperimentResult ExperimentResult::from_json(const Json& j) {
+  ExperimentResult r;
+  r.scenario = j.get_or("scenario", std::string());
+  for (const Json& e : j.at("state_names").elements()) {
+    r.state_names.push_back(e.as_string());
+  }
+  const Json& tax = j.at("taxonomy");
+  r.taxonomy.complete = tax.get_or("complete", false);
+  r.taxonomy.completely_partitionable =
+      tax.get_or("completely_partitionable", false);
+  r.taxonomy.restricted_polynomial =
+      tax.get_or("restricted_polynomial", false);
+  r.taxonomy.detail = tax.get_or("detail", std::string());
+  r.p = j.get_or("p", 1.0);
+  r.mean_field_verified = j.get_or("mean_field_verified", false);
+  if (j.contains("notes")) {
+    for (const Json& e : j.at("notes").elements()) {
+      r.notes.push_back(e.as_string());
+    }
+  }
+  r.machine_text = j.get_or("machine", std::string());
+  r.initial_counts = counts_from_json(j.at("initial_counts"));
+  const Json& series = j.at("series");
+  const Json::Array& time = series.at("time").elements();
+  const Json::Array& alive = series.at("alive").elements();
+  const Json::Array& columns = series.at("counts").elements();
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    PeriodPoint point;
+    point.time = time[i].as_number();
+    point.total_alive = alive[i].as_size();
+    point.counts.reserve(columns.size());
+    for (const Json& column : columns) {
+      point.counts.push_back(column.elements().at(i).as_size());
+    }
+    r.series.push_back(std::move(point));
+  }
+  r.final_counts = counts_from_json(j.at("final_counts"));
+  r.final_alive = j.at("final_alive").as_size();
+  if (j.contains("tokens")) {
+    const Json& t = j.at("tokens");
+    r.tokens.generated = t.at("generated").as_u64();
+    r.tokens.delivered = t.at("delivered").as_u64();
+    r.tokens.dropped = t.at("dropped").as_u64();
+  }
+  if (j.contains("probes_total")) {
+    r.probes_total = j.at("probes_total").as_u64();
+  }
+  if (j.contains("messages_sent")) {
+    r.messages_sent = j.at("messages_sent").as_u64();
+  }
+  if (j.contains("messages_dropped")) {
+    r.messages_dropped = j.at("messages_dropped").as_u64();
+  }
+  if (j.contains("convergence")) {
+    const Json& c = j.at("convergence");
+    r.convergence.dominant_state = c.at("dominant_state").as_size();
+    r.convergence.dominant_fraction = c.get_or("dominant_fraction", 0.0);
+    r.convergence.absorbed = c.get_or("absorbed", false);
+    r.convergence.settle_time = c.get_or("settle_time", -1.0);
+  }
+  return r;
+}
+
+Experiment::Experiment(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+const Experiment::Resolved& Experiment::resolved() {
+  if (!resolved_.has_value()) {
+    ode::EquationSystem source = spec_.resolve_source();
+    ode::TaxonomyReport taxonomy = ode::classify(source);
+    resolved_.emplace(Resolved{std::move(source), std::move(taxonomy)});
+  }
+  return *resolved_;
+}
+
+const Experiment::Artifacts& Experiment::artifacts() {
+  if (!artifacts_.has_value()) {
+    const Resolved& res = resolved();
+    core::SynthesisResult synthesis =
+        core::synthesize(res.source, spec_.synthesis);
+    const bool verified = core::verifies_equivalence(
+        synthesis.machine, synthesis.source, spec_.synthesis.failure_rate);
+    artifacts_.emplace(Artifacts{res.source, res.taxonomy,
+                                 std::move(synthesis), verified});
+  }
+  return *artifacts_;
+}
+
+ExperimentRun::ExperimentRun(Experiment& owner) : owner_(&owner) {}
+
+ExperimentRun Experiment::launch() {
+  try {
+    return launch_impl();
+  } catch (const std::invalid_argument& e) {
+    // Simulator-level validation (seed counts vs n, failure fractions,
+    // churn rates) surfaces under the facade's documented error type.
+    throw SpecError(e.what());
+  }
+}
+
+ExperimentRun Experiment::launch_impl() {
+  const Artifacts& art = artifacts();
+  const core::ProtocolStateMachine& machine = art.synthesis.machine;
+  const std::size_t m = machine.num_states();
+
+  ExperimentRun run(*this);
+  // Seeding counts: the spec's, or an even spread of n/m per state. The
+  // division remainder is deliberately NOT seeded -- those processes stay
+  // in state 0 without a self-transition, exactly like the legacy wiring,
+  // so fixed-seed runs stay bit-identical across the refactor.
+  std::vector<std::size_t> seed_counts = spec_.initial_counts;
+  if (seed_counts.empty()) seed_counts.assign(m, spec_.n / m);
+  if (seed_counts.size() > m) {
+    throw SpecError("initial_counts has more entries than machine states");
+  }
+
+  if (spec_.backend == Backend::Sync) {
+    run.executor_ =
+        std::make_unique<sim::MachineExecutor>(machine, spec_.runtime);
+    run.sync_ = std::make_unique<sim::SyncSimulator>(
+        spec_.n, *run.executor_, spec_.seed);
+    run.sync_->seed_states(seed_counts);
+    for (const sim::MassiveFailure& f : spec_.faults.massive_failures) {
+      run.sync_->schedule_massive_failure(f.period, f.fraction);
+    }
+    if (spec_.faults.crash_recovery.crash_prob > 0.0) {
+      run.sync_->set_crash_recovery(
+          spec_.faults.crash_recovery.crash_prob,
+          spec_.faults.crash_recovery.mean_downtime_periods);
+    }
+    if (spec_.faults.churn.enabled) {
+      const ChurnSpec& churn = spec_.faults.churn;
+      sim::Rng churn_rng(churn.seed);
+      const sim::ChurnTrace trace = sim::ChurnTrace::synthetic_overnet(
+          spec_.n, churn.hours, churn.min_rate, churn.max_rate,
+          churn.mean_downtime_hours, churn_rng);
+      run.sync_->attach_churn(trace, churn.periods_per_hour);
+    }
+  } else {
+    if (spec_.faults.crash_recovery.crash_prob > 0.0 ||
+        spec_.faults.churn.enabled) {
+      throw SpecError(
+          "event backend supports massive failures only (no churn or "
+          "crash-recovery yet)");
+    }
+    sim::EventSimOptions options;
+    options.network.loss = spec_.runtime.message_loss;
+    options.clock_drift = spec_.clock_drift;
+    options.token_ttl = spec_.runtime.tokens.ttl;
+    options.token_random_walk =
+        spec_.runtime.tokens.mode == sim::TokenRouting::Mode::RandomWalkTtl;
+    run.event_ = std::make_unique<sim::EventSimulator>(
+        spec_.n, machine, spec_.seed, options);
+    run.event_->seed_states(seed_counts);
+    for (const sim::MassiveFailure& f : spec_.faults.massive_failures) {
+      run.event_->schedule_massive_failure(static_cast<double>(f.period),
+                                           f.fraction);
+    }
+  }
+  // Report the populations actually materialized (the even-spread
+  // remainder lands in state 0).
+  const sim::Group& seeded = run.group();
+  run.initial_counts_.clear();
+  for (std::size_t s = 0; s < seeded.num_states(); ++s) {
+    run.initial_counts_.push_back(seeded.count(s));
+  }
+  return run;
+}
+
+sim::Group& ExperimentRun::group() {
+  return sync_ ? sync_->group() : event_->group();
+}
+
+void ExperimentRun::advance(std::size_t periods) {
+  if (sync_) {
+    sync_->run(periods);
+  } else {
+    event_->run_until(static_cast<double>(advanced_ + periods));
+  }
+  advanced_ += periods;
+}
+
+ExperimentResult ExperimentRun::finish() {
+  const Experiment::Artifacts& art = owner_->artifacts();
+  const ScenarioSpec& spec = owner_->spec();
+
+  ExperimentResult result;
+  result.scenario = spec.name;
+  result.state_names = art.synthesis.machine.state_names();
+  result.taxonomy = art.taxonomy;
+  result.taxonomy.partition.clear();  // witness is not part of the result
+  result.p = art.synthesis.p;
+  result.mean_field_verified = art.mean_field_verified;
+  result.notes = art.synthesis.notes;
+  result.machine_text = art.synthesis.machine.to_string();
+  result.initial_counts = initial_counts_;
+
+  const sim::MetricsCollector& metrics =
+      sync_ ? sync_->metrics() : event_->metrics();
+  // One series point per period on both backends. The event simulator
+  // additionally samples at t = 0; that point duplicates initial_counts,
+  // so it is skipped here.
+  const std::vector<sim::PeriodSample>& samples = metrics.samples();
+  for (std::size_t i = (event_ ? 1 : 0); i < samples.size(); ++i) {
+    const sim::PeriodSample& sample = samples[i];
+    result.series.push_back(
+        PeriodPoint{sample.time, sample.alive_in_state, sample.total_alive});
+  }
+
+  const sim::Group& g = sync_ ? sync_->group() : event_->group();
+  for (std::size_t s = 0; s < g.num_states(); ++s) {
+    result.final_counts.push_back(g.count(s));
+  }
+  result.final_alive = g.total_alive();
+
+  if (sync_) {
+    result.tokens = executor_->token_stats();
+    result.probes_total = executor_->probes_total();
+  } else {
+    result.messages_sent = event_->network().sent();
+    result.messages_dropped = event_->network().dropped();
+  }
+  result.convergence = summarize_convergence(
+      result.series, result.final_counts, result.final_alive);
+  return result;
+}
+
+ExperimentResult Experiment::run() {
+  ExperimentRun active = launch();
+  active.advance(spec_.periods);
+  return active.finish();
+}
+
+}  // namespace deproto::api

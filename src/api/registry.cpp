@@ -1,0 +1,156 @@
+#include "api/registry.hpp"
+
+namespace deproto::api {
+
+namespace {
+
+ScenarioSpec epidemic_base() {
+  ScenarioSpec spec;
+  spec.name = "epidemic";
+  spec.description =
+      "Eq. (0) pull epidemic: one infective converts 10,000 processes in "
+      "O(log N) periods (the quickstart experiment)";
+  spec.source.catalog = "epidemic";
+  spec.n = 10000;
+  spec.periods = 26;
+  spec.seed = 2004;
+  spec.initial_counts = {9999, 1};
+  return spec;
+}
+
+ScenarioSpec endemic_base() {
+  ScenarioSpec spec;
+  spec.name = "endemic";
+  spec.description =
+      "Eq. (1) endemic replication (Figure 1 push-pull variant, beta=4, "
+      "gamma=0.2, alpha=0.05): the stash population self-stabilizes";
+  spec.source.catalog = "endemic";
+  spec.source.params = {4.0, 0.2, 0.05};
+  spec.synthesis.push_pull.push_back(core::PushPullSpec{"x", "y"});
+  spec.n = 5000;
+  spec.periods = 300;
+  spec.seed = 21;
+  // Near eq. (2): x* = gamma/beta = 0.05, y* = (1-x*)/(1+gamma/alpha) = 0.19.
+  spec.initial_counts = {250, 950, 3800};
+  return spec;
+}
+
+ScenarioSpec lv_base() {
+  ScenarioSpec spec;
+  spec.name = "lv-majority";
+  spec.description =
+      "Eq. (7) Lotka-Volterra majority vote (p=0.05): a 60/40 split "
+      "converges to the initial majority";
+  spec.source.catalog = "lv";
+  spec.synthesis.p = 0.05;
+  spec.n = 10000;
+  spec.periods = 400;
+  spec.seed = 1234;
+  spec.initial_counts = {6000, 4000, 0};
+  return spec;
+}
+
+std::vector<ScenarioSpec> build_registry() {
+  std::vector<ScenarioSpec> specs;
+
+  specs.push_back(epidemic_base());
+
+  {
+    ScenarioSpec spec = epidemic_base();
+    spec.name = "epidemic-lossy";
+    spec.description =
+        "Pull epidemic over a 20% lossy network with Section 3 coin "
+        "compensation: same dynamics as the loss-free run";
+    spec.synthesis.failure_rate = 0.2;
+    spec.runtime.message_loss = 0.2;
+    spec.periods = 40;
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = epidemic_base();
+    spec.name = "epidemic-event";
+    spec.description =
+        "Pull epidemic on the fully asynchronous event backend: per-process "
+        "clocks with 5% drift, 5% message loss, no global rounds";
+    spec.backend = Backend::Event;
+    spec.clock_drift = 0.05;
+    spec.runtime.message_loss = 0.05;
+    spec.n = 2000;
+    spec.periods = 30;
+    spec.seed = 7;
+    spec.initial_counts = {1999, 1};
+    specs.push_back(std::move(spec));
+  }
+
+  specs.push_back(lv_base());
+
+  {
+    ScenarioSpec spec = lv_base();
+    spec.name = "lv-majority-failure";
+    spec.description =
+        "LV majority vote losing half the group at period 100 (Figure 12): "
+        "the surviving majority still wins";
+    spec.faults.massive_failures.push_back(sim::MassiveFailure{100, 0.5});
+    specs.push_back(std::move(spec));
+  }
+
+  specs.push_back(endemic_base());
+
+  {
+    ScenarioSpec spec = endemic_base();
+    spec.name = "endemic-massive-failure";
+    spec.description =
+        "Endemic replication losing 50% of all processes at period 150 "
+        "(Figure 5): the stash population recovers to equilibrium";
+    spec.faults.massive_failures.push_back(sim::MassiveFailure{150, 0.5});
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = endemic_base();
+    spec.name = "endemic-churn";
+    spec.description =
+        "Endemic replication under synthetic Overnet churn (Figures 9-10): "
+        "5-15% hourly churn, 10 periods per hour, 30 hours";
+    spec.faults.churn.enabled = true;
+    spec.faults.churn.hours = 30.0;
+    spec.faults.churn.min_rate = 0.05;
+    spec.faults.churn.max_rate = 0.15;
+    spec.faults.churn.mean_downtime_hours = 0.5;
+    spec.faults.churn.seed = 7;
+    spec.faults.churn.periods_per_hour = 10.0;
+    specs.push_back(std::move(spec));
+  }
+
+  return specs;
+}
+
+const std::vector<ScenarioSpec>& registry() {
+  static const std::vector<ScenarioSpec> specs = build_registry();
+  return specs;
+}
+
+}  // namespace
+
+std::vector<std::string> registry_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const ScenarioSpec& spec : registry()) names.push_back(spec.name);
+  return names;
+}
+
+const ScenarioSpec* registry_find(const std::string& name) {
+  for (const ScenarioSpec& spec : registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+ScenarioSpec registry_get(const std::string& name) {
+  if (const ScenarioSpec* spec = registry_find(name)) return *spec;
+  throw SpecError("unknown scenario: " + name +
+                  " (deproto-run --list shows the registry)");
+}
+
+}  // namespace deproto::api

@@ -1,0 +1,24 @@
+#pragma once
+
+// The scenario registry: the paper's experiments (and their loss/failure
+// variants) pre-registered as named ScenarioSpecs, so `deproto-run <name>`
+// and sweep drivers never hand-wire a pipeline. Names are stable API;
+// tests assert the exact list.
+
+#include <string>
+#include <vector>
+
+#include "api/spec.hpp"
+
+namespace deproto::api {
+
+/// All registered scenario names, in registration order.
+[[nodiscard]] std::vector<std::string> registry_names();
+
+/// The spec registered under `name`, or nullptr when unknown.
+[[nodiscard]] const ScenarioSpec* registry_find(const std::string& name);
+
+/// The spec registered under `name`; throws SpecError when unknown.
+[[nodiscard]] ScenarioSpec registry_get(const std::string& name);
+
+}  // namespace deproto::api

@@ -1,0 +1,302 @@
+#include "api/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ode/catalog.hpp"
+#include "ode/parser.hpp"
+
+namespace deproto::api {
+
+namespace {
+
+double param_or(const std::vector<double>& params, std::size_t index,
+                double fallback) {
+  return index < params.size() ? params[index] : fallback;
+}
+
+Json synthesis_to_json(const core::SynthesisOptions& o) {
+  Json j = Json::object();
+  if (o.p.has_value()) j.set("p", Json::number(*o.p));
+  j.set("failure_rate", Json::number(o.failure_rate));
+  j.set("allow_tokenizing", Json::boolean(o.allow_tokenizing));
+  j.set("auto_rewrite", Json::boolean(o.auto_rewrite));
+  j.set("slack_name", Json::string(o.slack_name));
+  if (!o.push_pull.empty()) {
+    Json pairs = Json::array();
+    for (const core::PushPullSpec& s : o.push_pull) {
+      pairs.push(Json::object()
+                     .set("x", Json::string(s.state_x))
+                     .set("y", Json::string(s.state_y)));
+    }
+    j.set("push_pull", std::move(pairs));
+  }
+  return j;
+}
+
+core::SynthesisOptions synthesis_from_json(const Json& j) {
+  core::SynthesisOptions o;
+  if (j.contains("p")) o.p = j.at("p").as_number();
+  o.failure_rate = j.get_or("failure_rate", o.failure_rate);
+  o.allow_tokenizing = j.get_or("allow_tokenizing", o.allow_tokenizing);
+  o.auto_rewrite = j.get_or("auto_rewrite", o.auto_rewrite);
+  o.slack_name = j.get_or("slack_name", o.slack_name);
+  if (j.contains("push_pull")) {
+    for (const Json& e : j.at("push_pull").elements()) {
+      o.push_pull.push_back(core::PushPullSpec{e.at("x").as_string(),
+                                               e.at("y").as_string()});
+    }
+  }
+  return o;
+}
+
+Json runtime_to_json(const sim::RuntimeOptions& o) {
+  Json j = Json::object();
+  j.set("message_loss", Json::number(o.message_loss));
+  j.set("token_mode",
+        Json::string(o.tokens.mode == sim::TokenRouting::Mode::Directory
+                         ? "directory"
+                         : "random_walk_ttl"));
+  j.set("token_ttl", Json::number(static_cast<double>(o.tokens.ttl)));
+  j.set("simultaneous_updates", Json::boolean(o.simultaneous_updates));
+  return j;
+}
+
+sim::RuntimeOptions runtime_from_json(const Json& j) {
+  sim::RuntimeOptions o;
+  o.message_loss = j.get_or("message_loss", o.message_loss);
+  const std::string mode = j.get_or("token_mode", std::string("directory"));
+  if (mode == "directory") {
+    o.tokens.mode = sim::TokenRouting::Mode::Directory;
+  } else if (mode == "random_walk_ttl") {
+    o.tokens.mode = sim::TokenRouting::Mode::RandomWalkTtl;
+  } else {
+    throw SpecError("unknown token_mode: " + mode);
+  }
+  o.tokens.ttl = static_cast<unsigned>(j.get_or(
+      "token_ttl", static_cast<double>(o.tokens.ttl)));
+  o.simultaneous_updates =
+      j.get_or("simultaneous_updates", o.simultaneous_updates);
+  return o;
+}
+
+Json faults_to_json(const FaultPlan& f) {
+  Json j = Json::object();
+  if (!f.massive_failures.empty()) {
+    Json arr = Json::array();
+    for (const sim::MassiveFailure& m : f.massive_failures) {
+      arr.push(Json::object()
+                   .set("period", Json::number(m.period))
+                   .set("fraction", Json::number(m.fraction)));
+    }
+    j.set("massive_failures", std::move(arr));
+  }
+  if (f.crash_recovery.crash_prob > 0.0) {
+    j.set("crash_recovery",
+          Json::object()
+              .set("crash_prob", Json::number(f.crash_recovery.crash_prob))
+              .set("mean_downtime_periods",
+                   Json::number(f.crash_recovery.mean_downtime_periods)));
+  }
+  if (f.churn.enabled) {
+    j.set("churn",
+          Json::object()
+              .set("hours", Json::number(f.churn.hours))
+              .set("min_rate", Json::number(f.churn.min_rate))
+              .set("max_rate", Json::number(f.churn.max_rate))
+              .set("mean_downtime_hours",
+                   Json::number(f.churn.mean_downtime_hours))
+              .set("seed", Json::number(f.churn.seed))
+              .set("periods_per_hour",
+                   Json::number(f.churn.periods_per_hour)));
+  }
+  return j;
+}
+
+FaultPlan faults_from_json(const Json& j) {
+  FaultPlan f;
+  if (j.contains("massive_failures")) {
+    for (const Json& e : j.at("massive_failures").elements()) {
+      f.massive_failures.push_back(sim::MassiveFailure{
+          e.at("period").as_size(), e.at("fraction").as_number()});
+    }
+  }
+  if (j.contains("crash_recovery")) {
+    const Json& cr = j.at("crash_recovery");
+    f.crash_recovery.crash_prob = cr.get_or("crash_prob", 0.0);
+    f.crash_recovery.mean_downtime_periods =
+        cr.get_or("mean_downtime_periods", 0.0);
+  }
+  if (j.contains("churn")) {
+    const Json& ch = j.at("churn");
+    f.churn.enabled = true;
+    f.churn.hours = ch.get_or("hours", f.churn.hours);
+    f.churn.min_rate = ch.get_or("min_rate", f.churn.min_rate);
+    f.churn.max_rate = ch.get_or("max_rate", f.churn.max_rate);
+    f.churn.mean_downtime_hours =
+        ch.get_or("mean_downtime_hours", f.churn.mean_downtime_hours);
+    if (ch.contains("seed")) f.churn.seed = ch.at("seed").as_u64();
+    f.churn.periods_per_hour =
+        ch.get_or("periods_per_hour", f.churn.periods_per_hour);
+  }
+  return f;
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  return backend == Backend::Sync ? "sync" : "event";
+}
+
+Backend backend_from_name(const std::string& name) {
+  if (name == "sync") return Backend::Sync;
+  if (name == "event") return Backend::Event;
+  throw SpecError("unknown backend: " + name + " (want sync | event)");
+}
+
+std::vector<std::string> catalog_source_ids() {
+  return {"epidemic",  "endemic",    "lv",         "lv-original",
+          "sir",       "logistic",   "invitation", "constant-flow"};
+}
+
+ode::EquationSystem ScenarioSpec::resolve_source() const {
+  if (!source.catalog.empty() && !source.ode_text.empty()) {
+    throw SpecError("source: give either a catalog id or ODE text, not both");
+  }
+  if (!source.ode_text.empty()) return ode::parse_system(source.ode_text);
+  const std::string& id = source.catalog;
+  const std::vector<double>& a = source.params;
+  if (id == "epidemic") return ode::catalog::epidemic();
+  if (id == "endemic") {
+    return ode::catalog::endemic(param_or(a, 0, 4.0), param_or(a, 1, 1.0),
+                                 param_or(a, 2, 0.1));
+  }
+  if (id == "lv") return ode::catalog::lv_partitionable();
+  if (id == "lv-original") return ode::catalog::lv_original();
+  if (id == "sir") {
+    return ode::catalog::sir(param_or(a, 0, 0.5), param_or(a, 1, 0.1));
+  }
+  if (id == "logistic") return ode::catalog::logistic(param_or(a, 0, 0.7));
+  if (id == "invitation") {
+    return ode::catalog::invitation(param_or(a, 0, 0.1));
+  }
+  if (id == "constant-flow") {
+    return ode::catalog::constant_flow(param_or(a, 0, 0.05));
+  }
+  if (id.empty()) throw SpecError("source: empty (no catalog id, no text)");
+  throw SpecError("unknown catalog id: " + id);
+}
+
+ScenarioSpec ScenarioSpec::scaled_to(std::size_t new_n) const {
+  ScenarioSpec scaled = *this;
+  scaled.n = new_n;
+  if (!initial_counts.empty() && n > 0) {
+    const double ratio =
+        static_cast<double>(new_n) / static_cast<double>(n);
+    std::size_t assigned = 0;
+    scaled.initial_counts.clear();
+    for (const std::size_t c : initial_counts) {
+      std::size_t v = static_cast<std::size_t>(
+          std::llround(static_cast<double>(c) * ratio));
+      if (c > 0 && v == 0) v = 1;  // keep seeded states populated
+      scaled.initial_counts.push_back(v);
+      assigned += v;
+    }
+    // Rounding overshoot comes out of the largest entry that can spare a
+    // process without emptying a seeded state (entries pinned to 1 stay
+    // at 1). Unsatisfiable only when new_n < the number of nonzero
+    // states; then the largest entries give way after all.
+    while (assigned > new_n) {
+      auto it = scaled.initial_counts.end();
+      for (auto cur = scaled.initial_counts.begin();
+           cur != scaled.initial_counts.end(); ++cur) {
+        if (*cur > 1 && (it == scaled.initial_counts.end() || *cur > *it)) {
+          it = cur;
+        }
+      }
+      if (it == scaled.initial_counts.end()) {
+        it = std::max_element(scaled.initial_counts.begin(),
+                              scaled.initial_counts.end());
+        if (*it == 0) break;  // nothing left to take
+      }
+      --*it;
+      --assigned;
+    }
+    // Rounding undershoot tops up the largest entry (closest to the
+    // intended proportions); without this, seed_states would silently
+    // leave the shortfall in state 0.
+    while (assigned < new_n) {
+      ++*std::max_element(scaled.initial_counts.begin(),
+                          scaled.initial_counts.end());
+      ++assigned;
+    }
+  }
+  return scaled;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json j = Json::object();
+  if (!name.empty()) j.set("name", Json::string(name));
+  if (!description.empty()) j.set("description", Json::string(description));
+  Json src = Json::object();
+  if (!source.catalog.empty()) {
+    src.set("catalog", Json::string(source.catalog));
+    if (!source.params.empty()) {
+      Json params = Json::array();
+      for (const double p : source.params) params.push(Json::number(p));
+      src.set("params", std::move(params));
+    }
+  } else {
+    src.set("ode", Json::string(source.ode_text));
+  }
+  j.set("source", std::move(src));
+  j.set("synthesis", synthesis_to_json(synthesis));
+  j.set("runtime", runtime_to_json(runtime));
+  j.set("backend", Json::string(backend_name(backend)));
+  if (backend == Backend::Event) {
+    j.set("clock_drift", Json::number(clock_drift));
+  }
+  j.set("n", Json::number(n));
+  j.set("periods", Json::number(periods));
+  j.set("seed", Json::number(seed));
+  if (!initial_counts.empty()) {
+    j.set("initial_counts", json_from_counts(initial_counts));
+  }
+  if (faults.any()) j.set("faults", faults_to_json(faults));
+  return j;
+}
+
+ScenarioSpec ScenarioSpec::from_json(const Json& j) {
+  ScenarioSpec spec;
+  spec.name = j.get_or("name", spec.name);
+  spec.description = j.get_or("description", spec.description);
+  if (j.contains("source")) {
+    const Json& src = j.at("source");
+    spec.source.catalog = src.get_or("catalog", std::string());
+    spec.source.ode_text = src.get_or("ode", std::string());
+    if (src.contains("params")) {
+      for (const Json& e : src.at("params").elements()) {
+        spec.source.params.push_back(e.as_number());
+      }
+    }
+  }
+  if (j.contains("synthesis")) {
+    spec.synthesis = synthesis_from_json(j.at("synthesis"));
+  }
+  if (j.contains("runtime")) {
+    spec.runtime = runtime_from_json(j.at("runtime"));
+  }
+  spec.backend =
+      backend_from_name(j.get_or("backend", std::string("sync")));
+  spec.clock_drift = j.get_or("clock_drift", spec.clock_drift);
+  if (j.contains("n")) spec.n = j.at("n").as_size();
+  if (j.contains("periods")) spec.periods = j.at("periods").as_size();
+  if (j.contains("seed")) spec.seed = j.at("seed").as_u64();
+  if (j.contains("initial_counts")) {
+    spec.initial_counts = counts_from_json(j.at("initial_counts"));
+  }
+  if (j.contains("faults")) spec.faults = faults_from_json(j.at("faults"));
+  return spec;
+}
+
+}  // namespace deproto::api

@@ -1,0 +1,122 @@
+#pragma once
+
+// Declarative experiment descriptions: everything the paper's pipeline
+// needs -- a source equation system (ODE text or a catalog id), synthesis
+// and runtime options, a simulation backend with N/seed/periods, initial
+// state seeding, and a fault plan -- in one serializable value. Experiment
+// (api/experiment.hpp) is the single entry point that executes a spec;
+// the registry (api/registry.hpp) pre-registers the paper's scenarios.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+#include "core/synthesis.hpp"
+#include "ode/equation_system.hpp"
+#include "sim/runtime.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace deproto::api {
+
+/// Thrown when a spec cannot be resolved or executed (unknown catalog id,
+/// malformed JSON shape, backend/fault combination not supported).
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Where the source equations come from. Exactly one of `catalog` /
+/// `ode_text` is non-empty; catalog entries take positional parameters
+/// (e.g. endemic's beta, gamma, alpha) with catalog defaults when omitted.
+struct SourceSpec {
+  std::string catalog;          // id from api::catalog_source_ids()
+  std::vector<double> params;   // catalog constructor parameters
+  std::string ode_text;         // parser grammar (see ode/parser.hpp)
+
+  friend bool operator==(const SourceSpec&, const SourceSpec&) = default;
+};
+
+/// Synthetic Overnet-style churn attachment (sync backend only); mirrors
+/// sim::ChurnTrace::synthetic_overnet plus the hours -> periods conversion.
+struct ChurnSpec {
+  bool enabled = false;
+  double hours = 0.0;
+  double min_rate = 0.05;
+  double max_rate = 0.15;
+  double mean_downtime_hours = 0.5;
+  std::uint64_t seed = 7;
+  double periods_per_hour = 10.0;
+
+  friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
+};
+
+/// Background crash-recovery failures (sync backend only); mirrors
+/// sim::SyncSimulator::set_crash_recovery.
+struct CrashRecoverySpec {
+  double crash_prob = 0.0;
+  double mean_downtime_periods = 0.0;
+
+  friend bool operator==(const CrashRecoverySpec&,
+                         const CrashRecoverySpec&) = default;
+};
+
+/// The unified fault plan: scheduled massive failures, background
+/// crash-recovery, and churn-trace attachment.
+struct FaultPlan {
+  std::vector<sim::MassiveFailure> massive_failures;
+  CrashRecoverySpec crash_recovery;
+  ChurnSpec churn;
+
+  [[nodiscard]] bool any() const {
+    return !massive_failures.empty() || crash_recovery.crash_prob > 0.0 ||
+           churn.enabled;
+  }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+enum class Backend { Sync, Event };
+
+[[nodiscard]] const char* backend_name(Backend backend);
+[[nodiscard]] Backend backend_from_name(const std::string& name);
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  SourceSpec source;
+  core::SynthesisOptions synthesis;
+  sim::RuntimeOptions runtime;
+  Backend backend = Backend::Sync;
+  /// Event backend only: per-process clock drift (EventSimOptions).
+  double clock_drift = 0.05;
+  std::size_t n = 1000;
+  std::size_t periods = 100;
+  std::uint64_t seed = 1;
+  /// counts[s] processes start in machine state s; empty means an even
+  /// spread of n / num_states per state (remainder in state 0).
+  std::vector<std::size_t> initial_counts;
+  FaultPlan faults;
+
+  /// Build the source equation system (catalog lookup or text parse).
+  /// Throws SpecError / ode::ParseError.
+  [[nodiscard]] ode::EquationSystem resolve_source() const;
+
+  /// Copy with n rescaled and initial_counts scaled proportionally
+  /// (nonzero entries stay nonzero; the remainder lands in state 0).
+  [[nodiscard]] ScenarioSpec scaled_to(std::size_t new_n) const;
+
+  [[nodiscard]] Json to_json() const;
+  static ScenarioSpec from_json(const Json& j);
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Catalog ids accepted by SourceSpec::catalog, with their parameter
+/// counts documented in api/spec.cpp (epidemic, endemic, lv, lv-original,
+/// sir, logistic, invitation, constant-flow).
+[[nodiscard]] std::vector<std::string> catalog_source_ids();
+
+}  // namespace deproto::api

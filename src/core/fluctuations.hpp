@@ -14,6 +14,8 @@
 // equilibrium and B accumulates rate * (jump)(jump)^T over the machine's
 // actions. Population-count variances are then N * Sigma_frac.
 
+#include <stdexcept>
+
 #include "core/state_machine.hpp"
 #include "numerics/matrix.hpp"
 #include "ode/equation_system.hpp"

@@ -32,6 +32,8 @@ class SynthesisError : public std::runtime_error {
 struct PushPullSpec {
   std::string state_x;  // the susceptible/receptive side (loses members)
   std::string state_y;  // the infective/stash side (is matched against)
+
+  friend bool operator==(const PushPullSpec&, const PushPullSpec&) = default;
 };
 
 struct SynthesisOptions {
@@ -51,6 +53,9 @@ struct SynthesisOptions {
   std::string slack_name = "z";
   /// Bilinear terms to implement as push+pull (endemic optimization).
   std::vector<PushPullSpec> push_pull;
+
+  friend bool operator==(const SynthesisOptions&,
+                         const SynthesisOptions&) = default;
 };
 
 struct SynthesisResult {

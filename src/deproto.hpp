@@ -52,3 +52,9 @@
 #include "sim/sync_sim.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/runtime.hpp"
+
+// api: the declarative experiment facade over the whole pipeline
+#include "api/json.hpp"
+#include "api/spec.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"

@@ -6,6 +6,7 @@
 // the Durand-Kerner iteration (robust and simple at these sizes).
 
 #include <complex>
+#include <utility>
 #include <vector>
 
 #include "numerics/matrix.hpp"

@@ -4,8 +4,10 @@
 // adaptive Runge-Kutta-Fehlberg 4(5) and Dormand-Prince 5(4) pairs, plus an
 // event-detection helper used by "time to converge" measurements.
 
+#include <cstddef>
 #include <functional>
 #include <optional>
+#include <stdexcept>
 
 #include "numerics/vector.hpp"
 

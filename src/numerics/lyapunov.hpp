@@ -4,6 +4,8 @@
 // analysis. Sizes are tiny (reduced protocol dimensions), so the Kronecker
 // vectorization route through the dense LU solver is the clear choice.
 
+#include <stdexcept>
+
 #include "numerics/matrix.hpp"
 
 namespace deproto::num {

@@ -4,8 +4,10 @@
 // a set of initial points and render them, either as gnuplot-ready data or
 // as a coarse ASCII plot for terminal output.
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "numerics/integrator.hpp"

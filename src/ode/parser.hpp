@@ -12,6 +12,7 @@
 // monomial products: [coeff] [* var[^exp]]..., with an optional leading
 // sign. Exponents are non-negative integers.
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 

@@ -6,6 +6,7 @@
 // separate +3xy terms in z-dot so that each pairs with a distinct negative
 // term). `simplified` merges like terms when algebraic normal form is wanted.
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>

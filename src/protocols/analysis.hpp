@@ -7,6 +7,8 @@
 // notation (variables are fractions of N; beta is the per-period contact
 // rate, = 2b with the push action enabled).
 
+#include <cstddef>
+
 #include "numerics/linearization.hpp"
 #include "protocols/endemic_replication.hpp"
 

@@ -14,6 +14,9 @@
 //    attack) is unrecoverable; replicas also never migrate (no fairness,
 //    fully traceable).
 
+#include <cstddef>
+#include <vector>
+
 #include "sim/protocol.hpp"
 
 namespace deproto::proto {

@@ -10,7 +10,9 @@
 //         stash     (1) -- currently stores a replica (responsible);
 //         averse    (2) -- recently deleted, refuses to store for a while.
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "sim/protocol.hpp"
 

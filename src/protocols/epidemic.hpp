@@ -5,6 +5,10 @@
 // process; infected contacts transmit the multicast. Infection is
 // absorbing; x(t) -> 0 in O(log N) rounds.
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "sim/protocol.hpp"
 
 namespace deproto::proto {

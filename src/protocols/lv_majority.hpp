@@ -6,7 +6,9 @@
 // (state x) or 1 (state y); the group converges w.h.p. to the initial
 // majority, with state z (undecided) as the intermediate.
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "sim/protocol.hpp"
 

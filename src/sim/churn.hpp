@@ -6,6 +6,7 @@
 // module provides (a) playback of arbitrary up/down event traces and (b) a
 // synthetic generator calibrated to the published Overnet statistics.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -3,6 +3,7 @@
 // Discrete-event kernel: a time-ordered queue of closures with stable
 // FIFO tie-breaking at equal timestamps.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>

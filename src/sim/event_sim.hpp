@@ -7,7 +7,10 @@
 // response (or loss surrogate) arrives. This validates that the protocols
 // need no global clock, synchronization, or agreement.
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/state_machine.hpp"
 #include "sim/group.hpp"

@@ -7,6 +7,7 @@
 // uniform selection of an alive member of a state, O(1) transitions, and
 // O(1) population counts -- the operations every protocol period needs.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>

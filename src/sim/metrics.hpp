@@ -5,6 +5,7 @@
 // scatter). Also summary statistics over period windows (Figure 7 reports
 // median/min/max over a 2000-period interval) and CSV writers.
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

@@ -4,6 +4,8 @@
 // (protocols/) or synthesized-and-interpreted (sim/runtime.hpp). The
 // synchronous simulator drives one execute_period call per protocol period.
 
+#include <cstddef>
+
 #include "sim/group.hpp"
 #include "sim/metrics.hpp"
 

@@ -5,7 +5,10 @@
 // kinds, message-loss injection, and both token routing modes of Section 6
 // (full-membership directory, or TTL-bounded random walk).
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "core/state_machine.hpp"
 #include "sim/protocol.hpp"
@@ -24,6 +27,8 @@ struct TokenRouting {
   };
   Mode mode = Mode::Directory;
   unsigned ttl = 8;
+
+  friend bool operator==(const TokenRouting&, const TokenRouting&) = default;
 };
 
 struct RuntimeOptions {
@@ -38,6 +43,9 @@ struct RuntimeOptions {
   /// process observes the target's state at probe time; the two agree to
   /// O(rate^2) per period.
   bool simultaneous_updates = false;
+
+  friend bool operator==(const RuntimeOptions&,
+                         const RuntimeOptions&) = default;
 };
 
 struct TokenStats {

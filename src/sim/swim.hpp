@@ -8,6 +8,7 @@
 // incarnation-numbered refutation, and infection-style dissemination by
 // piggybacking updates on protocol messages.
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <vector>

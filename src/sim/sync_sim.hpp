@@ -6,10 +6,12 @@
 // time on all plots is measured in periods. Supports scheduled massive
 // failures, crash-recovery, and churn-trace playback.
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <memory>
-#include <optional>
 #include <queue>
+#include <utility>
+#include <vector>
 
 #include "sim/churn.hpp"
 #include "sim/metrics.hpp"
@@ -20,6 +22,9 @@ namespace deproto::sim {
 struct MassiveFailure {
   std::size_t period = 0;   // applied at the start of this period
   double fraction = 0.5;    // of currently-alive processes
+
+  friend bool operator==(const MassiveFailure&,
+                         const MassiveFailure&) = default;
 };
 
 class SyncSimulator {

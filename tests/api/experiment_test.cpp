@@ -1,0 +1,187 @@
+// Experiment facade semantics: run() reproduces the legacy hand-wired
+// pipelines bit-for-bit at a fixed seed (the refactor moved wiring, not
+// behavior), the fault plan reaches the simulator, and the structured
+// result is internally consistent.
+
+#include <gtest/gtest.h>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "core/synthesis.hpp"
+#include "ode/catalog.hpp"
+#include "sim/runtime.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace deproto::api {
+namespace {
+
+TEST(ExperimentTest, MatchesLegacyQuickstartWiring) {
+  // The legacy examples/quickstart.cpp path, hand-wired: synthesize the
+  // epidemic, run 10,000 processes from one infective, seed 2004.
+  const core::SynthesisResult synth =
+      core::synthesize(ode::catalog::epidemic());
+  sim::MachineExecutor executor(synth.machine);
+  sim::SyncSimulator simulator(10000, executor, /*seed=*/2004);
+  simulator.seed_states({9999, 1});
+  simulator.run(26);
+
+  const ExperimentResult result =
+      Experiment(registry_get("epidemic")).run();
+
+  ASSERT_EQ(result.final_counts.size(), 2U);
+  EXPECT_EQ(result.final_counts[0], simulator.group().count(0));
+  EXPECT_EQ(result.final_counts[1], simulator.group().count(1));
+  EXPECT_EQ(result.final_alive, simulator.group().total_alive());
+  // Not just the endpoint: every recorded period matches the legacy
+  // metrics stream.
+  const auto& legacy = simulator.metrics().samples();
+  ASSERT_EQ(result.series.size(), legacy.size());
+  for (std::size_t t = 0; t < legacy.size(); ++t) {
+    EXPECT_EQ(result.series[t].counts, legacy[t].alive_in_state) << t;
+  }
+}
+
+TEST(ExperimentTest, MatchesLegacySynthEvenSpreadWiring) {
+  // The legacy deproto-synth --simulate path: even spread n/m per state,
+  // remainder left in state 0, message loss wired from the failure rate.
+  const double loss = 0.1;
+  core::SynthesisOptions options;
+  options.failure_rate = loss;
+  const core::SynthesisResult synth =
+      core::synthesize(ode::catalog::epidemic(), options);
+  sim::RuntimeOptions runtime;
+  runtime.message_loss = loss;
+  sim::MachineExecutor executor(synth.machine, runtime);
+  sim::SyncSimulator simulator(1001, executor, /*seed=*/5);
+  simulator.seed_states({500, 500});  // 1001/2 per state, remainder stays
+  simulator.run(30);
+
+  ScenarioSpec spec;
+  spec.source.ode_text = "x' = -x*y\ny' = x*y\n";
+  spec.synthesis.failure_rate = loss;
+  spec.runtime.message_loss = loss;
+  spec.n = 1001;
+  spec.periods = 30;
+  spec.seed = 5;
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+
+  EXPECT_EQ(result.initial_counts, (std::vector<std::size_t>{501, 500}));
+  EXPECT_EQ(result.final_counts[0], simulator.group().count(0));
+  EXPECT_EQ(result.final_counts[1], simulator.group().count(1));
+}
+
+TEST(ExperimentTest, LaunchAdvanceEqualsRun) {
+  // Chunked advancing through the run handle is RNG-identical to the
+  // one-shot run() (run(k) is a loop of single periods).
+  const ScenarioSpec spec = registry_get("epidemic").scaled_to(600);
+  const ExperimentResult one_shot = Experiment(spec).run();
+
+  Experiment chunked(spec);
+  ExperimentRun run = chunked.launch();
+  run.advance(5);
+  run.advance(20);
+  run.advance(spec.periods - 25);
+  const ExperimentResult stepped = run.finish();
+
+  EXPECT_EQ(stepped.final_counts, one_shot.final_counts);
+  EXPECT_EQ(stepped.series.size(), one_shot.series.size());
+  EXPECT_EQ(run.period(), spec.periods);
+}
+
+TEST(ExperimentTest, CountsAtCoversInitialAndAllPeriods) {
+  ScenarioSpec spec = registry_get("epidemic").scaled_to(400);
+  spec.periods = 8;
+  Experiment experiment(spec);
+  const ExperimentResult result = experiment.run();
+  EXPECT_EQ(result.counts_at(0), result.initial_counts);
+  EXPECT_EQ(result.counts_at(8), result.final_counts);
+  EXPECT_THROW((void)result.counts_at(9), std::out_of_range);
+  std::size_t total = 0;
+  for (const std::size_t c : result.counts_at(0)) total += c;
+  EXPECT_EQ(total, 400U);
+}
+
+TEST(ExperimentTest, MassiveFailurePlanReachesTheSimulator) {
+  ScenarioSpec spec = registry_get("epidemic").scaled_to(1000);
+  spec.periods = 10;
+  spec.faults.massive_failures.push_back(sim::MassiveFailure{3, 0.5});
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+  EXPECT_EQ(result.final_alive, 500U);
+  EXPECT_EQ(result.series[2].total_alive, 1000U);  // end of period 2
+  EXPECT_EQ(result.series[3].total_alive, 500U);   // failure hit period 3
+}
+
+TEST(ExperimentTest, CrashRecoveryPlanReachesTheSimulator) {
+  ScenarioSpec spec = registry_get("epidemic").scaled_to(2000);
+  spec.periods = 50;
+  spec.faults.crash_recovery = CrashRecoverySpec{0.05, 2.0};
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+  // With 5% crashes/period and mean downtime 2, a steady-state fraction
+  // ~ 1/(1 + 0.05*3) of processes is alive; far from both 0 and 2000.
+  EXPECT_LT(result.final_alive, 2000U);
+  EXPECT_GT(result.final_alive, 1000U);
+}
+
+TEST(ExperimentTest, ChurnPlanReachesTheSimulator) {
+  ScenarioSpec spec = registry_get("endemic-churn").scaled_to(500);
+  spec.periods = 40;
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+  bool population_moved = false;
+  for (const PeriodPoint& point : result.series) {
+    if (point.total_alive != 500U) population_moved = true;
+  }
+  EXPECT_TRUE(population_moved);
+}
+
+TEST(ExperimentTest, EventBackendMatchesLegacyEventWiring) {
+  const core::SynthesisResult synth =
+      core::synthesize(ode::catalog::epidemic());
+  sim::EventSimOptions options;
+  options.clock_drift = 0.05;
+  options.network.loss = 0.05;
+  sim::EventSimulator simulator(500, synth.machine, /*seed=*/7, options);
+  simulator.seed_states({499, 1});
+  simulator.run_until(25.0);
+
+  ScenarioSpec spec = registry_get("epidemic-event").scaled_to(500);
+  spec.periods = 25;
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+  EXPECT_EQ(result.final_counts[1], simulator.group().count(1));
+  EXPECT_EQ(result.messages_sent, simulator.network().sent());
+  EXPECT_EQ(result.messages_dropped, simulator.network().dropped());
+}
+
+TEST(ExperimentTest, SimulatorValidationSurfacesAsSpecError) {
+  // Bad spec values that only the simulator layer validates (seed counts
+  // above n, failure fraction above 1) must come back as the facade's
+  // documented SpecError, not raw std::invalid_argument.
+  ScenarioSpec spec = registry_get("epidemic").scaled_to(100);
+  spec.initial_counts = {99, 2};  // sums above n
+  EXPECT_THROW((void)Experiment(spec).launch(), SpecError);
+
+  ScenarioSpec bad_fraction = registry_get("epidemic").scaled_to(100);
+  bad_fraction.faults.massive_failures.push_back(
+      sim::MassiveFailure{5, 1.5});
+  EXPECT_THROW((void)Experiment(bad_fraction).launch(), SpecError);
+}
+
+TEST(ExperimentTest, EventBackendRejectsChurnAndCrashRecovery) {
+  ScenarioSpec spec = registry_get("epidemic-event");
+  spec.faults.churn.enabled = true;
+  EXPECT_THROW((void)Experiment(spec).launch(), SpecError);
+  spec.faults.churn.enabled = false;
+  spec.faults.crash_recovery.crash_prob = 0.01;
+  EXPECT_THROW((void)Experiment(spec).launch(), SpecError);
+}
+
+TEST(ExperimentTest, ConvergenceSummaryFlagsAbsorption) {
+  const ExperimentResult result =
+      Experiment(registry_get("epidemic")).run();
+  EXPECT_EQ(result.convergence.dominant_state, 1U);  // y = infected
+  EXPECT_DOUBLE_EQ(result.convergence.dominant_fraction, 1.0);
+  EXPECT_TRUE(result.convergence.absorbed);
+  EXPECT_GE(result.convergence.settle_time, 0.0);
+}
+
+}  // namespace
+}  // namespace deproto::api

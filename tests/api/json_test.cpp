@@ -1,0 +1,93 @@
+// The hand-rolled JSON layer: construction, typed access, deterministic
+// serialization, and a parse round trip over every value type.
+
+#include <gtest/gtest.h>
+
+#include "api/json.hpp"
+
+namespace deproto::api {
+namespace {
+
+TEST(JsonTest, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json::null().is_null());
+  EXPECT_TRUE(Json::boolean(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json::number(2.5).as_number(), 2.5);
+  EXPECT_EQ(Json::string("hi").as_string(), "hi");
+  EXPECT_EQ(Json::number(std::size_t{42}).as_size(), 42U);
+  EXPECT_EQ(Json::number(std::uint64_t{7}).as_u64(), 7U);
+}
+
+TEST(JsonTest, TypeMismatchThrows) {
+  EXPECT_THROW((void)Json::number(1.0).as_string(), JsonError);
+  EXPECT_THROW((void)Json::string("x").as_number(), JsonError);
+  EXPECT_THROW((void)Json::null().items(), JsonError);
+  EXPECT_THROW((void)Json::number(2.5).as_u64(), JsonError);  // not integral
+  EXPECT_THROW((void)Json::number(-1.0).as_u64(), JsonError);
+  EXPECT_THROW((void)Json::number(2e19).as_u64(), JsonError);  // >= 2^64
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplaces) {
+  Json obj = Json::object();
+  obj.set("b", Json::number(1.0));
+  obj.set("a", Json::number(2.0));
+  obj.set("b", Json::number(3.0));  // replace, keep position
+  EXPECT_EQ(obj.size(), 2U);
+  EXPECT_EQ(obj.dump(), R"({"b":3,"a":2})");
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("c"));
+  EXPECT_THROW((void)obj.at("c"), JsonError);
+  EXPECT_DOUBLE_EQ(obj.get_or("missing", 9.5), 9.5);
+}
+
+TEST(JsonTest, DumpFormats) {
+  Json doc = Json::object();
+  doc.set("xs", Json::array().push(Json::number(1.0)).push(Json::number(2.0)));
+  doc.set("s", Json::string("a\"b\n"));
+  EXPECT_EQ(doc.dump(), "{\"xs\":[1,2],\"s\":\"a\\\"b\\n\"}");
+  EXPECT_EQ(doc.dump(2), "{\n  \"xs\": [\n    1,\n    2\n  ],\n"
+                         "  \"s\": \"a\\\"b\\n\"\n}");
+}
+
+TEST(JsonTest, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Json::number(1e6).dump(), "1000000");
+  EXPECT_EQ(Json::number(0.25).dump(), "0.25");
+  EXPECT_EQ(Json::number(-3.0).dump(), "-3");
+}
+
+TEST(JsonTest, ParseRoundTripsEveryType) {
+  const std::string text =
+      R"({"a":[1,2.5,true,false,null],"b":{"nested":"stré"},"c":-1e-3})";
+  const Json doc = Json::parse(text);
+  EXPECT_DOUBLE_EQ(doc.at("c").as_number(), -1e-3);
+  EXPECT_EQ(doc.at("a").elements().size(), 5U);
+  EXPECT_TRUE(doc.at("a").elements()[4].is_null());
+  EXPECT_EQ(doc.at("b").at("nested").as_string(), "str\xc3\xa9");
+  // dump -> parse -> equal (deep equality).
+  EXPECT_EQ(Json::parse(doc.dump()), doc);
+  EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("{"), JsonError);
+  EXPECT_THROW((void)Json::parse("[1,]"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\":1} trailing"), JsonError);
+  EXPECT_THROW((void)Json::parse("tru"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW((void)Json::parse("1.2.3"), JsonError);
+  // Lone surrogates would serialize to invalid UTF-8.
+  EXPECT_THROW((void)Json::parse(R"("\ud800")"), JsonError);
+  EXPECT_THROW((void)Json::parse(R"("\ud800x")"), JsonError);
+}
+
+TEST(JsonTest, ParseAcceptsSurrogatePairs) {
+  // 😀 is the surrogate pair for U+1F600 (4-byte UTF-8).
+  const Json escaped = Json::parse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(escaped.as_string(), "\xf0\x9f\x98\x80");
+  // Literal UTF-8 passes through untouched.
+  EXPECT_EQ(Json::parse("\"\xf0\x9f\x98\x80\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+}  // namespace
+}  // namespace deproto::api

@@ -1,0 +1,67 @@
+// The scenario registry: the exact list of registered names is API, every
+// entry resolves and synthesizes, and lookups behave.
+
+#include <gtest/gtest.h>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "core/mean_field.hpp"
+
+namespace deproto::api {
+namespace {
+
+TEST(RegistryTest, ListsExactlyTheRegisteredScenarios) {
+  const std::vector<std::string> expected = {
+      "epidemic",
+      "epidemic-lossy",
+      "epidemic-event",
+      "lv-majority",
+      "lv-majority-failure",
+      "endemic",
+      "endemic-massive-failure",
+      "endemic-churn",
+  };
+  EXPECT_EQ(registry_names(), expected);
+}
+
+TEST(RegistryTest, FindAndGetAgree) {
+  for (const std::string& name : registry_names()) {
+    const ScenarioSpec* found = registry_find(name);
+    ASSERT_NE(found, nullptr) << name;
+    EXPECT_EQ(found->name, name);
+    EXPECT_EQ(registry_get(name), *found);
+    EXPECT_FALSE(found->description.empty()) << name;
+  }
+  EXPECT_EQ(registry_find("no-such-scenario"), nullptr);
+  EXPECT_THROW((void)registry_get("no-such-scenario"), SpecError);
+}
+
+TEST(RegistryTest, EveryEntrySynthesizesAndVerifies) {
+  for (const std::string& name : registry_names()) {
+    Experiment experiment(registry_get(name));
+    const Experiment::Artifacts& art = experiment.artifacts();
+    EXPECT_TRUE(art.taxonomy.completely_partitionable) << name;
+    EXPECT_TRUE(art.mean_field_verified) << name;
+    EXPECT_GT(art.synthesis.machine.num_states(), 1U) << name;
+  }
+}
+
+TEST(RegistryTest, EveryEntryRunsAtSmallN) {
+  // The same contract the deproto-run --smoke CTest enforces, in-process:
+  // scaled-down scenarios execute end to end and record every period.
+  for (const std::string& name : registry_names()) {
+    ScenarioSpec spec = registry_get(name).scaled_to(300);
+    spec.periods = 10;
+    for (sim::MassiveFailure& f : spec.faults.massive_failures) {
+      f.period = 5;
+    }
+    Experiment experiment(spec);
+    const ExperimentResult result = experiment.run();
+    EXPECT_EQ(result.series.size(), spec.periods) << name;
+    EXPECT_EQ(result.scenario, name);
+    EXPECT_GT(result.final_alive, 0U) << name;
+  }
+}
+
+}  // namespace
+}  // namespace deproto::api

@@ -1,0 +1,171 @@
+// ScenarioSpec and ExperimentResult serialization: spec -> JSON -> spec is
+// the identity (field-for-field equality), for minimal specs, specs using
+// every knob, and every registry entry; results survive a round trip too.
+
+#include <gtest/gtest.h>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "api/spec.hpp"
+
+namespace deproto::api {
+namespace {
+
+ScenarioSpec full_spec() {
+  ScenarioSpec spec;
+  spec.name = "kitchen-sink";
+  spec.description = "every knob set off its default";
+  spec.source.catalog = "endemic";
+  spec.source.params = {4.0, 0.2, 0.05};
+  spec.synthesis.p = 0.125;
+  spec.synthesis.failure_rate = 0.1;
+  spec.synthesis.allow_tokenizing = false;
+  spec.synthesis.auto_rewrite = true;
+  spec.synthesis.slack_name = "w";
+  spec.synthesis.push_pull.push_back(core::PushPullSpec{"x", "y"});
+  spec.runtime.message_loss = 0.1;
+  spec.runtime.tokens.mode = sim::TokenRouting::Mode::RandomWalkTtl;
+  spec.runtime.tokens.ttl = 16;
+  spec.runtime.simultaneous_updates = true;
+  spec.n = 4321;
+  spec.periods = 77;
+  spec.seed = 987654321;
+  spec.initial_counts = {4000, 300, 21};
+  spec.faults.massive_failures = {sim::MassiveFailure{10, 0.5},
+                                  sim::MassiveFailure{40, 0.25}};
+  spec.faults.crash_recovery = CrashRecoverySpec{0.01, 5.0};
+  spec.faults.churn.enabled = true;
+  spec.faults.churn.hours = 12.0;
+  spec.faults.churn.min_rate = 0.02;
+  spec.faults.churn.max_rate = 0.2;
+  spec.faults.churn.mean_downtime_hours = 0.25;
+  spec.faults.churn.seed = 99;
+  spec.faults.churn.periods_per_hour = 6.0;
+  return spec;
+}
+
+TEST(SpecJsonTest, MinimalSpecRoundTrips) {
+  ScenarioSpec spec;
+  spec.source.ode_text = "x' = -x*y\ny' = x*y\n";
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+}
+
+TEST(SpecJsonTest, FullSpecRoundTrips) {
+  const ScenarioSpec spec = full_spec();
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+  // And through actual text, compact and pretty.
+  EXPECT_EQ(ScenarioSpec::from_json(Json::parse(spec.to_json().dump())),
+            spec);
+  EXPECT_EQ(ScenarioSpec::from_json(Json::parse(spec.to_json().dump(2))),
+            spec);
+}
+
+TEST(SpecJsonTest, EventBackendSpecRoundTrips) {
+  ScenarioSpec spec;
+  spec.source.catalog = "epidemic";
+  spec.backend = Backend::Event;
+  spec.clock_drift = 0.12;
+  spec.runtime.message_loss = 0.05;
+  const ScenarioSpec back = ScenarioSpec::from_json(spec.to_json());
+  EXPECT_EQ(back, spec);
+}
+
+TEST(SpecJsonTest, EveryRegistryEntryRoundTrips) {
+  for (const std::string& name : registry_names()) {
+    const ScenarioSpec spec = registry_get(name);
+    const ScenarioSpec back =
+        ScenarioSpec::from_json(Json::parse(spec.to_json().dump(2)));
+    EXPECT_EQ(back, spec) << name;
+  }
+}
+
+TEST(SpecJsonTest, OmittedKeysMeanDefaults) {
+  const ScenarioSpec spec = ScenarioSpec::from_json(
+      Json::parse(R"({"source":{"catalog":"epidemic"}})"));
+  EXPECT_EQ(spec, [] {
+    ScenarioSpec def;
+    def.source.catalog = "epidemic";
+    return def;
+  }());
+}
+
+TEST(SpecJsonTest, BadShapesThrow) {
+  EXPECT_THROW((void)backend_from_name("threads"), SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(
+                   Json::parse(R"({"backend":"threads"})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"runtime":{"token_mode":"carrier-pigeon"}})")),
+               SpecError);
+}
+
+TEST(SpecJsonTest, ResultRoundTrips) {
+  ScenarioSpec spec = registry_get("epidemic");
+  spec = spec.scaled_to(400);
+  spec.periods = 12;
+  Experiment experiment(spec);
+  const ExperimentResult result = experiment.run();
+
+  const ExperimentResult back =
+      ExperimentResult::from_json(Json::parse(result.to_json().dump(2)));
+  EXPECT_EQ(back.scenario, result.scenario);
+  EXPECT_EQ(back.state_names, result.state_names);
+  EXPECT_EQ(back.taxonomy.complete, result.taxonomy.complete);
+  EXPECT_EQ(back.taxonomy.completely_partitionable,
+            result.taxonomy.completely_partitionable);
+  EXPECT_EQ(back.taxonomy.restricted_polynomial,
+            result.taxonomy.restricted_polynomial);
+  EXPECT_DOUBLE_EQ(back.p, result.p);
+  EXPECT_EQ(back.mean_field_verified, result.mean_field_verified);
+  EXPECT_EQ(back.notes, result.notes);
+  EXPECT_EQ(back.machine_text, result.machine_text);
+  EXPECT_EQ(back.initial_counts, result.initial_counts);
+  ASSERT_EQ(back.series.size(), result.series.size());
+  for (std::size_t t = 0; t < result.series.size(); ++t) {
+    EXPECT_DOUBLE_EQ(back.series[t].time, result.series[t].time);
+    EXPECT_EQ(back.series[t].counts, result.series[t].counts);
+    EXPECT_EQ(back.series[t].total_alive, result.series[t].total_alive);
+  }
+  EXPECT_EQ(back.final_counts, result.final_counts);
+  EXPECT_EQ(back.final_alive, result.final_alive);
+  EXPECT_EQ(back.probes_total, result.probes_total);
+  EXPECT_EQ(back.convergence, result.convergence);
+}
+
+TEST(SpecJsonTest, ScaledToRescalesInitialCounts) {
+  const ScenarioSpec spec = registry_get("epidemic");  // {9999, 1} at 10000
+  const ScenarioSpec small = spec.scaled_to(500);
+  EXPECT_EQ(small.n, 500U);
+  ASSERT_EQ(small.initial_counts.size(), 2U);
+  EXPECT_EQ(small.initial_counts[1], 1U);  // nonzero stays nonzero
+  EXPECT_LE(small.initial_counts[0] + small.initial_counts[1], 500U);
+}
+
+TEST(SpecJsonTest, ScaledToOvershootNeverEmptiesASeededState) {
+  ScenarioSpec spec;
+  spec.source.catalog = "lv";
+  spec.n = 4;
+  spec.initial_counts = {1, 1, 2};
+  const ScenarioSpec half = spec.scaled_to(3);
+  // llround pins each nonzero entry >= 1; the overshoot correction must
+  // take from the entry that can spare it, not zero a pinned one.
+  EXPECT_EQ(half.initial_counts, (std::vector<std::size_t>{1, 1, 1}));
+}
+
+TEST(SpecJsonTest, ScaledToTopsUpRoundingUndershoot) {
+  ScenarioSpec spec;
+  spec.source.catalog = "lv";
+  spec.n = 15;
+  spec.initial_counts = {5, 5, 5};
+  const ScenarioSpec up = spec.scaled_to(16);
+  // Each entry rounds to 5 (sum 15); the missing process goes to a
+  // largest entry instead of silently defaulting into state 0.
+  std::size_t total = 0;
+  for (const std::size_t c : up.initial_counts) total += c;
+  EXPECT_EQ(total, 16U);
+}
+
+}  // namespace
+}  // namespace deproto::api

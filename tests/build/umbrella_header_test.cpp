@@ -1,5 +1,5 @@
 // Build-integrity test: includes ONLY the umbrella header and exercises one
-// symbol from each of the five layers. If a header drops out of deproto.hpp
+// symbol from each of the six layers. If a header drops out of deproto.hpp
 // (or deproto.hpp stops compiling standalone), this fails to build.
 
 #include "deproto.hpp"
@@ -41,6 +41,14 @@ TEST(UmbrellaHeaderTest, SimLayerIsReachable) {
   const double u = rng.uniform01();
   EXPECT_GE(u, 0.0);
   EXPECT_LT(u, 1.0);
+}
+
+TEST(UmbrellaHeaderTest, ApiLayerIsReachable) {
+  const deproto::api::Json j = deproto::api::Json::parse(R"({"n":3})");
+  EXPECT_EQ(j.at("n").as_size(), 3U);
+  EXPECT_FALSE(deproto::api::registry_names().empty());
+  EXPECT_EQ(deproto::api::backend_name(deproto::api::Backend::Sync),
+            std::string("sync"));
 }
 
 }  // namespace

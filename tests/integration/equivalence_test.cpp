@@ -7,17 +7,16 @@
 // one-period update is exactly x_{k+1} = x_k + drift(x_k) (the exact_drift
 // recursion, which equals the ODE only as rates -> 0). We therefore compare
 // simulated population fractions against that recursion; the residual gap
-// is pure finite-N fluctuation.
+// is pure finite-N fluctuation. Each case is a declarative
+// api::ScenarioSpec executed through the api::Experiment facade.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "api/experiment.hpp"
 #include "core/mean_field.hpp"
-#include "core/synthesis.hpp"
 #include "ode/catalog.hpp"
-#include "sim/runtime.hpp"
-#include "sim/sync_sim.hpp"
 
 namespace deproto {
 namespace {
@@ -26,17 +25,22 @@ namespace {
 /// and the exact mean-field recursion. Synchronous-update semantics make
 /// the recursion exact in expectation at any rate; live semantics add an
 /// O(rate^2) sequencing bias (tested separately).
-double trajectory_gap(const core::SynthesisResult& synth, std::size_t n,
+double trajectory_gap(api::ScenarioSpec spec, std::size_t n,
                       const std::vector<std::size_t>& seed_counts,
                       std::size_t horizon, std::uint64_t seed,
                       bool simultaneous = true) {
-  sim::RuntimeOptions options;
-  options.simultaneous_updates = simultaneous;
-  sim::MachineExecutor executor(synth.machine, options);
-  sim::SyncSimulator simulator(n, executor, seed);
-  simulator.seed_states(seed_counts);
+  spec.runtime.simultaneous_updates = simultaneous;
+  spec.n = n;
+  spec.initial_counts = seed_counts;
+  spec.periods = horizon;
+  spec.seed = seed;
 
-  const std::size_t m = synth.machine.num_states();
+  api::Experiment experiment(std::move(spec));
+  const core::ProtocolStateMachine& machine =
+      experiment.artifacts().synthesis.machine;
+  const api::ExperimentResult result = experiment.run();
+
+  const std::size_t m = machine.num_states();
   num::Vec x(m, 0.0);
   for (std::size_t s = 0; s < seed_counts.size(); ++s) {
     x[s] = static_cast<double>(seed_counts[s]) / static_cast<double>(n);
@@ -47,12 +51,11 @@ double trajectory_gap(const core::SynthesisResult& synth, std::size_t n,
 
   double worst = 0.0;
   for (std::size_t t = 0; t < horizon; ++t) {
-    simulator.run(1);
-    const num::Vec drift = core::exact_drift(synth.machine, x);
+    const num::Vec drift = core::exact_drift(machine, x);
     for (std::size_t s = 0; s < m; ++s) x[s] += drift[s];
     for (std::size_t s = 0; s < m; ++s) {
       const double simulated =
-          static_cast<double>(simulator.group().count(s)) /
+          static_cast<double>(result.series[t].counts[s]) /
           static_cast<double>(n);
       worst = std::max(worst, std::abs(simulated - x[s]));
     }
@@ -60,13 +63,21 @@ double trajectory_gap(const core::SynthesisResult& synth, std::size_t n,
   return worst;
 }
 
+api::ScenarioSpec catalog_spec(const std::string& id,
+                               std::vector<double> params = {}) {
+  api::ScenarioSpec spec;
+  spec.source.catalog = id;
+  spec.source.params = std::move(params);
+  return spec;
+}
+
 TEST(EquivalenceTest, EpidemicGapShrinksWithN) {
-  const auto synth = core::synthesize(ode::catalog::epidemic());
+  const api::ScenarioSpec spec = catalog_spec("epidemic");
   double gap_small = 0.0, gap_large = 0.0;
   const int trials = 4;
   for (std::uint64_t t = 0; t < trials; ++t) {
-    gap_small += trajectory_gap(synth, 400, {360, 40}, 15, 10 + t);
-    gap_large += trajectory_gap(synth, 6400, {5760, 640}, 15, 20 + t);
+    gap_small += trajectory_gap(spec, 400, {360, 40}, 15, 10 + t);
+    gap_large += trajectory_gap(spec, 6400, {5760, 640}, 15, 20 + t);
   }
   // sqrt(6400/400) = 4: expect a clear reduction, with slack for the
   // trajectory's sensitivity to early fluctuations.
@@ -75,17 +86,17 @@ TEST(EquivalenceTest, EpidemicGapShrinksWithN) {
 }
 
 TEST(EquivalenceTest, LvGapSmallAtModerateN) {
-  const auto synth =
-      core::synthesize(ode::catalog::lv_partitionable(), {.p = 0.05});
-  const double gap = trajectory_gap(synth, 5000, {3000, 2000, 0}, 40, 7);
+  api::ScenarioSpec spec = catalog_spec("lv");
+  spec.synthesis.p = 0.05;
+  const double gap = trajectory_gap(spec, 5000, {3000, 2000, 0}, 40, 7);
   EXPECT_LT(gap, 0.03);
 }
 
 TEST(EquivalenceTest, EndemicPureMachineTracksMeanField) {
   // The pure synthesized endemic machine (p = 1/beta) away from
   // equilibrium.
-  const auto synth = core::synthesize(ode::catalog::endemic(4.0, 1.0, 0.1));
-  const double gap = trajectory_gap(synth, 8000, {7200, 800, 0}, 60, 3);
+  const api::ScenarioSpec spec = catalog_spec("endemic", {4.0, 1.0, 0.1});
+  const double gap = trajectory_gap(spec, 8000, {7200, 800, 0}, 60, 3);
   EXPECT_LT(gap, 0.04);
 }
 
@@ -93,8 +104,8 @@ TEST(EquivalenceTest, TokenizedMachineTracksMeanField) {
   // Theorem 5's subclass: the invitation system uses Tokenizing; the
   // directory-routed runtime must still track the mean field. Horizon kept
   // short of the x-exhaustion point where token-drop saturation kicks in.
-  const auto synth = core::synthesize(ode::catalog::invitation(0.1));
-  const double gap = trajectory_gap(synth, 4000, {3000, 1000}, 10, 11);
+  const api::ScenarioSpec spec = catalog_spec("invitation", {0.1});
+  const double gap = trajectory_gap(spec, 4000, {3000, 1000}, 10, 11);
   EXPECT_LT(gap, 0.03);
 }
 
@@ -102,10 +113,11 @@ TEST(EquivalenceTest, SequencingBiasIsSecondOrder) {
   // Live (Gauss-Seidel) semantics: processes observe targets' states at
   // probe time. The deviation from the simultaneous-update mean field is
   // O(rate^2) per period, so at rates <= 0.1 the live-mode gap stays near
-  // the sampling-noise floor.
-  auto scaled = ode::catalog::epidemic().scaled(0.1);
-  const auto synth = core::synthesize(scaled);
-  const double gap = trajectory_gap(synth, 4000, {3600, 400}, 60, 13,
+  // the sampling-noise floor. The rate-scaled source goes in as ODE text
+  // (there is no catalog id for it) -- the deproto-synth user journey.
+  api::ScenarioSpec spec;
+  spec.source.ode_text = ode::catalog::epidemic().scaled(0.1).to_string();
+  const double gap = trajectory_gap(spec, 4000, {3600, 400}, 60, 13,
                                     /*simultaneous=*/false);
   EXPECT_LT(gap, 0.03);
 }
@@ -114,10 +126,10 @@ TEST(EquivalenceTest, LiveSemanticsDivergeAtRateOne) {
   // The flip side: at coin bias 1.0 (the raw epidemic), live semantics
   // compound within the period and outrun the simultaneous mean field --
   // the discretization artifact the normalizing constant p exists to tame.
-  const auto synth = core::synthesize(ode::catalog::epidemic());
-  const double live = trajectory_gap(synth, 4000, {3600, 400}, 10, 17,
+  const api::ScenarioSpec spec = catalog_spec("epidemic");
+  const double live = trajectory_gap(spec, 4000, {3600, 400}, 10, 17,
                                      /*simultaneous=*/false);
-  const double sync = trajectory_gap(synth, 4000, {3600, 400}, 10, 17,
+  const double sync = trajectory_gap(spec, 4000, {3600, 400}, 10, 17,
                                      /*simultaneous=*/true);
   EXPECT_GT(live, 3.0 * sync);
 }

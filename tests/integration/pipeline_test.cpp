@@ -4,13 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include "api/experiment.hpp"
 #include "core/mean_field.hpp"
 #include "core/synthesis.hpp"
 #include "ode/catalog.hpp"
 #include "ode/parser.hpp"
 #include "ode/rewriting.hpp"
 #include "ode/taxonomy.hpp"
-#include "sim/event_sim.hpp"
 
 namespace deproto {
 namespace {
@@ -59,25 +59,29 @@ TEST(PipelineTest, MachinePrintingIsStableUnderReparse) {
 TEST(PipelineTest, EndemicVariantRunsAsynchronously) {
   // Figure 1's push-pull machine on the fully event-driven simulator:
   // per-process clocks with 10% drift, 5% message loss. The stash
-  // population must persist and hover near eq. (2).
-  core::SynthesisOptions options;
-  options.push_pull.push_back(core::PushPullSpec{"x", "y"});
-  const auto result =
-      core::synthesize(ode::catalog::endemic(4.0, 0.2, 0.05), options);
-
-  sim::EventSimOptions sim_options;
-  sim_options.clock_drift = 0.10;
-  sim_options.network.loss = 0.05;
-  sim::EventSimulator simulator(2000, result.machine, 21, sim_options);
+  // population must persist and hover near eq. (2). Declared as a spec
+  // and executed through the api::Experiment facade (event backend).
+  api::ScenarioSpec spec;
+  spec.source.catalog = "endemic";
+  spec.source.params = {4.0, 0.2, 0.05};
+  spec.synthesis.push_pull.push_back(core::PushPullSpec{"x", "y"});
+  spec.backend = api::Backend::Event;
+  spec.clock_drift = 0.10;
+  spec.runtime.message_loss = 0.05;
+  spec.n = 2000;
+  spec.seed = 21;
+  spec.periods = 300;
   // Equilibrium: x = 0.05, y = 0.95/5 = 0.19.
-  simulator.seed_states({100, 380, 1520});
-  simulator.run_until(300.0);
+  spec.initial_counts = {100, 380, 1520};
 
-  const std::size_t stash = simulator.group().count(1);
+  api::Experiment experiment(std::move(spec));
+  const api::ExperimentResult result = experiment.run();
+
+  const std::size_t stash = result.final_counts[1];
   EXPECT_GT(stash, 100U);   // never collapses
   EXPECT_LT(stash, 900U);   // never takes over
   // Sanity: the asynchronous run really exchanged messages with loss.
-  EXPECT_GT(simulator.network().dropped(), 0U);
+  EXPECT_GT(result.messages_dropped, 0U);
 }
 
 TEST(PipelineTest, NormalizeThenSynthesizeMatchesDirectPath) {

@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared strict argument parsing for the deproto CLIs. Every numeric flag
+// must parse completely: "abc", "12x", "" and out-of-range values are
+// rejected with a clear per-flag error instead of atof's silent 0.
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace deproto::cli {
+
+/// Whole-string unsigned integer: decimal digits only (no signs, spaces,
+/// or trailing junk), rejecting overflow.
+inline bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+inline bool parse_size(const std::string& text, std::size_t* out) {
+  std::uint64_t v = 0;
+  if (!parse_u64(text, &v)) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+/// Whole-string finite double in plain decimal/scientific notation.
+/// Leading whitespace, hex floats, "inf", and "nan" are all rejected --
+/// strtod accepts them, but a NaN rate would slip past every downstream
+/// range check and "0x2" is never what a flag value meant.
+inline bool parse_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    const bool decimal = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                         c == 'E' || c == '+' || c == '-';
+    if (!decimal) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size() || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Report a malformed or missing flag value on stderr; returns false so
+/// call sites can `return value_error(...)`.
+inline bool value_error(const char* flag, const char* what,
+                        const std::string& value) {
+  std::fprintf(stderr, "error: %s for %s: '%s'\n", what, flag, value.c_str());
+  return false;
+}
+
+}  // namespace deproto::cli

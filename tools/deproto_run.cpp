@@ -1,0 +1,307 @@
+// deproto-run: execute registered (or JSON-specified) experiment scenarios
+// through the deproto::api::Experiment facade.
+//
+//   deproto-run --list                     show the scenario registry
+//   deproto-run <scenario> [options]       run one registered scenario
+//   deproto-run --spec spec.json [options] run a ScenarioSpec from a file
+//   deproto-run --smoke                    run every scenario at small N
+//
+// Options:
+//   --n <N>            override the group size (initial counts rescale)
+//   --periods <k>      override the simulation length
+//   --seed <s>         override the simulation seed
+//   --json <file>      write the structured ExperimentResult as JSON
+//   --spec-out <file>  write the (resolved) ScenarioSpec as JSON
+//   --quiet            suppress the population table
+//
+// Example:
+//   deproto-run epidemic --n 1000 --json epidemic.json
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "cli_util.hpp"
+#include "core/synthesis.hpp"
+#include "ode/parser.hpp"
+
+namespace {
+
+using deproto::api::Experiment;
+using deproto::api::ExperimentResult;
+using deproto::api::ScenarioSpec;
+
+struct CliOptions {
+  std::string scenario;
+  std::string spec_file;
+  bool list = false;
+  bool smoke = false;
+  bool quiet = false;
+  std::optional<std::size_t> n;
+  std::optional<std::size_t> periods;
+  std::optional<std::uint64_t> seed;
+  std::string json_out;
+  std::string spec_out;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --list | --smoke | (<scenario> | --spec f.json) "
+               "[--n N] [--periods k] [--seed s] [--json out.json] "
+               "[--spec-out out.json] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag, std::string* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", flag);
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--list") {
+      options->list = true;
+    } else if (arg == "--smoke") {
+      options->smoke = true;
+    } else if (arg == "--quiet") {
+      options->quiet = true;
+    } else if (arg == "--spec") {
+      if (!next("--spec", &options->spec_file)) return false;
+    } else if (arg == "--json") {
+      if (!next("--json", &options->json_out)) return false;
+    } else if (arg == "--spec-out") {
+      if (!next("--spec-out", &options->spec_out)) return false;
+    } else if (arg == "--n") {
+      std::size_t n = 0;
+      if (!next("--n", &value)) return false;
+      if (!deproto::cli::parse_size(value, &n) || n == 0) {
+        return deproto::cli::value_error("--n", "invalid group size", value);
+      }
+      options->n = n;
+    } else if (arg == "--periods") {
+      std::size_t periods = 0;
+      if (!next("--periods", &value)) return false;
+      if (!deproto::cli::parse_size(value, &periods)) {
+        return deproto::cli::value_error("--periods", "invalid period count",
+                                         value);
+      }
+      options->periods = periods;
+    } else if (arg == "--seed") {
+      std::uint64_t seed = 0;
+      if (!next("--seed", &value)) return false;
+      if (!deproto::cli::parse_u64(value, &seed)) {
+        return deproto::cli::value_error("--seed", "invalid seed", value);
+      }
+      options->seed = seed;
+    } else if (!arg.empty() && arg[0] != '-') {
+      if (!options->scenario.empty()) {
+        std::fprintf(stderr, "error: more than one scenario given\n");
+        return false;
+      }
+      options->scenario = arg;
+    } else {
+      std::fprintf(stderr, "error: unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void list_registry() {
+  std::printf("%-24s %-6s %8s %8s  %s\n", "scenario", "backend", "N",
+              "periods", "description");
+  for (const std::string& name : deproto::api::registry_names()) {
+    const ScenarioSpec* spec = deproto::api::registry_find(name);
+    std::printf("%-24s %-6s %8zu %8zu  %s\n", spec->name.c_str(),
+                deproto::api::backend_name(spec->backend), spec->n,
+                spec->periods, spec->description.c_str());
+  }
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content << "\n";
+  return static_cast<bool>(out);
+}
+
+void print_result(const ScenarioSpec& spec, const ExperimentResult& result,
+                  bool quiet) {
+  std::printf("scenario: %s (backend=%s, N=%zu, periods=%zu, seed=%llu)\n",
+              spec.name.empty() ? "<unnamed>" : spec.name.c_str(),
+              deproto::api::backend_name(spec.backend), spec.n, spec.periods,
+              static_cast<unsigned long long>(spec.seed));
+  std::printf(
+      "taxonomy: complete=%s, completely-partitionable=%s, "
+      "restricted-polynomial=%s\n",
+      result.taxonomy.complete ? "yes" : "no",
+      result.taxonomy.completely_partitionable ? "yes" : "no",
+      result.taxonomy.restricted_polynomial ? "yes" : "no");
+  std::printf("machine: %zu states, p=%.4g, mean field %s\n",
+              result.state_names.size(), result.p,
+              result.mean_field_verified ? "verified" : "MISMATCH");
+
+  if (!quiet) {
+    std::printf("%10s", "period");
+    for (const std::string& name : result.state_names) {
+      std::printf(" %12s", name.c_str());
+    }
+    std::printf(" %12s\n", "alive");
+    const std::size_t periods = result.series.size();
+    const std::size_t step = std::max<std::size_t>(1, periods / 20);
+    for (std::size_t t = 0; t <= periods; t += step) {
+      std::printf("%10zu", t);
+      for (const std::size_t c : result.counts_at(t)) {
+        std::printf(" %12zu", c);
+      }
+      const std::size_t alive =
+          t == 0 ? spec.n : result.series[t - 1].total_alive;
+      std::printf(" %12zu\n", alive);
+      if (t != periods && t + step > periods) {
+        t = periods - step;  // always print the final period
+      }
+    }
+  }
+
+  std::printf("final: alive=%zu, dominant=%s (%.1f%%)%s", result.final_alive,
+              result.state_names[result.convergence.dominant_state].c_str(),
+              100.0 * result.convergence.dominant_fraction,
+              result.convergence.absorbed ? ", absorbed" : "");
+  if (result.convergence.settle_time >= 0.0) {
+    std::printf(", settled since period %.0f",
+                result.convergence.settle_time);
+  }
+  std::printf("\n");
+  if (result.probes_total > 0) {
+    std::printf("probes: %llu total",
+                static_cast<unsigned long long>(result.probes_total));
+    if (result.tokens.generated > 0) {
+      std::printf("; tokens: %llu generated, %llu delivered, %llu dropped",
+                  static_cast<unsigned long long>(result.tokens.generated),
+                  static_cast<unsigned long long>(result.tokens.delivered),
+                  static_cast<unsigned long long>(result.tokens.dropped));
+    }
+    std::printf("\n");
+  }
+  if (result.messages_sent > 0) {
+    std::printf("messages: %llu sent, %llu dropped\n",
+                static_cast<unsigned long long>(result.messages_sent),
+                static_cast<unsigned long long>(result.messages_dropped));
+  }
+}
+
+ScenarioSpec apply_overrides(ScenarioSpec spec, const CliOptions& options) {
+  if (options.n.has_value()) spec = spec.scaled_to(*options.n);
+  if (options.periods.has_value()) spec.periods = *options.periods;
+  if (options.seed.has_value()) spec.seed = *options.seed;
+  return spec;
+}
+
+int run_one(const ScenarioSpec& spec, const CliOptions& options) {
+  Experiment experiment(spec);
+  const ExperimentResult result = experiment.run();
+  print_result(spec, result, options.quiet);
+  if (!options.json_out.empty() &&
+      !write_file(options.json_out, result.to_json().dump(2))) {
+    return 1;
+  }
+  if (!options.spec_out.empty() &&
+      !write_file(options.spec_out, spec.to_json().dump(2))) {
+    return 1;
+  }
+  return 0;
+}
+
+/// The registry-rot guard: list, then run every scenario at N <= 500 and
+/// <= 20 periods. Registered as a CTest smoke test.
+int run_smoke() {
+  list_registry();
+  for (const std::string& name : deproto::api::registry_names()) {
+    ScenarioSpec spec = deproto::api::registry_get(name);
+    spec = spec.scaled_to(std::min<std::size_t>(spec.n, 500));
+    spec.periods = std::min<std::size_t>(spec.periods, 20);
+    // Keep scheduled faults inside the shortened run so they execute.
+    for (deproto::sim::MassiveFailure& f : spec.faults.massive_failures) {
+      f.period = std::min<std::size_t>(f.period, spec.periods / 2);
+    }
+    std::printf("\n-- smoke: %s --\n", name.c_str());
+    Experiment experiment(spec);
+    const ExperimentResult result = experiment.run();
+    if (!result.mean_field_verified) {
+      std::fprintf(stderr, "error: %s: mean-field verification failed\n",
+                   name.c_str());
+      return 1;
+    }
+    if (result.series.size() < spec.periods) {
+      std::fprintf(stderr, "error: %s: recorded %zu of %zu periods\n",
+                   name.c_str(), result.series.size(), spec.periods);
+      return 1;
+    }
+    std::printf("ok: %zu periods, final alive=%zu\n", result.series.size(),
+                result.final_alive);
+  }
+  std::printf("\nsmoke: all %zu scenarios ran\n",
+              deproto::api::registry_names().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, &options)) return usage(argv[0]);
+
+  try {
+    if (options.smoke) return run_smoke();
+    if (options.list) {
+      list_registry();
+      return 0;
+    }
+    if (options.scenario.empty() == options.spec_file.empty()) {
+      return usage(argv[0]);  // exactly one of scenario / --spec
+    }
+
+    ScenarioSpec spec;
+    if (!options.spec_file.empty()) {
+      std::ifstream in(options.spec_file);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n",
+                     options.spec_file.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      spec = ScenarioSpec::from_json(deproto::api::Json::parse(buffer.str()));
+    } else {
+      spec = deproto::api::registry_get(options.scenario);
+    }
+    return run_one(apply_overrides(std::move(spec), options), options);
+  } catch (const deproto::api::JsonError& e) {
+    std::fprintf(stderr, "json error: %s\n", e.what());
+  } catch (const deproto::api::SpecError& e) {
+    std::fprintf(stderr, "spec error: %s\n", e.what());
+  } catch (const deproto::ode::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+  } catch (const deproto::core::SynthesisError& e) {
+    std::fprintf(stderr, "synthesis error: %s\n", e.what());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+  }
+  return 1;
+}

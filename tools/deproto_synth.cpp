@@ -1,5 +1,7 @@
 // deproto-synth: synthesize a distributed protocol from a differential
 // equation system given as text (see src/ode/parser.hpp for the grammar).
+// A thin presentation layer over deproto::api::Experiment, which owns the
+// parse -> classify -> synthesize -> verify -> simulate pipeline.
 //
 //   deproto-synth [options] [file]       (reads stdin when no file given)
 //
@@ -12,30 +14,31 @@
 //   --periods <k>      simulation length (default 100)
 //   --seed <s>         simulation seed (default 1)
 //
+// Numeric flags are validated strictly: malformed values ("abc", "12x")
+// and unknown flags are reported by name instead of silently accepted.
+//
 // Example:
 //   printf "x' = -x*y\ny' = x*y\n" | deproto-synth --simulate 1000
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
-#include "core/mean_field.hpp"
+#include "api/experiment.hpp"
+#include "cli_util.hpp"
 #include "core/synthesis.hpp"
 #include "ode/parser.hpp"
-#include "ode/taxonomy.hpp"
-#include "sim/runtime.hpp"
-#include "sim/sync_sim.hpp"
 
 namespace {
 
 struct CliOptions {
-  deproto::core::SynthesisOptions synthesis;
+  deproto::api::ScenarioSpec spec;
   std::string file;
   std::size_t simulate_n = 0;
-  std::size_t periods = 100;
-  std::uint64_t seed = 1;
 };
 
 int usage(const char* argv0) {
@@ -48,31 +51,66 @@ int usage(const char* argv0) {
 }
 
 bool parse_args(int argc, char** argv, CliOptions* options) {
+  options->spec.periods = 100;
+  options->spec.seed = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next_value = [&](double* out) {
-      if (i + 1 >= argc) return false;
-      *out = std::atof(argv[++i]);
+    auto next_value = [&](const char* flag, std::string* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: missing value for %s\n", flag);
+        return false;
+      }
+      *out = argv[++i];
       return true;
     };
-    double value = 0.0;
-    if (arg == "--p" && next_value(&value)) {
-      options->synthesis.p = value;
-    } else if (arg == "--loss" && next_value(&value)) {
-      options->synthesis.failure_rate = value;
+    std::string value;
+    if (arg == "--p") {
+      double p = 0.0;
+      if (!next_value("--p", &value)) return false;
+      if (!deproto::cli::parse_double(value, &p)) {
+        return deproto::cli::value_error("--p", "invalid number", value);
+      }
+      options->spec.synthesis.p = p;
+    } else if (arg == "--loss") {
+      double loss = 0.0;
+      if (!next_value("--loss", &value)) return false;
+      if (!deproto::cli::parse_double(value, &loss) || loss < 0.0 ||
+          loss >= 1.0) {
+        return deproto::cli::value_error("--loss",
+                                         "invalid failure rate (want [0, 1))",
+                                         value);
+      }
+      options->spec.synthesis.failure_rate = loss;
     } else if (arg == "--auto-rewrite") {
-      options->synthesis.auto_rewrite = true;
+      options->spec.synthesis.auto_rewrite = true;
     } else if (arg == "--no-tokenizing") {
-      options->synthesis.allow_tokenizing = false;
-    } else if (arg == "--simulate" && next_value(&value)) {
-      options->simulate_n = static_cast<std::size_t>(value);
-    } else if (arg == "--periods" && next_value(&value)) {
-      options->periods = static_cast<std::size_t>(value);
-    } else if (arg == "--seed" && next_value(&value)) {
-      options->seed = static_cast<std::uint64_t>(value);
+      options->spec.synthesis.allow_tokenizing = false;
+    } else if (arg == "--simulate") {
+      if (!next_value("--simulate", &value)) return false;
+      if (!deproto::cli::parse_size(value, &options->simulate_n) ||
+          options->simulate_n == 0) {
+        return deproto::cli::value_error("--simulate",
+                                         "invalid process count", value);
+      }
+    } else if (arg == "--periods") {
+      std::size_t periods = 0;
+      if (!next_value("--periods", &value)) return false;
+      if (!deproto::cli::parse_size(value, &periods)) {
+        return deproto::cli::value_error("--periods", "invalid period count",
+                                         value);
+      }
+      options->spec.periods = periods;
+    } else if (arg == "--seed") {
+      std::uint64_t seed = 0;
+      if (!next_value("--seed", &value)) return false;
+      if (!deproto::cli::parse_u64(value, &seed)) {
+        return deproto::cli::value_error("--seed", "invalid seed", value);
+      }
+      options->spec.seed = seed;
     } else if (!arg.empty() && arg[0] != '-') {
       options->file = arg;
     } else {
+      std::fprintf(stderr, "error: unknown flag: %s\n", arg.c_str());
       return false;
     }
   }
@@ -102,63 +140,51 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const deproto::ode::EquationSystem sys =
-        deproto::ode::parse_system(text);
-    std::printf("parsed system:\n%s\n", sys.to_string().c_str());
+    options.spec.source.ode_text = text;
+    options.spec.runtime.message_loss = options.spec.synthesis.failure_rate;
+    options.spec.n = options.simulate_n > 0 ? options.simulate_n : 1;
 
-    const deproto::ode::TaxonomyReport taxonomy =
-        deproto::ode::classify(sys);
+    deproto::api::Experiment experiment(options.spec);
+    // Stage-wise so parse/taxonomy diagnostics print even when the later
+    // synthesis stage rejects the system.
+    const deproto::api::Experiment::Resolved& res = experiment.resolved();
+    std::printf("parsed system:\n%s\n", res.source.to_string().c_str());
+
     std::printf("taxonomy: complete=%s, completely-partitionable=%s, "
                 "restricted-polynomial=%s\n",
-                taxonomy.complete ? "yes" : "no",
-                taxonomy.completely_partitionable ? "yes" : "no",
-                taxonomy.restricted_polynomial ? "yes" : "no");
-    if (!taxonomy.detail.empty()) {
-      std::printf("  %s\n", taxonomy.detail.c_str());
+                res.taxonomy.complete ? "yes" : "no",
+                res.taxonomy.completely_partitionable ? "yes" : "no",
+                res.taxonomy.restricted_polynomial ? "yes" : "no");
+    if (!res.taxonomy.detail.empty()) {
+      std::printf("  %s\n", res.taxonomy.detail.c_str());
     }
 
-    const deproto::core::SynthesisResult result =
-        deproto::core::synthesize(sys, options.synthesis);
-    std::printf("\n%s\n", result.machine.to_string().c_str());
-    for (const std::string& note : result.notes) {
+    const deproto::api::Experiment::Artifacts& art = experiment.artifacts();
+    std::printf("\n%s\n", art.synthesis.machine.to_string().c_str());
+    for (const std::string& note : art.synthesis.notes) {
       std::printf("note: %s\n", note.c_str());
     }
     std::printf("\nmean field == p * source (f=%.3g): %s\n",
-                options.synthesis.failure_rate,
-                deproto::core::verifies_equivalence(
-                    result.machine, result.source,
-                    options.synthesis.failure_rate)
-                    ? "verified"
-                    : "MISMATCH");
+                options.spec.synthesis.failure_rate,
+                art.mean_field_verified ? "verified" : "MISMATCH");
 
     if (options.simulate_n > 0) {
-      deproto::sim::RuntimeOptions runtime;
-      runtime.message_loss = options.synthesis.failure_rate;
-      deproto::sim::MachineExecutor executor(result.machine, runtime);
-      deproto::sim::SyncSimulator simulator(options.simulate_n, executor,
-                                            options.seed);
-      // Spread processes evenly over the states to start.
-      const std::size_t m = result.machine.num_states();
-      std::vector<std::size_t> counts(m, options.simulate_n / m);
-      simulator.seed_states(counts);
-
+      const deproto::api::ExperimentResult result = experiment.run();
+      const std::size_t periods = options.spec.periods;
       std::printf("\nsimulating %zu processes for %zu periods:\n",
-                  options.simulate_n, options.periods);
+                  options.simulate_n, periods);
       std::printf("%10s", "period");
-      for (const std::string& name : result.machine.state_names()) {
+      for (const std::string& name : result.state_names) {
         std::printf(" %12s", name.c_str());
       }
       std::printf("\n");
-      const std::size_t step = std::max<std::size_t>(1, options.periods / 20);
-      for (std::size_t t = 0; t <= options.periods; t += step) {
+      const std::size_t step = std::max<std::size_t>(1, periods / 20);
+      for (std::size_t t = 0; t <= periods; t += step) {
         std::printf("%10zu", t);
-        for (std::size_t s = 0; s < m; ++s) {
-          std::printf(" %12zu", simulator.group().count(s));
+        for (const std::size_t count : result.counts_at(t)) {
+          std::printf(" %12zu", count);
         }
         std::printf("\n");
-        if (t < options.periods) {
-          simulator.run(std::min(step, options.periods - t));
-        }
       }
     }
   } catch (const deproto::ode::ParseError& e) {
@@ -166,6 +192,12 @@ int main(int argc, char** argv) {
     return 1;
   } catch (const deproto::core::SynthesisError& e) {
     std::fprintf(stderr, "synthesis error: %s\n", e.what());
+    return 1;
+  } catch (const deproto::api::SpecError& e) {
+    std::fprintf(stderr, "spec error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
   return 0;
