@@ -11,6 +11,7 @@
 #include "core/synthesis.hpp"
 #include "ode/catalog.hpp"
 #include "sim/runtime.hpp"
+#include "sim/simulator.hpp"
 #include "sim/sync_sim.hpp"
 
 namespace {
@@ -50,6 +51,30 @@ void BM_DirectWiring(benchmark::State& state) {
 }
 BENCHMARK(BM_DirectWiring)->Unit(benchmark::kMillisecond);
 
+void BM_VirtualSimulatorInterface(benchmark::State& state) {
+  // Same direct wiring, but programmed and run through the abstract
+  // sim::Simulator base (what the facade does since the interface
+  // unification): the virtual dispatch is once per run_for call, not per
+  // period, so it must be indistinguishable from BM_DirectWiring.
+  const deproto::core::SynthesisResult synth = deproto::core::synthesize(
+      deproto::ode::catalog::endemic(4.0, 0.2, 0.05),
+      {.push_pull = {deproto::core::PushPullSpec{"x", "y"}}});
+  for (auto _ : state) {
+    deproto::sim::MachineExecutor executor(synth.machine);
+    deproto::sim::SyncSimulator concrete(kN, executor, 11);
+    deproto::sim::Simulator& simulator = concrete;
+    simulator.seed_states({100, 380, 1520});
+    simulator.run_for(kPeriods);
+    benchmark::DoNotOptimize(simulator.group().count(1));
+    benchmark::DoNotOptimize(simulator.metrics().samples().size());
+  }
+  state.counters["periods"] = kPeriods;
+  state.counters["time/period"] = benchmark::Counter(
+      static_cast<double>(kPeriods) * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_VirtualSimulatorInterface)->Unit(benchmark::kMillisecond);
+
 void BM_ExperimentFacade(benchmark::State& state) {
   deproto::api::Experiment experiment(bench_spec());
   (void)experiment.artifacts();  // hoist synthesis, like the direct path
@@ -73,9 +98,11 @@ void BM_PrintOverheadReport(benchmark::State& state) {
   if (once()) {
     bench_util::banner("Experiment facade overhead (endemic, N=2000)");
     bench_util::note(
-        "compare the time/period counters of BM_DirectWiring and "
-        "BM_ExperimentFacade: the facade's extra work is result assembly "
-        "(O(periods) copies), amortized to noise per period");
+        "compare the time/period counters of BM_DirectWiring, "
+        "BM_VirtualSimulatorInterface, and BM_ExperimentFacade: the "
+        "abstract Simulator dispatch is once per run_for call (not per "
+        "period) and the facade's extra work is result assembly "
+        "(O(periods) copies), both amortized to noise per period");
   }
 }
 BENCHMARK(BM_PrintOverheadReport)->Iterations(1);

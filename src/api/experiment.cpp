@@ -224,48 +224,42 @@ ExperimentRun Experiment::launch_impl() {
     throw SpecError("initial_counts has more entries than machine states");
   }
 
+  // Stand up the backend. This is the only backend-specific block: from
+  // here on the experiment is programmed purely through sim::Simulator.
   if (spec_.backend == Backend::Sync) {
     run.executor_ =
         std::make_unique<sim::MachineExecutor>(machine, spec_.runtime);
-    run.sync_ = std::make_unique<sim::SyncSimulator>(
+    run.simulator_ = std::make_unique<sim::SyncSimulator>(
         spec_.n, *run.executor_, spec_.seed);
-    run.sync_->seed_states(seed_counts);
-    for (const sim::MassiveFailure& f : spec_.faults.massive_failures) {
-      run.sync_->schedule_massive_failure(f.period, f.fraction);
-    }
-    if (spec_.faults.crash_recovery.crash_prob > 0.0) {
-      run.sync_->set_crash_recovery(
-          spec_.faults.crash_recovery.crash_prob,
-          spec_.faults.crash_recovery.mean_downtime_periods);
-    }
-    if (spec_.faults.churn.enabled) {
-      const ChurnSpec& churn = spec_.faults.churn;
-      sim::Rng churn_rng(churn.seed);
-      const sim::ChurnTrace trace = sim::ChurnTrace::synthetic_overnet(
-          spec_.n, churn.hours, churn.min_rate, churn.max_rate,
-          churn.mean_downtime_hours, churn_rng);
-      run.sync_->attach_churn(trace, churn.periods_per_hour);
-    }
   } else {
-    if (spec_.faults.crash_recovery.crash_prob > 0.0 ||
-        spec_.faults.churn.enabled) {
-      throw SpecError(
-          "event backend supports massive failures only (no churn or "
-          "crash-recovery yet)");
-    }
     sim::EventSimOptions options;
     options.network.loss = spec_.runtime.message_loss;
     options.clock_drift = spec_.clock_drift;
-    options.token_ttl = spec_.runtime.tokens.ttl;
-    options.token_random_walk =
-        spec_.runtime.tokens.mode == sim::TokenRouting::Mode::RandomWalkTtl;
-    run.event_ = std::make_unique<sim::EventSimulator>(
+    options.tokens = spec_.runtime.tokens;
+    auto event = std::make_unique<sim::EventSimulator>(
         spec_.n, machine, spec_.seed, options);
-    run.event_->seed_states(seed_counts);
-    for (const sim::MassiveFailure& f : spec_.faults.massive_failures) {
-      run.event_->schedule_massive_failure(static_cast<double>(f.period),
-                                           f.fraction);
-    }
+    run.event_ = event.get();
+    run.simulator_ = std::move(event);
+  }
+
+  // One scheduling surface for every fault-plan field, on either backend.
+  sim::Simulator& simulator = *run.simulator_;
+  simulator.seed_states(seed_counts);
+  for (const sim::MassiveFailure& f : spec_.faults.massive_failures) {
+    simulator.schedule_massive_failure(f.time, f.fraction);
+  }
+  if (spec_.faults.crash_recovery.crash_prob > 0.0) {
+    simulator.set_crash_recovery(
+        spec_.faults.crash_recovery.crash_prob,
+        spec_.faults.crash_recovery.mean_downtime_periods);
+  }
+  if (spec_.faults.churn.enabled) {
+    const ChurnSpec& churn = spec_.faults.churn;
+    sim::Rng churn_rng(churn.seed);
+    const sim::ChurnTrace trace = sim::ChurnTrace::synthetic_overnet(
+        spec_.n, churn.hours, churn.min_rate, churn.max_rate,
+        churn.mean_downtime_hours, churn_rng);
+    simulator.attach_churn(trace, churn.periods_per_hour);
   }
   // Report the populations actually materialized (the even-spread
   // remainder lands in state 0).
@@ -277,16 +271,8 @@ ExperimentRun Experiment::launch_impl() {
   return run;
 }
 
-sim::Group& ExperimentRun::group() {
-  return sync_ ? sync_->group() : event_->group();
-}
-
 void ExperimentRun::advance(std::size_t periods) {
-  if (sync_) {
-    sync_->run(periods);
-  } else {
-    event_->run_until(static_cast<double>(advanced_ + periods));
-  }
+  simulator_->run_for(static_cast<double>(periods));
   advanced_ += periods;
 }
 
@@ -305,25 +291,24 @@ ExperimentResult ExperimentRun::finish() {
   result.machine_text = art.synthesis.machine.to_string();
   result.initial_counts = initial_counts_;
 
-  const sim::MetricsCollector& metrics =
-      sync_ ? sync_->metrics() : event_->metrics();
   // One series point per period on both backends. The event simulator
   // additionally samples at t = 0; that point duplicates initial_counts,
   // so it is skipped here.
-  const std::vector<sim::PeriodSample>& samples = metrics.samples();
-  for (std::size_t i = (event_ ? 1 : 0); i < samples.size(); ++i) {
+  const std::vector<sim::PeriodSample>& samples =
+      simulator_->metrics().samples();
+  for (std::size_t i = (event_ != nullptr ? 1 : 0); i < samples.size(); ++i) {
     const sim::PeriodSample& sample = samples[i];
     result.series.push_back(
         PeriodPoint{sample.time, sample.alive_in_state, sample.total_alive});
   }
 
-  const sim::Group& g = sync_ ? sync_->group() : event_->group();
+  const sim::Group& g = simulator_->group();
   for (std::size_t s = 0; s < g.num_states(); ++s) {
     result.final_counts.push_back(g.count(s));
   }
   result.final_alive = g.total_alive();
 
-  if (sync_) {
+  if (executor_) {
     result.tokens = executor_->token_stats();
     result.probes_total = executor_->probes_total();
   } else {

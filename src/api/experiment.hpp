@@ -27,6 +27,7 @@
 #include "ode/taxonomy.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/runtime.hpp"
+#include "sim/simulator.hpp"
 #include "sim/sync_sim.hpp"
 
 namespace deproto::api {
@@ -93,7 +94,11 @@ class ExperimentRun {
   ExperimentRun(ExperimentRun&&) noexcept = default;
   ExperimentRun& operator=(ExperimentRun&&) noexcept = default;
 
-  [[nodiscard]] sim::Group& group();
+  [[nodiscard]] sim::Group& group() { return simulator_->group(); }
+  /// The live backend, through the unified fault/scheduling interface:
+  /// callers can program mid-run faults without caring which backend the
+  /// spec selected.
+  [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
   /// Periods advanced so far.
   [[nodiscard]] std::size_t period() const noexcept { return advanced_; }
 
@@ -109,11 +114,12 @@ class ExperimentRun {
   Experiment* owner_;
   std::size_t advanced_ = 0;
   std::vector<std::size_t> initial_counts_;
-  // Sync backend.
-  std::unique_ptr<sim::MachineExecutor> executor_;
-  std::unique_ptr<sim::SyncSimulator> sync_;
-  // Event backend.
-  std::unique_ptr<sim::EventSimulator> event_;
+  // The backend, programmed exclusively through sim::Simulator. The
+  // concrete pointers below are non-owning views for backend-specific
+  // result stats (token/probe counters vs. network counters).
+  std::unique_ptr<sim::Simulator> simulator_;
+  std::unique_ptr<sim::MachineExecutor> executor_;  // sync backend only
+  sim::EventSimulator* event_ = nullptr;            // event backend only
 };
 
 class Experiment {

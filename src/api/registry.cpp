@@ -95,6 +95,22 @@ std::vector<ScenarioSpec> build_registry() {
     specs.push_back(std::move(spec));
   }
 
+  {
+    ScenarioSpec spec = lv_base();
+    spec.name = "lv-majority-failure-event";
+    spec.description =
+        "Figure 12's massive failure replayed asynchronously: drifting "
+        "clocks, real messages, half the group crashes at t=100";
+    spec.backend = Backend::Event;
+    spec.runtime.message_loss = 0.02;
+    spec.n = 2000;
+    spec.periods = 300;
+    spec.seed = 97;
+    spec.initial_counts = {1200, 800, 0};
+    spec.faults.massive_failures.push_back(sim::MassiveFailure{100, 0.5});
+    specs.push_back(std::move(spec));
+  }
+
   specs.push_back(endemic_base());
 
   {
@@ -109,10 +125,73 @@ std::vector<ScenarioSpec> build_registry() {
 
   {
     ScenarioSpec spec = endemic_base();
+    spec.name = "endemic-massive-failure-event";
+    spec.description =
+        "Figure 5's massive failure on the event backend: the stash "
+        "population re-stabilizes with no global rounds";
+    spec.backend = Backend::Event;
+    spec.n = 2000;
+    spec.periods = 300;
+    spec.seed = 23;
+    spec.initial_counts = {100, 380, 1520};
+    spec.faults.massive_failures.push_back(sim::MassiveFailure{150, 0.5});
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = endemic_base();
+    spec.name = "endemic-crash-recovery";
+    spec.description =
+        "Endemic replication under background crash-recovery: 1% of hosts "
+        "crash per period, exponential downtime with mean 10 periods";
+    spec.faults.crash_recovery.crash_prob = 0.01;
+    spec.faults.crash_recovery.mean_downtime_periods = 10.0;
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = endemic_base();
+    spec.name = "endemic-crash-recovery-event";
+    spec.description =
+        "The same background crash-recovery process driven by event-time "
+        "timers on the asynchronous backend";
+    spec.backend = Backend::Event;
+    spec.n = 2000;
+    spec.periods = 300;
+    spec.seed = 29;
+    spec.initial_counts = {100, 380, 1520};
+    spec.faults.crash_recovery.crash_prob = 0.01;
+    spec.faults.crash_recovery.mean_downtime_periods = 10.0;
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = endemic_base();
     spec.name = "endemic-churn";
     spec.description =
         "Endemic replication under synthetic Overnet churn (Figures 9-10): "
         "5-15% hourly churn, 10 periods per hour, 30 hours";
+    spec.faults.churn.enabled = true;
+    spec.faults.churn.hours = 30.0;
+    spec.faults.churn.min_rate = 0.05;
+    spec.faults.churn.max_rate = 0.15;
+    spec.faults.churn.mean_downtime_hours = 0.5;
+    spec.faults.churn.seed = 7;
+    spec.faults.churn.periods_per_hour = 10.0;
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = endemic_base();
+    spec.name = "endemic-churn-event";
+    spec.description =
+        "The Overnet churn trace played back in event time (Figures 9-10 "
+        "asynchronously): departures and rejoins at fractional periods";
+    spec.backend = Backend::Event;
+    spec.n = 2000;
+    spec.periods = 300;
+    spec.seed = 31;
+    spec.initial_counts = {100, 380, 1520};
     spec.faults.churn.enabled = true;
     spec.faults.churn.hours = 30.0;
     spec.faults.churn.min_rate = 0.05;

@@ -86,7 +86,7 @@ Json faults_to_json(const FaultPlan& f) {
     Json arr = Json::array();
     for (const sim::MassiveFailure& m : f.massive_failures) {
       arr.push(Json::object()
-                   .set("period", Json::number(m.period))
+                   .set("time", Json::number(m.time))
                    .set("fraction", Json::number(m.fraction)));
     }
     j.set("massive_failures", std::move(arr));
@@ -117,8 +117,12 @@ FaultPlan faults_from_json(const Json& j) {
   FaultPlan f;
   if (j.contains("massive_failures")) {
     for (const Json& e : j.at("massive_failures").elements()) {
-      f.massive_failures.push_back(sim::MassiveFailure{
-          e.at("period").as_size(), e.at("fraction").as_number()});
+      // "period" is the pre-unification key (whole periods only); specs
+      // saved by older builds still load.
+      const double time = e.contains("time") ? e.at("time").as_number()
+                                             : e.at("period").as_number();
+      f.massive_failures.push_back(
+          sim::MassiveFailure{time, e.at("fraction").as_number()});
     }
   }
   if (j.contains("crash_recovery")) {

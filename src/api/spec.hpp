@@ -17,12 +17,12 @@
 #include "core/synthesis.hpp"
 #include "ode/equation_system.hpp"
 #include "sim/runtime.hpp"
-#include "sim/sync_sim.hpp"
+#include "sim/simulator.hpp"
 
 namespace deproto::api {
 
 /// Thrown when a spec cannot be resolved or executed (unknown catalog id,
-/// malformed JSON shape, backend/fault combination not supported).
+/// malformed JSON shape, simulator-level validation failures).
 class SpecError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -39,7 +39,7 @@ struct SourceSpec {
   friend bool operator==(const SourceSpec&, const SourceSpec&) = default;
 };
 
-/// Synthetic Overnet-style churn attachment (sync backend only); mirrors
+/// Synthetic Overnet-style churn attachment; mirrors
 /// sim::ChurnTrace::synthetic_overnet plus the hours -> periods conversion.
 struct ChurnSpec {
   bool enabled = false;
@@ -53,8 +53,8 @@ struct ChurnSpec {
   friend bool operator==(const ChurnSpec&, const ChurnSpec&) = default;
 };
 
-/// Background crash-recovery failures (sync backend only); mirrors
-/// sim::SyncSimulator::set_crash_recovery.
+/// Background crash-recovery failures; mirrors
+/// sim::Simulator::set_crash_recovery.
 struct CrashRecoverySpec {
   double crash_prob = 0.0;
   double mean_downtime_periods = 0.0;
@@ -64,7 +64,8 @@ struct CrashRecoverySpec {
 };
 
 /// The unified fault plan: scheduled massive failures, background
-/// crash-recovery, and churn-trace attachment.
+/// crash-recovery, and churn-trace attachment. Every field is valid on
+/// both backends (sim::Simulator is the single scheduling surface).
 struct FaultPlan {
   std::vector<sim::MassiveFailure> massive_failures;
   CrashRecoverySpec crash_recovery;

@@ -40,7 +40,7 @@
 #include "protocols/baselines.hpp"
 #include "protocols/analysis.hpp"
 
-// sim: synchronous and event-driven group simulation
+// sim: synchronous and event-driven group simulation behind one interface
 #include "sim/rng.hpp"
 #include "sim/protocol.hpp"
 #include "sim/group.hpp"
@@ -49,6 +49,7 @@
 #include "sim/churn.hpp"
 #include "sim/swim.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
 #include "sim/sync_sim.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/runtime.hpp"

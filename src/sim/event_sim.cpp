@@ -1,33 +1,58 @@
 #include "sim/event_sim.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace deproto::sim {
 
 EventSimulator::EventSimulator(std::size_t n,
-                               core::ProtocolStateMachine machine,
-                               std::uint64_t seed, EventSimOptions options)
-    : machine_(std::move(machine)),
+                               std::optional<core::ProtocolStateMachine> mac,
+                               PeriodicProtocol* protocol, std::uint64_t seed,
+                               EventSimOptions options)
+    : machine_(std::move(mac)),
+      protocol_(protocol),
       options_(options),
       queue_(),
       rng_(seed),
-      group_(n, machine_.num_states()),
+      group_(n, machine_.has_value() ? machine_->num_states()
+                                     : protocol->num_states()),
       network_(queue_, rng_, options.network),
-      metrics_(machine_.num_states()) {
+      metrics_(group_.num_states()) {
   if (!(options_.clock_drift >= 0.0 && options_.clock_drift < 0.5)) {
     throw std::invalid_argument("EventSimulator: bad clock drift");
   }
+  if (protocol_ != nullptr) {
+    // Driver mode: one whole-group period per tick of a single drifting,
+    // arbitrary-phase timer.
+    driver_period_ =
+        rng_.uniform(1.0 - options_.clock_drift, 1.0 + options_.clock_drift);
+    queue_.schedule(rng_.uniform01() * driver_period_,
+                    [this] { on_driver_tick(); });
+    return;
+  }
   period_of_.resize(n);
+  timer_epoch_.assign(n, 0);
   for (ProcessId pid = 0; pid < n; ++pid) {
     period_of_[pid] =
         rng_.uniform(1.0 - options_.clock_drift, 1.0 + options_.clock_drift);
     // Arbitrary phase: the first tick falls anywhere in the first period.
     const ProcessId copy = pid;
     queue_.schedule(rng_.uniform01() * period_of_[pid],
-                    [this, copy] { on_tick(copy); });
+                    [this, copy] { on_tick(copy, 0); });
   }
 }
+
+EventSimulator::EventSimulator(std::size_t n,
+                               core::ProtocolStateMachine machine,
+                               std::uint64_t seed, EventSimOptions options)
+    : EventSimulator(n, std::optional(std::move(machine)), nullptr, seed,
+                     options) {}
+
+EventSimulator::EventSimulator(std::size_t n, PeriodicProtocol& protocol,
+                               std::uint64_t seed, EventSimOptions options)
+    : EventSimulator(n, std::nullopt, &protocol, seed, options) {}
 
 void EventSimulator::seed_states(const std::vector<std::size_t>& counts) {
   std::size_t total = 0;
@@ -43,42 +68,134 @@ void EventSimulator::seed_states(const std::vector<std::size_t>& counts) {
   }
 }
 
-void EventSimulator::schedule_massive_failure(double t, double fraction) {
-  queue_.schedule(t, [this, fraction] {
-    const auto victims = static_cast<std::size_t>(
-        fraction * static_cast<double>(group_.total_alive()));
-    group_.crash_random_alive(victims, rng_);
+void EventSimulator::crash_process(ProcessId pid) {
+  if (!group_.alive(pid)) return;
+  if (protocol_ != nullptr) protocol_->on_crash(pid);
+  group_.crash(pid);
+  if (!timer_epoch_.empty()) ++timer_epoch_[pid];
+}
+
+void EventSimulator::note_mass_crashed(ProcessId pid) {
+  // Bookkeeping for victims Group::crash_random_alive already crashed:
+  // fire the protocol hook (after the crash, like the sync backend's
+  // massive-failure path) and invalidate any pending timer.
+  if (protocol_ != nullptr) protocol_->on_crash(pid);
+  if (!timer_epoch_.empty()) ++timer_epoch_[pid];
+}
+
+void EventSimulator::recover_process(ProcessId pid) {
+  if (group_.alive(pid)) return;
+  group_.recover(pid, rejoin_state());
+  if (machine_.has_value()) arm_timer(pid);
+  // Driver mode: the group-wide period timer keeps running; the revived
+  // process simply participates in the next execute_period.
+}
+
+void EventSimulator::schedule_massive_failure(double time, double fraction) {
+  if (!(fraction >= 0.0 && fraction <= 1.0)) {
+    throw std::invalid_argument("schedule_massive_failure: bad fraction");
+  }
+  queue_.schedule(std::max(time, queue_.now()), [this, fraction] {
+    const auto victims = static_cast<std::size_t>(std::llround(
+        fraction * static_cast<double>(group_.total_alive())));
+    for (ProcessId pid : group_.crash_random_alive(victims, rng_)) {
+      note_mass_crashed(pid);
+    }
   });
 }
 
-void EventSimulator::schedule_crash(ProcessId pid, double t, double recover_t,
-                                    std::size_t recover_state) {
-  queue_.schedule(t, [this, pid] {
-    if (group_.alive(pid)) group_.crash(pid);
-  });
-  if (recover_t >= 0.0) {
-    queue_.schedule(recover_t, [this, pid, recover_state] {
-      if (!group_.alive(pid)) {
-        group_.recover(pid, recover_state);
-        arm_timer(pid);
-      }
-    });
+void EventSimulator::schedule_crash(ProcessId pid, double time,
+                                    double recover_time) {
+  if (pid >= group_.size()) return;  // ignored, like the sync backend
+  queue_.schedule(std::max(time, queue_.now()),
+                  [this, pid] { crash_process(pid); });
+  if (recover_time >= 0.0) {
+    queue_.schedule(std::max(recover_time, queue_.now()),
+                    [this, pid] { recover_process(pid); });
+  }
+}
+
+void EventSimulator::set_crash_recovery(double crash_prob,
+                                        double mean_downtime_periods) {
+  if (!(crash_prob >= 0.0 && crash_prob <= 1.0) ||
+      mean_downtime_periods < 0.0) {
+    throw std::invalid_argument("set_crash_recovery: bad parameters");
+  }
+  // Each call starts a fresh tick chain; any chain already in the queue
+  // carries a stale epoch and dies at its next tick, so reconfiguring
+  // (including disarm + re-arm within one period) never stacks chains.
+  const std::uint64_t epoch = ++recovery_epoch_;
+  crash_prob_ = crash_prob;
+  mean_downtime_ = mean_downtime_periods;
+  if (crash_prob_ > 0.0) {
+    queue_.schedule_in(1.0, [this, epoch] { on_crash_recovery_tick(epoch); });
+  }
+}
+
+void EventSimulator::on_crash_recovery_tick(std::uint64_t epoch) {
+  if (epoch != recovery_epoch_) return;  // reconfigured; chain abandoned
+  const std::size_t crashes =
+      rng_.binomial(group_.total_alive(), crash_prob_);
+  for (ProcessId pid : group_.crash_random_alive(crashes, rng_)) {
+    note_mass_crashed(pid);
+    if (mean_downtime_ > 0.0) {
+      // Mirror the sync backend: downtime is one period (the crash is only
+      // noticed at the next boundary) plus an exponential tail. Recoveries
+      // outlive a later disarm, as the sync backend's heap does.
+      const ProcessId copy = pid;
+      queue_.schedule_in(1.0 + rng_.exponential_mean(mean_downtime_),
+                         [this, copy] { recover_process(copy); });
+    }
+  }
+  queue_.schedule_in(1.0, [this, epoch] { on_crash_recovery_tick(epoch); });
+}
+
+void EventSimulator::attach_churn(const ChurnTrace& trace,
+                                  double periods_per_hour) {
+  if (!(periods_per_hour > 0.0)) {
+    throw std::invalid_argument("attach_churn: bad periods_per_hour");
+  }
+  // Attaching replaces any earlier trace (the sync backend's semantics):
+  // events already in the queue carry the previous epoch and become
+  // no-ops, since the queue offers no cancellation.
+  const std::uint64_t epoch = ++churn_epoch_;
+  for (const ChurnEvent& e : trace.events()) {
+    if (e.host >= group_.size()) continue;
+    const double t =
+        std::max(e.time_hours * periods_per_hour, queue_.now());
+    const ProcessId pid = e.host;
+    if (e.up) {
+      queue_.schedule(t, [this, pid, epoch] {
+        if (epoch == churn_epoch_) recover_process(pid);
+      });
+    } else {
+      queue_.schedule(t, [this, pid, epoch] {
+        if (epoch == churn_epoch_) crash_process(pid);
+      });
+    }
   }
 }
 
 void EventSimulator::arm_timer(ProcessId pid) {
-  queue_.schedule_in(period_of_[pid], [this, pid] { on_tick(pid); });
+  const std::uint64_t epoch = timer_epoch_[pid];
+  queue_.schedule_in(period_of_[pid],
+                     [this, pid, epoch] { on_tick(pid, epoch); });
 }
 
-void EventSimulator::on_tick(ProcessId pid) {
-  if (group_.alive(pid)) {
-    const std::size_t state = group_.state_of(pid);
-    for (std::size_t idx : machine_.actions_of(state)) {
-      run_action(pid, idx);
-    }
-    arm_timer(pid);
+void EventSimulator::on_tick(ProcessId pid, std::uint64_t epoch) {
+  // Stale timers (armed before a crash) die here, even if the process has
+  // since recovered (recovery armed a fresh-epoch timer).
+  if (epoch != timer_epoch_[pid] || !group_.alive(pid)) return;
+  const std::size_t state = group_.state_of(pid);
+  for (std::size_t idx : machine_->actions_of(state)) {
+    run_action(pid, idx);
   }
-  // Crashed processes stop ticking; recovery re-arms the timer.
+  arm_timer(pid);
+}
+
+void EventSimulator::on_driver_tick() {
+  protocol_->execute_period(group_, rng_, metrics_);
+  queue_.schedule_in(driver_period_, [this] { on_driver_tick(); });
 }
 
 void EventSimulator::route_token_directory(std::size_t token_state,
@@ -107,7 +224,7 @@ void EventSimulator::route_token_walk(std::size_t token_state,
 }
 
 void EventSimulator::run_action(ProcessId pid, std::size_t action_index) {
-  const core::Action& action = machine_.actions()[action_index];
+  const core::Action& action = machine_->actions()[action_index];
 
   // Probe r targets; `done(states)` runs when every response (or loss
   // surrogate) has arrived. Lost/crash responses arrive as nullopt.
@@ -198,9 +315,9 @@ void EventSimulator::run_action(ProcessId pid, std::size_t action_index) {
               ++at;
             }
             if (match && rng_.bernoulli(spec.coin_bias)) {
-              if (options_.token_random_walk) {
+              if (options_.tokens.mode == TokenRouting::Mode::RandomWalkTtl) {
                 route_token_walk(spec.token_state, spec.to_state,
-                                 options_.token_ttl);
+                                 options_.tokens.ttl);
               } else {
                 route_token_directory(spec.token_state, spec.to_state);
               }
@@ -250,6 +367,10 @@ void EventSimulator::run_until(double t_end) {
     next_sample_ += 1.0;
   }
   queue_.run_until(t_end);
+}
+
+void EventSimulator::run_for(double periods) {
+  run_until(queue_.now() + periods);
 }
 
 }  // namespace deproto::sim

@@ -1,21 +1,33 @@
 #pragma once
 
-// Fully asynchronous execution of a synthesized machine: each process runs
+// Fully asynchronous execution backend. In machine mode each process runs
 // its own protocol-period timer (arbitrary phase, bounded drift -- the
 // paper's clock model), sampling probes are real request/response message
 // pairs over the unreliable network, and decisions are taken when the last
 // response (or loss surrogate) arrives. This validates that the protocols
 // need no global clock, synchronization, or agreement.
+//
+// A second constructor accepts any hand-written PeriodicProtocol and drives
+// it from a (drifting, arbitrary-phase) period timer, so the paper's case
+// studies (protocols/epidemic|lv_majority|endemic_replication) and any
+// MachineExecutor compose with the event backend's fault surface -- churn
+// playback, crash-recovery, targeted crashes -- exactly like synthesized
+// machines do.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/state_machine.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/group.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/protocol.hpp"
+#include "sim/runtime.hpp"
+#include "sim/simulator.hpp"
 
 namespace deproto::sim {
 
@@ -23,45 +35,75 @@ struct EventSimOptions {
   NetworkOptions network;
   /// Per-process period = 1 * Uniform(1 - drift, 1 + drift).
   double clock_drift = 0.05;
-  /// Sampling mode for tokens (directory only in the event-driven runtime;
-  /// random-walk tokens ride on real messages).
-  unsigned token_ttl = 8;
-  bool token_random_walk = false;
+  /// Token routing (shared with the sync runtime's RuntimeOptions):
+  /// directory handoff, or TTL-bounded random walks riding on real
+  /// messages.
+  TokenRouting tokens;
 };
 
-class EventSimulator {
+class EventSimulator final : public Simulator {
  public:
+  /// Machine mode: interpret a synthesized state machine, one independent
+  /// timer per process.
   EventSimulator(std::size_t n, core::ProtocolStateMachine machine,
                  std::uint64_t seed, EventSimOptions options = {});
 
-  [[nodiscard]] Group& group() noexcept { return group_; }
-  [[nodiscard]] MetricsCollector& metrics() noexcept { return metrics_; }
-  [[nodiscard]] const Network& network() const noexcept { return network_; }
-  [[nodiscard]] double now() const noexcept { return queue_.now(); }
+  /// Protocol-driver mode: execute a hand-written PeriodicProtocol one
+  /// whole period per tick of a drifting, arbitrary-phase period timer.
+  /// The protocol does its own (synchronous) sampling; the network carries
+  /// no messages in this mode.
+  EventSimulator(std::size_t n, PeriodicProtocol& protocol,
+                 std::uint64_t seed, EventSimOptions options = {});
 
-  /// Crash `fraction` of alive processes at absolute time t (in periods).
-  void schedule_massive_failure(double t, double fraction);
-  /// Crash one process at time t; optionally recover it at `recover_t`
-  /// (< 0 means never) into state `recover_state`.
-  void schedule_crash(ProcessId pid, double t, double recover_t = -1.0,
-                      std::size_t recover_state = 0);
+  [[nodiscard]] Group& group() noexcept override { return group_; }
+  [[nodiscard]] const Group& group() const noexcept { return group_; }
+  [[nodiscard]] MetricsCollector& metrics() noexcept override {
+    return metrics_;
+  }
+  [[nodiscard]] Rng& rng() noexcept override { return rng_; }
+  [[nodiscard]] const Network& network() const noexcept { return network_; }
+  [[nodiscard]] double now() const noexcept override { return queue_.now(); }
+
+  void schedule_massive_failure(double time, double fraction) override;
+  /// Crash one process at `time`; if `recover_time` >= 0, revive it then
+  /// into the protocol's rejoin_state() (state 0 for raw machines).
+  void schedule_crash(ProcessId pid, double time,
+                      double recover_time = -1.0) override;
+  void set_crash_recovery(double crash_prob,
+                          double mean_downtime_periods) override;
+  void attach_churn(const ChurnTrace& trace, double periods_per_hour) override;
 
   /// Run until absolute time `t_end` (periods); metrics sample each unit.
   void run_until(double t_end);
 
-  /// Distribute initial states: counts[s] processes in state s.
-  void seed_states(const std::vector<std::size_t>& counts);
+  /// Simulator interface: run_until(now() + periods).
+  void run_for(double periods) override;
+
+  void seed_states(const std::vector<std::size_t>& counts) override;
 
  private:
+  EventSimulator(std::size_t n, std::optional<core::ProtocolStateMachine> mac,
+                 PeriodicProtocol* protocol, std::uint64_t seed,
+                 EventSimOptions options);
+
+  [[nodiscard]] std::size_t rejoin_state() const {
+    return protocol_ != nullptr ? protocol_->rejoin_state() : 0;
+  }
+  void crash_process(ProcessId pid);
+  void note_mass_crashed(ProcessId pid);
+  void recover_process(ProcessId pid);
   void arm_timer(ProcessId pid);
-  void on_tick(ProcessId pid);
+  void on_tick(ProcessId pid, std::uint64_t epoch);
+  void on_driver_tick();
+  void on_crash_recovery_tick(std::uint64_t epoch);
   void run_action(ProcessId pid, std::size_t action_index);
   void route_token_directory(std::size_t token_state, std::size_t to_state);
   void route_token_walk(std::size_t token_state, std::size_t to_state,
                         unsigned ttl_left);
   void sample_metrics();
 
-  core::ProtocolStateMachine machine_;
+  std::optional<core::ProtocolStateMachine> machine_;  // machine mode
+  PeriodicProtocol* protocol_ = nullptr;               // driver mode
   EventSimOptions options_;
   EventQueue queue_;
   Rng rng_;
@@ -69,6 +111,16 @@ class EventSimulator {
   Network network_;
   MetricsCollector metrics_;
   std::vector<double> period_of_;  // per-process period length
+  // Guards against stale timers: bumped on every crash, so a tick armed
+  // before the crash is ignored even if the process recovered meanwhile.
+  std::vector<std::uint64_t> timer_epoch_;
+  double driver_period_ = 1.0;     // driver mode period length
+  double crash_prob_ = 0.0;        // background crash-recovery, per period
+  double mean_downtime_ = 0.0;     // 0 = crash-stop
+  // Bumped by attach_churn: queued events from a replaced trace no-op.
+  std::uint64_t churn_epoch_ = 0;
+  // Bumped by set_crash_recovery: a superseded tick chain no-ops.
+  std::uint64_t recovery_epoch_ = 0;
   double next_sample_ = 0.0;
 };
 

@@ -13,16 +13,28 @@ SyncSimulator::SyncSimulator(std::size_t n, PeriodicProtocol& protocol,
       rng_(seed),
       metrics_(protocol.num_states()) {}
 
-void SyncSimulator::schedule_massive_failure(std::size_t period,
-                                             double fraction) {
+void SyncSimulator::schedule_massive_failure(double time, double fraction) {
   if (!(fraction >= 0.0 && fraction <= 1.0)) {
     throw std::invalid_argument("schedule_massive_failure: bad fraction");
   }
-  failures_.push_back(MassiveFailure{period, fraction});
-  std::sort(failures_.begin(), failures_.end(),
-            [](const MassiveFailure& a, const MassiveFailure& b) {
-              return a.period < b.period;
-            });
+  failures_.push_back(PendingFailure{MassiveFailure{time, fraction}, false});
+}
+
+void SyncSimulator::schedule_crash(ProcessId pid, double time,
+                                   double recover_time) {
+  // Reuses the churn playback machinery: a targeted crash is a one-host
+  // departure (plus optional rejoin), already expressed in periods.
+  crashes_.push_back(ChurnEvent{time, pid, false});
+  if (recover_time >= 0.0) {
+    crashes_.push_back(ChurnEvent{recover_time, pid, true});
+  }
+  // Stable: equal-time events keep scheduling order (crash before its own
+  // recovery), matching the event queue's FIFO tie-breaking.
+  std::stable_sort(
+      crashes_.begin() + static_cast<std::ptrdiff_t>(crashes_next_),
+      crashes_.end(), [](const ChurnEvent& a, const ChurnEvent& b) {
+        return a.time_hours < b.time_hours;
+      });
 }
 
 void SyncSimulator::attach_churn(const ChurnTrace& trace,
@@ -70,10 +82,10 @@ void SyncSimulator::set_crash_recovery(double crash_prob,
   mean_downtime_ = mean_downtime_periods;
 }
 
-void SyncSimulator::apply_churn_until(double period_time) {
-  while (churn_next_ < churn_.size() &&
-         churn_[churn_next_].time_hours <= period_time) {
-    const ChurnEvent& e = churn_[churn_next_++];
+void SyncSimulator::apply_churn_until(std::vector<ChurnEvent>& events,
+                                      std::size_t& next, double period_time) {
+  while (next < events.size() && events[next].time_hours <= period_time) {
+    const ChurnEvent& e = events[next++];
     if (e.host >= group_.size()) continue;
     if (!e.up) {
       if (group_.alive(e.host)) {
@@ -92,30 +104,41 @@ void SyncSimulator::run(std::size_t periods) {
   for (std::size_t k = 0; k < periods; ++k) {
     const auto t = static_cast<double>(period_);
 
-    // Scheduled massive failures at the start of the period.
-    for (const MassiveFailure& failure : failures_) {
-      if (failure.period == period_) {
-        const auto victims = static_cast<std::size_t>(
-            std::llround(failure.fraction *
-                         static_cast<double>(group_.total_alive())));
-        for (ProcessId pid : group_.crash_random_alive(victims, rng_)) {
-          protocol_.on_crash(pid);
-        }
+    // Scheduled massive failures at the start of the period. A failure is
+    // due once its time is <= the period start; anything scheduled "in the
+    // past" fires at the next boundary instead of being silently dropped.
+    for (PendingFailure& pending : failures_) {
+      if (pending.applied || pending.failure.time > t) continue;
+      pending.applied = true;
+      const auto victims = static_cast<std::size_t>(
+          std::llround(pending.failure.fraction *
+                       static_cast<double>(group_.total_alive())));
+      for (ProcessId pid : group_.crash_random_alive(victims, rng_)) {
+        protocol_.on_crash(pid);
       }
     }
 
-    // Churn events that fall inside this period.
-    apply_churn_until(t + 1.0);
+    // Targeted crashes quantize like massive failures: they fire at the
+    // start of the first period >= their time (matching the event backend
+    // at whole-period times). Churn playback keeps its covering-period
+    // semantics: a trace event inside [t, t+1) takes effect during that
+    // period, so it is visible in the same period's sample on both
+    // backends.
+    apply_churn_until(crashes_, crashes_next_, t);
+    apply_churn_until(churn_, churn_next_, t + 1.0);
 
-    // Background crash-recovery failures.
-    if (crash_prob_ > 0.0) {
-      while (!recoveries_.empty() && recoveries_.top().first <= t) {
-        const ProcessId pid = recoveries_.top().second;
-        recoveries_.pop();
-        if (!group_.alive(pid)) {
-          group_.recover(pid, protocol_.rejoin_state());
-        }
+    // Background crash-recovery. Due recoveries drain even after the
+    // process is disarmed (crash_prob_ reset to 0): already-crashed hosts
+    // still come back, exactly as the event backend's queued recovery
+    // events do.
+    while (!recoveries_.empty() && recoveries_.top().first <= t) {
+      const ProcessId pid = recoveries_.top().second;
+      recoveries_.pop();
+      if (!group_.alive(pid)) {
+        group_.recover(pid, protocol_.rejoin_state());
       }
+    }
+    if (crash_prob_ > 0.0) {
       const std::size_t crashes =
           rng_.binomial(group_.total_alive(), crash_prob_);
       for (ProcessId pid : group_.crash_random_alive(crashes, rng_)) {
@@ -137,6 +160,10 @@ void SyncSimulator::run(std::size_t periods) {
     metrics_.end_period(group_);
     ++period_;
   }
+}
+
+void SyncSimulator::run_for(double periods) {
+  run(static_cast<std::size_t>(std::ceil(periods)));
 }
 
 }  // namespace deproto::sim

@@ -3,8 +3,9 @@
 // Round-synchronous simulator: the execution model of the paper's own
 // experiments ("multiple instances running synchronously over a simulated
 // network, all on a single machine"). One round == one protocol period;
-// time on all plots is measured in periods. Supports scheduled massive
-// failures, crash-recovery, and churn-trace playback.
+// time on all plots is measured in periods. Implements the full unified
+// Simulator fault surface: scheduled massive failures, targeted crashes,
+// background crash-recovery, and churn-trace playback.
 
 #include <cstddef>
 #include <cstdint>
@@ -16,63 +17,70 @@
 #include "sim/churn.hpp"
 #include "sim/metrics.hpp"
 #include "sim/protocol.hpp"
+#include "sim/simulator.hpp"
 
 namespace deproto::sim {
 
-struct MassiveFailure {
-  std::size_t period = 0;   // applied at the start of this period
-  double fraction = 0.5;    // of currently-alive processes
-
-  friend bool operator==(const MassiveFailure&,
-                         const MassiveFailure&) = default;
-};
-
-class SyncSimulator {
+class SyncSimulator final : public Simulator {
  public:
   /// The group starts with all processes alive in protocol state 0 unless
   /// the caller mutates `group()` before run().
   SyncSimulator(std::size_t n, PeriodicProtocol& protocol,
                 std::uint64_t seed);
 
-  [[nodiscard]] Group& group() noexcept { return group_; }
+  [[nodiscard]] Group& group() noexcept override { return group_; }
   [[nodiscard]] const Group& group() const noexcept { return group_; }
-  [[nodiscard]] Rng& rng() noexcept { return rng_; }
-  [[nodiscard]] MetricsCollector& metrics() noexcept { return metrics_; }
+  [[nodiscard]] Rng& rng() noexcept override { return rng_; }
+  [[nodiscard]] MetricsCollector& metrics() noexcept override {
+    return metrics_;
+  }
   [[nodiscard]] std::size_t current_period() const noexcept {
     return period_;
   }
+  [[nodiscard]] double now() const noexcept override {
+    return static_cast<double>(period_);
+  }
 
-  /// Crash `fraction` of the alive processes at the given period.
-  void schedule_massive_failure(std::size_t period, double fraction);
+  /// Crash `fraction` of the alive processes at the start of the first
+  /// period >= `time`.
+  void schedule_massive_failure(double time, double fraction) override;
 
-  /// Play back a churn trace; `periods_per_hour` converts trace hours to
-  /// protocol periods (the paper: 6-minute periods => 10 periods/hour).
-  void attach_churn(const ChurnTrace& trace, double periods_per_hour);
+  /// Crash `pid` at the start of the first period >= `time`; recovery (if
+  /// requested) enters the protocol's rejoin_state().
+  void schedule_crash(ProcessId pid, double time,
+                      double recover_time = -1.0) override;
 
-  /// Background crash-recovery failures: each alive process independently
-  /// crashes with probability `crash_prob` per period and recovers after an
-  /// exponential downtime with the given mean (in periods). A mean of 0
-  /// makes crashes permanent (crash-stop).
-  void set_crash_recovery(double crash_prob, double mean_downtime_periods);
+  void attach_churn(const ChurnTrace& trace, double periods_per_hour) override;
+
+  void set_crash_recovery(double crash_prob,
+                          double mean_downtime_periods) override;
 
   /// Run `periods` more rounds. Metrics record one sample per round.
   void run(std::size_t periods);
 
-  /// Convenience: distribute alive processes over states by counts
-  /// (counts must sum to <= N; remaining processes keep state 0).
-  void seed_states(const std::vector<std::size_t>& counts);
+  /// Simulator interface: rounds `periods` up to whole rounds.
+  void run_for(double periods) override;
+
+  void seed_states(const std::vector<std::size_t>& counts) override;
 
  private:
-  void apply_churn_until(double period_time);
+  void apply_churn_until(std::vector<ChurnEvent>& events, std::size_t& next,
+                         double period_time);
 
   Group group_;
   PeriodicProtocol& protocol_;
   Rng rng_;
   MetricsCollector metrics_;
   std::size_t period_ = 0;
-  std::vector<MassiveFailure> failures_;
-  std::vector<ChurnEvent> churn_;  // in periods, sorted
+  struct PendingFailure {
+    MassiveFailure failure;
+    bool applied = false;
+  };
+  std::vector<PendingFailure> failures_;
+  std::vector<ChurnEvent> churn_;    // in periods, sorted
   std::size_t churn_next_ = 0;
+  std::vector<ChurnEvent> crashes_;  // schedule_crash events, in periods
+  std::size_t crashes_next_ = 0;
   double crash_prob_ = 0.0;
   double mean_downtime_ = 0.0;
   // Min-heap of (recovery period, pid) for crash-recovery failures.

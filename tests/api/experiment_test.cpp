@@ -165,13 +165,39 @@ TEST(ExperimentTest, SimulatorValidationSurfacesAsSpecError) {
   EXPECT_THROW((void)Experiment(bad_fraction).launch(), SpecError);
 }
 
-TEST(ExperimentTest, EventBackendRejectsChurnAndCrashRecovery) {
-  ScenarioSpec spec = registry_get("epidemic-event");
-  spec.faults.churn.enabled = true;
-  EXPECT_THROW((void)Experiment(spec).launch(), SpecError);
-  spec.faults.churn.enabled = false;
-  spec.faults.crash_recovery.crash_prob = 0.01;
-  EXPECT_THROW((void)Experiment(spec).launch(), SpecError);
+TEST(ExperimentTest, EventBackendRunsCrashRecoveryPlans) {
+  // PR 2 rejected these outright; the unified Simulator interface makes
+  // every fault-plan field valid on the event backend too.
+  ScenarioSpec spec = registry_get("epidemic-event").scaled_to(1000);
+  spec.periods = 40;
+  spec.faults.crash_recovery = CrashRecoverySpec{0.05, 2.0};
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+  // Same steady-state reasoning as the sync crash-recovery test: with 5%
+  // crashes/period and mean downtime ~3 periods, well under all-alive but
+  // nowhere near drained.
+  EXPECT_LT(result.final_alive, 1000U);
+  EXPECT_GT(result.final_alive, 500U);
+}
+
+TEST(ExperimentTest, EventBackendRunsChurnPlans) {
+  ScenarioSpec spec = registry_get("endemic-churn-event").scaled_to(400);
+  spec.periods = 40;
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+  bool population_moved = false;
+  for (const PeriodPoint& point : result.series) {
+    if (point.total_alive != 400U) population_moved = true;
+  }
+  EXPECT_TRUE(population_moved);
+}
+
+TEST(ExperimentTest, EventBackendAppliesMassiveFailureAtFractionalTime) {
+  ScenarioSpec spec = registry_get("epidemic-event").scaled_to(800);
+  spec.periods = 10;
+  spec.faults.massive_failures.push_back(sim::MassiveFailure{3.5, 0.5});
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+  EXPECT_EQ(result.series[2].total_alive, 800U);  // sample at t = 3
+  EXPECT_EQ(result.series[3].total_alive, 400U);  // sample at t = 4
+  EXPECT_EQ(result.final_alive, 400U);
 }
 
 TEST(ExperimentTest, ConvergenceSummaryFlagsAbsorption) {

@@ -17,9 +17,14 @@ TEST(RegistryTest, ListsExactlyTheRegisteredScenarios) {
       "epidemic-event",
       "lv-majority",
       "lv-majority-failure",
+      "lv-majority-failure-event",
       "endemic",
       "endemic-massive-failure",
+      "endemic-massive-failure-event",
+      "endemic-crash-recovery",
+      "endemic-crash-recovery-event",
       "endemic-churn",
+      "endemic-churn-event",
   };
   EXPECT_EQ(registry_names(), expected);
 }
@@ -53,7 +58,7 @@ TEST(RegistryTest, EveryEntryRunsAtSmallN) {
     ScenarioSpec spec = registry_get(name).scaled_to(300);
     spec.periods = 10;
     for (sim::MassiveFailure& f : spec.faults.massive_failures) {
-      f.period = 5;
+      f.time = 5.0;
     }
     Experiment experiment(spec);
     const ExperimentResult result = experiment.run();

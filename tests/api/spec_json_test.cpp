@@ -91,6 +91,17 @@ TEST(SpecJsonTest, OmittedKeysMeanDefaults) {
   }());
 }
 
+TEST(SpecJsonTest, LegacyMassiveFailurePeriodKeyStillLoads) {
+  // Specs saved before the unified Simulator interface wrote "period"
+  // (whole periods); they must keep loading as fractional "time".
+  const ScenarioSpec spec = ScenarioSpec::from_json(Json::parse(
+      R"({"source":{"catalog":"epidemic"},
+          "faults":{"massive_failures":[{"period":10,"fraction":0.5}]}})"));
+  ASSERT_EQ(spec.faults.massive_failures.size(), 1U);
+  EXPECT_DOUBLE_EQ(spec.faults.massive_failures[0].time, 10.0);
+  EXPECT_DOUBLE_EQ(spec.faults.massive_failures[0].fraction, 0.5);
+}
+
 TEST(SpecJsonTest, BadShapesThrow) {
   EXPECT_THROW((void)backend_from_name("threads"), SpecError);
   EXPECT_THROW((void)ScenarioSpec::from_json(

@@ -1,0 +1,132 @@
+// Scheduler-independence under faults: every registry scenario with a
+// fault plan must reach the same steady state whether executed
+// round-synchronously or fully asynchronously (the event backend), and
+// both must sit near the mean-field recursion's endpoint. This is the
+// paper's central claim composed with the unified Simulator fault surface:
+// massive failures, background crash-recovery, and churn all run on either
+// backend now, so the steady states have to agree up to finite-size noise
+// (plus, for the recovery/churn scenarios, the rejoin influx the mean
+// field does not model).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "core/mean_field.hpp"
+
+namespace deproto {
+namespace {
+
+/// Alive-normalized state fractions averaged over the last `window` series
+/// points (averaging smooths the per-period binomial fluctuations).
+std::vector<double> tail_fractions(const api::ExperimentResult& result,
+                                   std::size_t window) {
+  const std::size_t m = result.state_names.size();
+  std::vector<double> fractions(m, 0.0);
+  const std::size_t first = result.series.size() > window
+                                ? result.series.size() - window
+                                : 0;
+  std::size_t used = 0;
+  for (std::size_t i = first; i < result.series.size(); ++i) {
+    const api::PeriodPoint& point = result.series[i];
+    if (point.total_alive == 0) continue;
+    for (std::size_t s = 0; s < m; ++s) {
+      fractions[s] += static_cast<double>(point.counts[s]) /
+                      static_cast<double>(point.total_alive);
+    }
+    ++used;
+  }
+  if (used > 0) {
+    for (double& f : fractions) f /= static_cast<double>(used);
+  }
+  return fractions;
+}
+
+double max_gap(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    worst = std::max(worst, std::abs(a[s] - b[s]));
+  }
+  return worst;
+}
+
+/// Endpoint of the exact mean-field recursion started from the spec's
+/// initial fractions. Faults are not modeled: a uniform massive failure
+/// preserves fractions in expectation, while crash-recovery/churn add a
+/// rejoin influx the comparison tolerance absorbs.
+std::vector<double> mean_field_endpoint(api::Experiment& experiment) {
+  const core::ProtocolStateMachine& machine =
+      experiment.artifacts().synthesis.machine;
+  const api::ScenarioSpec& spec = experiment.spec();
+  const std::size_t m = machine.num_states();
+  num::Vec x(m, 0.0);
+  for (std::size_t s = 0; s < spec.initial_counts.size(); ++s) {
+    x[s] = static_cast<double>(spec.initial_counts[s]) /
+           static_cast<double>(spec.n);
+  }
+  double assigned = 0.0;
+  for (double v : x) assigned += v;
+  x[0] += 1.0 - assigned;
+  for (std::size_t t = 0; t < spec.periods; ++t) {
+    const num::Vec drift = core::exact_drift(machine, x);
+    for (std::size_t s = 0; s < m; ++s) x[s] += drift[s];
+  }
+  return {x.begin(), x.end()};
+}
+
+TEST(BackendEquivalenceTest, FaultScenariosAgreeAcrossBackendsAndMeanField) {
+  for (const std::string& name : api::registry_names()) {
+    api::ScenarioSpec base = api::registry_get(name);
+    if (!base.faults.any()) continue;
+    // The -event registry variants carry the same fault plans as their
+    // sync siblings (the smoke matrix exercises them); comparing each base
+    // scenario across both backends here covers the physics once.
+    if (name.size() > 6 && name.ends_with("-event")) continue;
+
+    base = base.scaled_to(500);
+    // Fire scheduled failures early enough that the post-failure steady
+    // state dominates the comparison window.
+    for (sim::MassiveFailure& f : base.faults.massive_failures) {
+      f.time = std::min(f.time, 50.0);
+    }
+
+    api::ScenarioSpec sync_spec = base;
+    sync_spec.backend = api::Backend::Sync;
+    api::ScenarioSpec event_spec = base;
+    event_spec.backend = api::Backend::Event;
+
+    api::Experiment sync_exp(sync_spec);
+    api::Experiment event_exp(event_spec);
+    const api::ExperimentResult sync_result = sync_exp.run();
+    const api::ExperimentResult event_result = event_exp.run();
+
+    const std::size_t window = 20;
+    const std::vector<double> sync_tail =
+        tail_fractions(sync_result, window);
+    const std::vector<double> event_tail =
+        tail_fractions(event_result, window);
+
+    // Backend agreement: finite-size noise plus the event backend's
+    // probe-time sequencing, at N = 500 over a 20-period window.
+    EXPECT_LT(max_gap(sync_tail, event_tail), 0.10) << name;
+
+    // Mean-field agreement: looser, because the recursion models neither
+    // the rejoin influx (crash-recovery, churn) nor sequencing bias.
+    const std::vector<double> mean_field = mean_field_endpoint(sync_exp);
+    EXPECT_LT(max_gap(sync_tail, mean_field), 0.17) << name;
+    EXPECT_LT(max_gap(event_tail, mean_field), 0.17) << name;
+
+    // Both backends recorded the full horizon and kept processes alive.
+    EXPECT_EQ(sync_result.series.size(), base.periods) << name;
+    EXPECT_EQ(event_result.series.size(), base.periods) << name;
+    EXPECT_GT(event_result.final_alive, 0U) << name;
+  }
+}
+
+}  // namespace
+}  // namespace deproto

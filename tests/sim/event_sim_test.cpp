@@ -46,7 +46,7 @@ TEST(EventSimTest, CrashStopsTicksRecoveryRestartsThem) {
   const auto result = core::synthesize(ode::catalog::epidemic());
   EventSimulator simulator(10, result.machine, 4);
   simulator.seed_states({9, 1});
-  simulator.schedule_crash(0, 1.0, 3.0, /*recover_state=*/0);
+  simulator.schedule_crash(0, 1.0, /*recover_time=*/3.0);
   simulator.run_until(2.0);
   EXPECT_FALSE(simulator.group().alive(0));
   simulator.run_until(20.0);
@@ -71,8 +71,8 @@ TEST(EventSimTest, LvConvergesToMajorityAsynchronously) {
 TEST(EventSimTest, TokenWalkModeWorksOverMessages) {
   const auto result = core::synthesize(ode::catalog::invitation(1.0));
   EventSimOptions options;
-  options.token_random_walk = true;
-  options.token_ttl = 16;
+  options.tokens.mode = TokenRouting::Mode::RandomWalkTtl;
+  options.tokens.ttl = 16;
   EventSimulator simulator(100, result.machine, 6, options);
   simulator.seed_states({50, 50});
   simulator.run_until(60.0);

@@ -1,0 +1,292 @@
+// The unified Simulator interface: both backends are programmable through
+// the same fault/scheduling/seeding surface, the event backend honors
+// rejoin_state()/on_crash() (it used to hard-code recovery into state 0),
+// and hand-written PeriodicProtocols run on the event backend via the
+// timer-driven adapter.
+
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesis.hpp"
+#include "ode/catalog.hpp"
+#include "protocols/epidemic.hpp"
+#include "protocols/lv_majority.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/sync_sim.hpp"
+
+namespace deproto::sim {
+namespace {
+
+/// Minimal protocol with observable fault hooks: state 0 flips to 1 with
+/// probability q; rejoiners land in `rejoin`; crashes are counted.
+class FlipProtocol final : public PeriodicProtocol {
+ public:
+  explicit FlipProtocol(double q, std::size_t rejoin = 0)
+      : q_(q), rejoin_(rejoin) {}
+  [[nodiscard]] std::size_t num_states() const override { return 2; }
+  [[nodiscard]] std::size_t rejoin_state() const override { return rejoin_; }
+  void on_crash(ProcessId) override { ++crashes_seen_; }
+
+  void execute_period(Group& group, Rng& rng,
+                      MetricsCollector& /*metrics*/) override {
+    const std::size_t k = rng.binomial(group.count(0), q_);
+    for (std::size_t i = 0; i < k; ++i) {
+      group.transition(group.random_member(0, rng), 1);
+    }
+    ++periods_executed_;
+  }
+
+  [[nodiscard]] int crashes_seen() const { return crashes_seen_; }
+  [[nodiscard]] int periods_executed() const { return periods_executed_; }
+
+ private:
+  double q_;
+  std::size_t rejoin_;
+  int crashes_seen_ = 0;
+  int periods_executed_ = 0;
+};
+
+/// The point of the interface: one fault program, any backend.
+void program_faults(Simulator& simulator) {
+  simulator.seed_states({90, 10});
+  simulator.schedule_massive_failure(2.0, 0.5);
+  simulator.schedule_crash(0, 4.0, /*recover_time=*/6.0);
+  simulator.run_for(10.0);
+}
+
+TEST(SimulatorInterfaceTest, OneFaultProgramDrivesEitherBackend) {
+  FlipProtocol sync_protocol(0.0);
+  SyncSimulator sync(100, sync_protocol, 1);
+  program_faults(sync);
+
+  FlipProtocol event_protocol(0.0);
+  EventSimulator event(100, event_protocol, 1);
+  program_faults(event);
+
+  for (Simulator* simulator : {static_cast<Simulator*>(&sync),
+                               static_cast<Simulator*>(&event)}) {
+    // 50 crashed at t=2; pid 0 crashed at t=4 and recovered at t=6 (so a
+    // net change only if pid 0 survived the massive failure).
+    EXPECT_GE(simulator->group().total_alive(), 50U);
+    EXPECT_LE(simulator->group().total_alive(), 51U);
+    EXPECT_GE(simulator->now(), 10.0);
+    EXPECT_GE(simulator->metrics().samples().size(), 10U);
+  }
+  EXPECT_GE(sync_protocol.crashes_seen(), 50);
+  EXPECT_GE(event_protocol.crashes_seen(), 50);
+}
+
+TEST(SimulatorInterfaceTest, SyncScheduleCrashRecoversIntoRejoinState) {
+  FlipProtocol protocol(0.0, /*rejoin=*/1);
+  SyncSimulator simulator(10, protocol, 2);
+  simulator.schedule_crash(3, 1.0, /*recover_time=*/4.0);
+  simulator.run(3);
+  EXPECT_FALSE(simulator.group().alive(3));
+  simulator.run(3);
+  EXPECT_TRUE(simulator.group().alive(3));
+  EXPECT_EQ(simulator.group().state_of(3), 1U);
+  EXPECT_EQ(protocol.crashes_seen(), 1);
+}
+
+TEST(SimulatorInterfaceTest, EventRecoveryHonorsRejoinState) {
+  // The pre-unification EventSimulator hard-coded recover_state = 0;
+  // LvMajority rejoins undecided (state kZ = 2). All-undecided seeding
+  // keeps the dynamics static, so the recovered state is exactly the
+  // rejoin state.
+  proto::LvMajority protocol({});
+  EventSimulator simulator(50, protocol, 3);
+  simulator.seed_states({0, 0, 50});
+  simulator.schedule_crash(7, 0.5, /*recover_time=*/1.5);
+  simulator.run_for(1.0);
+  EXPECT_FALSE(simulator.group().alive(7));
+  simulator.run_for(1.0);
+  EXPECT_TRUE(simulator.group().alive(7));
+  EXPECT_EQ(simulator.group().state_of(7), proto::LvMajority::kZ);
+}
+
+TEST(SimulatorInterfaceTest, EventMachineModeRecoversIntoStateZero) {
+  // Raw synthesized machines have no rejoin hook; state 0 is the contract
+  // (matching MachineExecutor's PeriodicProtocol default on sync).
+  const auto result = core::synthesize(ode::catalog::epidemic());
+  EventSimulator simulator(20, result.machine, 4);
+  simulator.seed_states({0, 20});  // everyone infected
+  simulator.schedule_crash(5, 0.5, /*recover_time=*/1.5);
+  simulator.run_for(2.0);
+  EXPECT_TRUE(simulator.group().alive(5));
+  // Rejoined susceptible (state 0), not in its pre-crash infected state;
+  // its first post-recovery action falls after t = 2, so the state is
+  // still untouched here.
+  EXPECT_EQ(simulator.group().state_of(5), 0U);
+}
+
+TEST(SimulatorInterfaceTest, SyncScheduleCrashQuantizesLikeMassiveFailure) {
+  // The contract: a fault at time t fires at the start of the first period
+  // >= t -- the same boundary schedule_massive_failure uses and the moment
+  // the event backend crashes the process at whole-period times.
+  FlipProtocol protocol(0.0);
+  SyncSimulator simulator(10, protocol, 13);
+  simulator.schedule_crash(2, 4.0);
+  simulator.run(4);  // periods 0..3: the crash is not due yet
+  EXPECT_TRUE(simulator.group().alive(2));
+  simulator.run(1);  // period 4 starts at t = 4.0
+  EXPECT_FALSE(simulator.group().alive(2));
+}
+
+TEST(SimulatorInterfaceTest, AttachChurnReplacesThePreviousTrace) {
+  // Same last-trace-wins semantics on both backends: re-attaching after
+  // (say) correcting the rate must not replay the abandoned trace.
+  const ChurnTrace first =
+      ChurnTrace::from_events({ChurnEvent{0.2, 2, false}});
+  const ChurnTrace second =
+      ChurnTrace::from_events({ChurnEvent{0.2, 5, false}});
+
+  FlipProtocol sync_protocol(0.0);
+  SyncSimulator sync(10, sync_protocol, 14);
+  sync.attach_churn(first, 10.0);
+  sync.attach_churn(second, 10.0);
+  sync.run_for(5.0);
+
+  FlipProtocol event_protocol(0.0);
+  EventSimulator event(10, event_protocol, 14);
+  event.attach_churn(first, 10.0);
+  event.attach_churn(second, 10.0);
+  event.run_for(5.0);
+
+  for (Simulator* simulator : {static_cast<Simulator*>(&sync),
+                               static_cast<Simulator*>(&event)}) {
+    EXPECT_TRUE(simulator->group().alive(2));
+    EXPECT_FALSE(simulator->group().alive(5));
+    EXPECT_EQ(simulator->group().total_alive(), 9U);
+  }
+}
+
+TEST(SimulatorInterfaceTest, EventChurnPlaybackCrashesAndRecovers) {
+  FlipProtocol protocol(0.0, /*rejoin=*/1);
+  EventSimulator simulator(10, protocol, 5);
+  // Host 3 leaves at hour 0.1 and rejoins at hour 0.5 (periods: x10).
+  simulator.attach_churn(ChurnTrace::from_events({
+                             ChurnEvent{0.1, 3, false},
+                             ChurnEvent{0.5, 3, true},
+                         }),
+                         10.0);
+  simulator.run_for(2.0);  // departure at t=1.0 applied, rejoin not yet
+  EXPECT_FALSE(simulator.group().alive(3));
+  EXPECT_EQ(protocol.crashes_seen(), 1);
+  simulator.run_for(4.0);  // covers the rejoin at t=5.0
+  EXPECT_TRUE(simulator.group().alive(3));
+  EXPECT_EQ(simulator.group().state_of(3), 1U);
+}
+
+TEST(SimulatorInterfaceTest, EventCrashRecoveryKeepsPopulationRoughlyConstant) {
+  const auto result = core::synthesize(ode::catalog::epidemic());
+  EventSimulator simulator(2000, result.machine, 6);
+  simulator.seed_states({1999, 1});
+  simulator.set_crash_recovery(0.01, 10.0);
+  simulator.run_for(300.0);
+  // Same steady state the sync backend reaches: ~1% crash/period with ~11
+  // period downtime => ~10% down.
+  const double alive =
+      static_cast<double>(simulator.group().total_alive()) / 2000.0;
+  EXPECT_GT(alive, 0.8);
+  EXPECT_LT(alive, 0.98);
+}
+
+TEST(SimulatorInterfaceTest, SyncDisarmedCrashRecoveryStillDrainsRecoveries) {
+  // Disarming only stops new crashes; hosts already down when the process
+  // is disarmed still recover (the event backend's queued recoveries fire
+  // regardless, so the sync backend must match).
+  FlipProtocol protocol(0.0);
+  SyncSimulator simulator(200, protocol, 15);
+  simulator.set_crash_recovery(0.2, 3.0);
+  simulator.run(10);
+  EXPECT_LT(simulator.group().total_alive(), 200U);
+  simulator.set_crash_recovery(0.0, 0.0);
+  simulator.run(60);  // far past every pending recovery time
+  EXPECT_EQ(simulator.group().total_alive(), 200U);
+}
+
+TEST(SimulatorInterfaceTest, EventCrashRecoveryReconfiguresWithoutStacking) {
+  const auto result = core::synthesize(ode::catalog::epidemic());
+  EventSimulator simulator(200, result.machine, 16);
+  simulator.seed_states({199, 1});
+  simulator.set_crash_recovery(0.3, 0.0);  // crash-stop
+  simulator.run_for(3.0);
+  simulator.set_crash_recovery(0.0, 0.0);  // disarm: crashes stop
+  const std::size_t frozen = simulator.group().total_alive();
+  EXPECT_LT(frozen, 200U);
+  simulator.run_for(10.0);
+  EXPECT_EQ(simulator.group().total_alive(), frozen);
+  // Rapid re-arms supersede (never stack) the tick chain: the population
+  // keeps decaying at the single configured 30%/period rate, not at a
+  // multiple of it.
+  simulator.set_crash_recovery(0.3, 0.0);
+  simulator.set_crash_recovery(0.3, 0.0);
+  simulator.set_crash_recovery(0.3, 0.0);
+  simulator.run_for(4.0);
+  const double expected =
+      static_cast<double>(frozen) * 0.7 * 0.7 * 0.7 * 0.7;
+  EXPECT_GT(static_cast<double>(simulator.group().total_alive()),
+            0.35 * expected);  // stacked chains would decay ~20x further
+  EXPECT_LT(simulator.group().total_alive(), frozen);
+}
+
+TEST(SimulatorInterfaceTest, EventCrashStopWithoutRecoveryDrains) {
+  const auto result = core::synthesize(ode::catalog::epidemic());
+  EventSimulator simulator(500, result.machine, 7);
+  simulator.seed_states({499, 1});
+  simulator.set_crash_recovery(0.05, 0.0);  // permanent crashes
+  simulator.run_for(200.0);
+  EXPECT_LT(simulator.group().total_alive(), 10U);
+}
+
+TEST(SimulatorInterfaceTest, EventValidatesFaultArguments) {
+  const auto result = core::synthesize(ode::catalog::epidemic());
+  EventSimulator simulator(10, result.machine, 8);
+  EXPECT_THROW(simulator.schedule_massive_failure(1.0, 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(simulator.set_crash_recovery(2.0, 1.0),
+               std::invalid_argument);
+  ChurnTrace trace;
+  EXPECT_THROW(simulator.attach_churn(trace, 0.0), std::invalid_argument);
+}
+
+TEST(SimulatorInterfaceTest, HandWrittenEpidemicRunsOnEventBackend) {
+  // The timer-driven PeriodicProtocol adapter: the Section 1 pull epidemic
+  // (a hand-written protocol, not a synthesized machine) completes on the
+  // asynchronous backend.
+  proto::PullEpidemic protocol;
+  EventSimulator simulator(300, protocol, 9);
+  simulator.seed_states({299, 1});
+  simulator.run_for(40.0);
+  EXPECT_EQ(simulator.group().count(proto::PullEpidemic::kInfected), 300U);
+}
+
+TEST(SimulatorInterfaceTest, DriverModeExecutesOnePeriodPerTimeUnit) {
+  FlipProtocol protocol(0.5);
+  EventSimOptions options;
+  options.clock_drift = 0.0;  // exactly one period per time unit
+  EventSimulator simulator(100, protocol, 10, options);
+  simulator.run_for(20.0);
+  EXPECT_EQ(protocol.periods_executed(), 20);
+  EXPECT_LT(simulator.group().count(0), 5U);
+}
+
+TEST(SimulatorInterfaceTest, RunForAdvancesNow) {
+  FlipProtocol protocol(0.0);
+  SyncSimulator sync(10, protocol, 11);
+  sync.run_for(3.0);
+  EXPECT_DOUBLE_EQ(sync.now(), 3.0);
+  sync.run_for(2.5);  // sync rounds partial periods up to whole rounds
+  EXPECT_DOUBLE_EQ(sync.now(), 6.0);
+
+  const auto result = core::synthesize(ode::catalog::epidemic());
+  EventSimulator event(10, result.machine, 12);
+  event.run_for(3.0);
+  EXPECT_DOUBLE_EQ(event.now(), 3.0);
+  event.run_for(2.5);  // event time is genuinely fractional
+  EXPECT_DOUBLE_EQ(event.now(), 5.5);
+}
+
+}  // namespace
+}  // namespace deproto::sim

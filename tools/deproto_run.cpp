@@ -10,12 +10,16 @@
 //   --n <N>            override the group size (initial counts rescale)
 //   --periods <k>      override the simulation length
 //   --seed <s>         override the simulation seed
+//   --backend <b>      override the execution backend (sync | event)
 //   --json <file>      write the structured ExperimentResult as JSON
 //   --spec-out <file>  write the (resolved) ScenarioSpec as JSON
 //   --quiet            suppress the population table
 //
+// Every scenario runs on either backend: the fault plan (massive failures,
+// crash-recovery, churn) programs the unified sim::Simulator interface.
+//
 // Example:
-//   deproto-run epidemic --n 1000 --json epidemic.json
+//   deproto-run endemic-churn --backend event --n 1000 --json churn.json
 
 #include <algorithm>
 #include <cstdint>
@@ -47,6 +51,7 @@ struct CliOptions {
   std::optional<std::size_t> n;
   std::optional<std::size_t> periods;
   std::optional<std::uint64_t> seed;
+  std::optional<deproto::api::Backend> backend;
   std::string json_out;
   std::string spec_out;
 };
@@ -54,8 +59,8 @@ struct CliOptions {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --list | --smoke | (<scenario> | --spec f.json) "
-               "[--n N] [--periods k] [--seed s] [--json out.json] "
-               "[--spec-out out.json] [--quiet]\n",
+               "[--n N] [--periods k] [--seed s] [--backend sync|event] "
+               "[--json out.json] [--spec-out out.json] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -106,6 +111,14 @@ bool parse_args(int argc, char** argv, CliOptions* options) {
         return deproto::cli::value_error("--seed", "invalid seed", value);
       }
       options->seed = seed;
+    } else if (arg == "--backend") {
+      if (!next("--backend", &value)) return false;
+      try {
+        options->backend = deproto::api::backend_from_name(value);
+      } catch (const deproto::api::SpecError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return false;
+      }
     } else if (!arg.empty() && arg[0] != '-') {
       if (!options->scenario.empty()) {
         std::fprintf(stderr, "error: more than one scenario given\n");
@@ -210,6 +223,7 @@ ScenarioSpec apply_overrides(ScenarioSpec spec, const CliOptions& options) {
   if (options.n.has_value()) spec = spec.scaled_to(*options.n);
   if (options.periods.has_value()) spec.periods = *options.periods;
   if (options.seed.has_value()) spec.seed = *options.seed;
+  if (options.backend.has_value()) spec.backend = *options.backend;
   return spec;
 }
 
@@ -229,35 +243,44 @@ int run_one(const ScenarioSpec& spec, const CliOptions& options) {
 }
 
 /// The registry-rot guard: list, then run every scenario at N <= 500 and
-/// <= 20 periods. Registered as a CTest smoke test.
+/// <= 20 periods on BOTH backends -- the full {scenario} x {sync, event}
+/// matrix the unified Simulator interface promises. Registered as a CTest
+/// smoke test.
 int run_smoke() {
   list_registry();
+  std::size_t runs = 0;
   for (const std::string& name : deproto::api::registry_names()) {
-    ScenarioSpec spec = deproto::api::registry_get(name);
-    spec = spec.scaled_to(std::min<std::size_t>(spec.n, 500));
-    spec.periods = std::min<std::size_t>(spec.periods, 20);
-    // Keep scheduled faults inside the shortened run so they execute.
-    for (deproto::sim::MassiveFailure& f : spec.faults.massive_failures) {
-      f.period = std::min<std::size_t>(f.period, spec.periods / 2);
+    for (const deproto::api::Backend backend :
+         {deproto::api::Backend::Sync, deproto::api::Backend::Event}) {
+      ScenarioSpec spec = deproto::api::registry_get(name);
+      spec.backend = backend;
+      spec = spec.scaled_to(std::min<std::size_t>(spec.n, 500));
+      spec.periods = std::min<std::size_t>(spec.periods, 20);
+      // Keep scheduled faults inside the shortened run so they execute.
+      for (deproto::sim::MassiveFailure& f : spec.faults.massive_failures) {
+        f.time = std::min(f.time, static_cast<double>(spec.periods) / 2.0);
+      }
+      std::printf("\n-- smoke: %s [%s] --\n", name.c_str(),
+                  deproto::api::backend_name(backend));
+      Experiment experiment(spec);
+      const ExperimentResult result = experiment.run();
+      if (!result.mean_field_verified) {
+        std::fprintf(stderr, "error: %s: mean-field verification failed\n",
+                     name.c_str());
+        return 1;
+      }
+      if (result.series.size() < spec.periods) {
+        std::fprintf(stderr, "error: %s [%s]: recorded %zu of %zu periods\n",
+                     name.c_str(), deproto::api::backend_name(backend),
+                     result.series.size(), spec.periods);
+        return 1;
+      }
+      std::printf("ok: %zu periods, final alive=%zu\n", result.series.size(),
+                  result.final_alive);
+      ++runs;
     }
-    std::printf("\n-- smoke: %s --\n", name.c_str());
-    Experiment experiment(spec);
-    const ExperimentResult result = experiment.run();
-    if (!result.mean_field_verified) {
-      std::fprintf(stderr, "error: %s: mean-field verification failed\n",
-                   name.c_str());
-      return 1;
-    }
-    if (result.series.size() < spec.periods) {
-      std::fprintf(stderr, "error: %s: recorded %zu of %zu periods\n",
-                   name.c_str(), result.series.size(), spec.periods);
-      return 1;
-    }
-    std::printf("ok: %zu periods, final alive=%zu\n", result.series.size(),
-                result.final_alive);
   }
-  std::printf("\nsmoke: all %zu scenarios ran\n",
-              deproto::api::registry_names().size());
+  std::printf("\nsmoke: all %zu scenario/backend combinations ran\n", runs);
   return 0;
 }
 
