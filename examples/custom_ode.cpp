@@ -6,14 +6,17 @@
 //   B. A "recruitment with burnout" model with a bare-constant term:
 //      completion + constant expansion, then synthesis, then runs over a
 //      lossy network -- with and without Section 3 failure compensation --
-//      each described as a declarative api::ScenarioSpec and executed by
-//      api::Experiment.
+//      expressed as ONE api::SweepSpec (an axis over
+//      synthesis.failure_rate) and executed by api::SuiteRunner instead
+//      of two hand-wired Experiment calls.
 //
 // Build & run:  ./examples/custom_ode
 
 #include <cstdio>
 
 #include "api/experiment.hpp"
+#include "api/suite_runner.hpp"
+#include "api/sweep.hpp"
 #include "core/mean_field.hpp"
 #include "core/synthesis.hpp"
 #include "ode/catalog.hpp"
@@ -49,42 +52,54 @@ int main() {
   recruit.add_term("y", -0.05, {});
   std::printf("%s", recruit.to_string().c_str());
 
-  // One declarative spec: the system as text, auto-rewriting on (expands
+  // One declarative sweep: the system as text, auto-rewriting on (expands
   // +/-c into c * (x + y)), a 20% lossy network, 20,000 processes split
-  // 50/50, 800 periods. The compensated variant only flips failure_rate.
+  // 50/50, 800 periods -- and ONE axis, synthesis.failure_rate in
+  // {0, loss}, instead of two hand-wired Experiment runs. SuiteRunner
+  // executes both points (in parallel when the host has cores to spare)
+  // and reports results in job order.
   const double loss = 0.2;
-  api::ScenarioSpec spec;
-  spec.name = "recruitment";
-  spec.source.ode_text = recruit.to_string();
-  spec.synthesis.auto_rewrite = true;
-  spec.runtime.message_loss = loss;
-  spec.n = 20000;
-  spec.seed = 99;
-  spec.periods = 800;
-  spec.initial_counts = {10000, 10000};
+  api::SweepSpec sweep;
+  sweep.name = "recruitment-compensation";
+  sweep.base.name = "recruitment";
+  sweep.base.source.ode_text = recruit.to_string();
+  sweep.base.synthesis.auto_rewrite = true;
+  sweep.base.runtime.message_loss = loss;
+  sweep.base.n = 20000;
+  sweep.base.seed = 99;
+  sweep.base.periods = 800;
+  sweep.base.initial_counts = {10000, 10000};
+  sweep.axes.push_back(api::SweepAxis{
+      "synthesis.failure_rate",
+      {api::Json::number(0.0), api::Json::number(loss)}});
 
-  api::Experiment uncompensated_experiment(spec);
-  const api::Experiment::Artifacts& art = uncompensated_experiment.artifacts();
+  api::Experiment preview(sweep.base);
+  const api::Experiment::Artifacts& art = preview.artifacts();
   std::printf("\nafter auto-rewriting, machine (p = %.3f):\n%s",
               art.synthesis.p, art.synthesis.machine.to_string().c_str());
   for (const std::string& note : art.synthesis.notes) {
     std::printf("  note: %s\n", note.c_str());
   }
 
-  // Run twice: once uncompensated, once with the Section 3 failure factor
-  // applied (synthesis.failure_rate folds (1/(1-f))^{|T|-1} into the coins).
-  api::ScenarioSpec compensated_spec = spec;
-  compensated_spec.name = "recruitment-compensated";
-  compensated_spec.synthesis.failure_rate = loss;
-  api::Experiment compensated_experiment(compensated_spec);
-
-  auto recruited_fraction = [](const api::ExperimentResult& result) {
-    return static_cast<double>(result.final_counts[1]) /
-           static_cast<double>(result.final_alive);
+  // Point 0 is uncompensated; point 1 folds the Section 3 failure factor
+  // (1/(1-f))^{|T|-1} into the coins.
+  const api::SweepResult swept = api::SuiteRunner().run(sweep);
+  if (swept.jobs_failed > 0) {
+    for (const api::JobOutcome& outcome : swept.jobs) {
+      if (!outcome.ok) {
+        std::fprintf(stderr, "sweep job %s failed: %s\n",
+                     outcome.job.spec.name.c_str(), outcome.error.c_str());
+      }
+    }
+    return 1;
+  }
+  auto recruited_fraction = [&](std::size_t point) {
+    const api::Aggregate* fraction =
+        swept.points[point].metric("final_fraction_y");
+    return fraction != nullptr ? fraction->mean : 0.0;
   };
-  const double uncompensated =
-      recruited_fraction(uncompensated_experiment.run());
-  const double compensated = recruited_fraction(compensated_experiment.run());
+  const double uncompensated = recruited_fraction(0);
+  const double compensated = recruited_fraction(1);
 
   // Analytic equilibrium of the source: k*x*y = c with x + y = 1.
   // 0.4*y*(1-y) = 0.05 -> y = (1 +- sqrt(1 - 0.5))/2; stable root ~ 0.854.

@@ -1,6 +1,7 @@
 #include "api/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -52,7 +53,7 @@ const std::vector<std::size_t>& ExperimentResult::counts_at(
   return series[period - 1].counts;
 }
 
-Json ExperimentResult::to_json() const {
+Json ExperimentResult::to_json(bool include_timing) const {
   Json j = Json::object();
   if (!scenario.empty()) j.set("scenario", Json::string(scenario));
   Json names = Json::array();
@@ -106,6 +107,9 @@ Json ExperimentResult::to_json() const {
                  Json::number(convergence.dominant_fraction))
             .set("absorbed", Json::boolean(convergence.absorbed))
             .set("settle_time", Json::number(convergence.settle_time)));
+  if (include_timing && elapsed_seconds > 0.0) {
+    j.set("elapsed_seconds", Json::number(elapsed_seconds));
+  }
   return j;
 }
 
@@ -162,6 +166,7 @@ ExperimentResult ExperimentResult::from_json(const Json& j) {
   if (j.contains("messages_dropped")) {
     r.messages_dropped = j.at("messages_dropped").as_u64();
   }
+  r.elapsed_seconds = j.get_or("elapsed_seconds", 0.0);
   if (j.contains("convergence")) {
     const Json& c = j.at("convergence");
     r.convergence.dominant_state = c.at("dominant_state").as_size();
@@ -321,9 +326,14 @@ ExperimentResult ExperimentRun::finish() {
 }
 
 ExperimentResult Experiment::run() {
+  const auto start = std::chrono::steady_clock::now();
   ExperimentRun active = launch();
   active.advance(spec_.periods);
-  return active.finish();
+  ExperimentResult result = active.finish();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
 }
 
 }  // namespace deproto::api

@@ -75,12 +75,20 @@ struct ExperimentResult {
 
   ConvergenceSummary convergence;
 
+  /// Wall-clock seconds Experiment::run() took (launch + advance +
+  /// finish); 0 when the result was assembled some other way. Timing, so
+  /// it is excluded from the deterministic serialization (below).
+  double elapsed_seconds = 0.0;
+
   /// Populations at period `t`: initial_counts for t == 0, otherwise the
   /// end of period t-1 (exactly what the legacy print loops reported).
   [[nodiscard]] const std::vector<std::size_t>& counts_at(
       std::size_t period) const;
 
-  [[nodiscard]] Json to_json() const;
+  /// With include_timing, the document carries elapsed_seconds; without
+  /// it, two runs of the same ScenarioSpec dump byte-identical JSON (the
+  /// determinism contract tests/api/determinism_test.cpp pins down).
+  [[nodiscard]] Json to_json(bool include_timing = true) const;
   static ExperimentResult from_json(const Json& j);
 };
 

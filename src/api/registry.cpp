@@ -1,5 +1,9 @@
 #include "api/registry.hpp"
 
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+
 namespace deproto::api {
 
 namespace {
@@ -210,6 +214,121 @@ const std::vector<ScenarioSpec>& registry() {
   return specs;
 }
 
+std::vector<Json> axis_values(std::initializer_list<double> values) {
+  std::vector<Json> out;
+  for (const double v : values) out.push_back(Json::number(v));
+  return out;
+}
+
+std::vector<SweepSpec> build_sweep_registry() {
+  std::vector<SweepSpec> sweeps;
+
+  {
+    // Figure 7: analysis accuracy vs N. Seeds zipped with N (seed 7 + N,
+    // matching the historical bench wiring) so each point is its own
+    // independent run of the b = 2 endemic system.
+    SweepSpec sweep;
+    sweep.name = "fig7-accuracy-vs-n";
+    sweep.description =
+        "Figure 7 accuracy-vs-N: endemic (b=2, gamma=0.1, alpha=0.001) at "
+        "N in {12500..100000}; measured equilibrium vs eq. (2)";
+    ScenarioSpec base;
+    base.name = "fig7-endemic";
+    base.source.catalog = "endemic";
+    base.source.params = {4.0, 0.1, 0.001};
+    base.synthesis.push_pull.push_back(core::PushPullSpec{"x", "y"});
+    base.n = 12500;
+    base.periods = 2200;  // 200 warmup + the paper's 2000-period window
+    base.seed = 7 + 12500;
+    // Seed at the eq. (2) equilibrium: x* = gamma/beta, y* = (1 - x*) /
+    // (1 + gamma/alpha); scaled_to keeps the proportions along the N axis.
+    const double x_star = 0.1 / 4.0;
+    const double y_star = (1.0 - x_star) / (1.0 + 0.1 / 0.001);
+    const auto rx = static_cast<std::size_t>(x_star * 12500.0);
+    const auto sy = static_cast<std::size_t>(y_star * 12500.0);
+    base.initial_counts = {rx, sy, 12500 - rx - sy};
+    sweep.base = std::move(base);
+    sweep.mode = SweepMode::Zip;
+    sweep.axes.push_back(
+        SweepAxis{"n", axis_values({12500, 25000, 50000, 100000})});
+    sweep.axes.push_back(
+        SweepAxis{"seed", axis_values({12507, 25007, 50007, 100007})});
+    sweep.replicates = 1;
+    sweeps.push_back(std::move(sweep));
+  }
+
+  {
+    // Figure 11: LV majority convergence vs N (p = 0.01, 60/40 split).
+    SweepSpec sweep;
+    sweep.name = "fig11-convergence-vs-n";
+    sweep.description =
+        "Figure 11 convergence-vs-N: LV majority (p=0.01, 60/40 split) at "
+        "N in {10000..100000}, 3 replicates per point";
+    ScenarioSpec base;
+    base.name = "fig11-lv";
+    base.source.catalog = "lv";
+    base.synthesis.p = 0.01;
+    base.n = 10000;
+    base.periods = 1000;
+    base.seed = 11;
+    base.initial_counts = {6000, 4000, 0};
+    sweep.base = std::move(base);
+    sweep.axes.push_back(
+        SweepAxis{"n", axis_values({10000, 20000, 50000, 100000})});
+    sweep.replicates = 3;
+    sweeps.push_back(std::move(sweep));
+  }
+
+  {
+    // Figures 9-10: endemic replication as the hourly churn rate climbs.
+    // min/max churn rates move together (zipped), keeping the synthetic
+    // Overnet band 10 points wide.
+    SweepSpec sweep;
+    sweep.name = "fig9-10-churn-rate";
+    sweep.description =
+        "Figures 9-10 churn-rate sweep: endemic replication under "
+        "5-15% .. 15-25% hourly churn, 3 replicates per point";
+    sweep.base = registry_get("endemic-churn");
+    sweep.mode = SweepMode::Zip;
+    sweep.axes.push_back(
+        SweepAxis{"faults.churn.min_rate", axis_values({0.05, 0.10, 0.15})});
+    sweep.axes.push_back(
+        SweepAxis{"faults.churn.max_rate", axis_values({0.15, 0.20, 0.25})});
+    sweep.replicates = 3;
+    sweeps.push_back(std::move(sweep));
+  }
+
+  {
+    // The CI-sized preset: small epidemic runs across N and both
+    // backends. tools/CMakeLists.txt runs it with --threads 2 as the
+    // sweep smoke test.
+    SweepSpec sweep;
+    sweep.name = "smoke-epidemic-scaling";
+    sweep.description =
+        "CI smoke sweep: the pull epidemic at N in {200, 300} on both "
+        "backends, 2 replicates (8 quick jobs)";
+    sweep.base = registry_get("epidemic").scaled_to(300);
+    sweep.base.periods = 12;
+    sweep.axes.push_back(SweepAxis{"n", axis_values({200, 300})});
+    {
+      SweepAxis backend;
+      backend.field = "backend";
+      backend.values.push_back(Json::string("sync"));
+      backend.values.push_back(Json::string("event"));
+      sweep.axes.push_back(std::move(backend));
+    }
+    sweep.replicates = 2;
+    sweeps.push_back(std::move(sweep));
+  }
+
+  return sweeps;
+}
+
+const std::vector<SweepSpec>& sweep_registry() {
+  static const std::vector<SweepSpec> sweeps = build_sweep_registry();
+  return sweeps;
+}
+
 }  // namespace
 
 std::vector<std::string> registry_names() {
@@ -230,6 +349,28 @@ ScenarioSpec registry_get(const std::string& name) {
   if (const ScenarioSpec* spec = registry_find(name)) return *spec;
   throw SpecError("unknown scenario: " + name +
                   " (deproto-run --list shows the registry)");
+}
+
+std::vector<std::string> sweep_registry_names() {
+  std::vector<std::string> names;
+  names.reserve(sweep_registry().size());
+  for (const SweepSpec& sweep : sweep_registry()) {
+    names.push_back(sweep.name);
+  }
+  return names;
+}
+
+const SweepSpec* sweep_registry_find(const std::string& name) {
+  for (const SweepSpec& sweep : sweep_registry()) {
+    if (sweep.name == name) return &sweep;
+  }
+  return nullptr;
+}
+
+SweepSpec sweep_registry_get(const std::string& name) {
+  if (const SweepSpec* sweep = sweep_registry_find(name)) return *sweep;
+  throw SpecError("unknown sweep preset: " + name +
+                  " (deproto-run --list shows the presets)");
 }
 
 }  // namespace deproto::api

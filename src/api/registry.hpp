@@ -2,13 +2,16 @@
 
 // The scenario registry: the paper's experiments (and their loss/failure
 // variants) pre-registered as named ScenarioSpecs, so `deproto-run <name>`
-// and sweep drivers never hand-wire a pipeline. Names are stable API;
-// tests assert the exact list.
+// and sweep drivers never hand-wire a pipeline. A second tier registers
+// SweepSpec presets for the paper's scaling figures (accuracy vs N,
+// convergence vs N, churn-rate sweeps), runnable via `deproto-run --sweep
+// <name>`. Names are stable API; tests assert the exact lists.
 
 #include <string>
 #include <vector>
 
 #include "api/spec.hpp"
+#include "api/sweep.hpp"
 
 namespace deproto::api {
 
@@ -20,5 +23,15 @@ namespace deproto::api {
 
 /// The spec registered under `name`; throws SpecError when unknown.
 [[nodiscard]] ScenarioSpec registry_get(const std::string& name);
+
+/// All registered sweep preset names, in registration order.
+[[nodiscard]] std::vector<std::string> sweep_registry_names();
+
+/// The sweep preset registered under `name`, or nullptr when unknown.
+[[nodiscard]] const SweepSpec* sweep_registry_find(const std::string& name);
+
+/// The sweep preset registered under `name`; throws SpecError when
+/// unknown.
+[[nodiscard]] SweepSpec sweep_registry_get(const std::string& name);
 
 }  // namespace deproto::api

@@ -1,0 +1,384 @@
+#include "api/suite_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+namespace deproto::api {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+Json coords_to_json(const SweepCoords& coords) {
+  Json j = Json::object();
+  for (const auto& [field, value] : coords) j.set(field, value);
+  return j;
+}
+
+SweepCoords coords_from_json(const Json& j) {
+  SweepCoords coords;
+  for (const auto& [field, value] : j.items()) {
+    coords.emplace_back(field, value);
+  }
+  return coords;
+}
+
+/// The fixed per-replicate metric vector (name, value) extracted from one
+/// successful result. Every replicate of a point yields the same key
+/// sequence, so per-point aggregation is a simple columnwise fold.
+std::vector<std::pair<std::string, double>> result_metrics(
+    const ExperimentResult& r) {
+  std::vector<std::pair<std::string, double>> m;
+  m.emplace_back("settle_time", r.convergence.settle_time);
+  m.emplace_back("dominant_fraction", r.convergence.dominant_fraction);
+  m.emplace_back("absorbed", r.convergence.absorbed ? 1.0 : 0.0);
+  m.emplace_back("final_alive", static_cast<double>(r.final_alive));
+  for (std::size_t s = 0; s < r.state_names.size(); ++s) {
+    const double fraction =
+        r.final_alive == 0
+            ? 0.0
+            : static_cast<double>(r.final_counts[s]) /
+                  static_cast<double>(r.final_alive);
+    m.emplace_back("final_fraction_" + r.state_names[s], fraction);
+  }
+  m.emplace_back("probes_total", static_cast<double>(r.probes_total));
+  m.emplace_back("tokens_generated",
+                 static_cast<double>(r.tokens.generated));
+  m.emplace_back("tokens_delivered",
+                 static_cast<double>(r.tokens.delivered));
+  m.emplace_back("tokens_dropped", static_cast<double>(r.tokens.dropped));
+  m.emplace_back("messages_sent", static_cast<double>(r.messages_sent));
+  m.emplace_back("messages_dropped",
+                 static_cast<double>(r.messages_dropped));
+  return m;
+}
+
+Json jsonl_line(const JobOutcome& outcome, bool with_timing) {
+  Json line = Json::object();
+  line.set("job", Json::number(outcome.job.index));
+  line.set("point", Json::number(outcome.job.point));
+  line.set("replicate", Json::number(outcome.job.replicate));
+  line.set("scenario", Json::string(outcome.job.spec.name));
+  line.set("coords", coords_to_json(outcome.job.coords));
+  line.set("ok", Json::boolean(outcome.ok));
+  if (outcome.ok) {
+    line.set("result", outcome.result.to_json(with_timing));
+  } else {
+    line.set("error", Json::string(outcome.error));
+  }
+  return line;
+}
+
+}  // namespace
+
+Aggregate Aggregate::of(const std::vector<double>& values) {
+  Aggregate a;
+  a.count = values.size();
+  if (values.empty()) return a;
+  a.min = values.front();
+  a.max = values.front();
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    a.min = std::min(a.min, v);
+    a.max = std::max(a.max, v);
+  }
+  a.mean = sum / static_cast<double>(a.count);
+  double sq = 0.0;
+  for (const double v : values) sq += (v - a.mean) * (v - a.mean);
+  a.stddev = std::sqrt(sq / static_cast<double>(a.count));
+  return a;
+}
+
+Json Aggregate::to_json() const {
+  return Json::object()
+      .set("count", Json::number(count))
+      .set("mean", Json::number(mean))
+      .set("stddev", Json::number(stddev))
+      .set("min", Json::number(min))
+      .set("max", Json::number(max));
+}
+
+Aggregate Aggregate::from_json(const Json& j) {
+  Aggregate a;
+  a.count = j.at("count").as_size();
+  a.mean = j.get_or("mean", 0.0);
+  a.stddev = j.get_or("stddev", 0.0);
+  a.min = j.get_or("min", 0.0);
+  a.max = j.get_or("max", 0.0);
+  return a;
+}
+
+const Aggregate* PointSummary::metric(const std::string& name) const {
+  for (const auto& [key, aggregate] : metrics) {
+    if (key == name) return &aggregate;
+  }
+  return nullptr;
+}
+
+double SweepResult::jobs_per_second() const {
+  return elapsed_seconds > 0.0
+             ? static_cast<double>(jobs_total) / elapsed_seconds
+             : 0.0;
+}
+
+Json SweepResult::to_json(bool include_timing) const {
+  Json j = Json::object();
+  if (!sweep.empty()) j.set("sweep", Json::string(sweep));
+  j.set("jobs_total", Json::number(jobs_total));
+  j.set("jobs_failed", Json::number(jobs_failed));
+  Json point_arr = Json::array();
+  for (const PointSummary& point : points) {
+    Json p = Json::object();
+    p.set("point", Json::number(point.point));
+    p.set("coords", coords_to_json(point.coords));
+    p.set("replicates", Json::number(point.replicates));
+    Json metrics = Json::object();
+    for (const auto& [name, aggregate] : point.metrics) {
+      metrics.set(name, aggregate.to_json());
+    }
+    p.set("metrics", std::move(metrics));
+    point_arr.push(std::move(p));
+  }
+  j.set("points", std::move(point_arr));
+  Json failures = Json::array();
+  for (const JobOutcome& outcome : jobs) {
+    if (outcome.ok || outcome.error.empty()) continue;
+    failures.push(Json::object()
+                      .set("job", Json::number(outcome.job.index))
+                      .set("scenario", Json::string(outcome.job.spec.name))
+                      .set("error", Json::string(outcome.error)));
+  }
+  j.set("failures", std::move(failures));
+  if (include_timing) {
+    Json timing = Json::object();
+    timing.set("elapsed_seconds", Json::number(elapsed_seconds));
+    timing.set("threads", Json::number(threads));
+    timing.set("jobs_per_second", Json::number(jobs_per_second()));
+    Json per_point = Json::array();
+    for (const PointSummary& point : points) {
+      per_point.push(point.elapsed.to_json());
+    }
+    timing.set("point_elapsed", std::move(per_point));
+    j.set("timing", std::move(timing));
+  }
+  return j;
+}
+
+SweepResult SweepResult::from_json(const Json& j) {
+  SweepResult r;
+  r.sweep = j.get_or("sweep", std::string());
+  r.jobs_total = j.at("jobs_total").as_size();
+  r.jobs_failed = j.at("jobs_failed").as_size();
+  for (const Json& e : j.at("points").elements()) {
+    PointSummary point;
+    point.point = e.at("point").as_size();
+    point.coords = coords_from_json(e.at("coords"));
+    point.replicates = e.at("replicates").as_size();
+    for (const auto& [name, aggregate] : e.at("metrics").items()) {
+      point.metrics.emplace_back(name, Aggregate::from_json(aggregate));
+    }
+    r.points.push_back(std::move(point));
+  }
+  if (j.contains("failures")) {
+    // Reconstruct the failed outcomes (identity + error only) so parsing
+    // and re-dumping a document with failures is idempotent.
+    for (const Json& e : j.at("failures").elements()) {
+      JobOutcome outcome;
+      outcome.job.index = e.at("job").as_size();
+      outcome.job.spec.name = e.get_or("scenario", std::string());
+      outcome.error = e.get_or("error", std::string());
+      r.jobs.push_back(std::move(outcome));
+    }
+  }
+  if (j.contains("timing")) {
+    const Json& timing = j.at("timing");
+    r.elapsed_seconds = timing.get_or("elapsed_seconds", 0.0);
+    r.threads = timing.contains("threads") ? timing.at("threads").as_size()
+                                           : r.threads;
+    if (timing.contains("point_elapsed")) {
+      const Json::Array& elapsed = timing.at("point_elapsed").elements();
+      for (std::size_t p = 0; p < elapsed.size() && p < r.points.size();
+           ++p) {
+        r.points[p].elapsed = Aggregate::from_json(elapsed[p]);
+      }
+    }
+  }
+  return r;
+}
+
+SuiteRunner::SuiteRunner(SuiteOptions options)
+    : options_(std::move(options)) {}
+
+SweepResult SuiteRunner::run(const SweepSpec& sweep) const {
+  return run_jobs(sweep.expand(),
+                  sweep.name.empty() ? sweep.base.name : sweep.name);
+}
+
+SweepResult SuiteRunner::run_jobs(std::vector<SweepJob> jobs,
+                                  const std::string& suite_name) const {
+  const auto suite_start = std::chrono::steady_clock::now();
+
+  std::size_t n_threads = options_.threads;
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = std::max<std::size_t>(1, std::min(n_threads, jobs.size()));
+
+  SweepResult out;
+  out.sweep = suite_name;
+  out.jobs_total = jobs.size();
+  out.threads = n_threads;
+  out.jobs.resize(jobs.size());
+
+  // The engine: an atomic counter hands out job indices; completed
+  // outcomes land in a slot vector; whichever worker extends the
+  // completed prefix flushes it, so the JSONL sink and on_result hook
+  // observe strict job-index order no matter which thread finished what.
+  // Metric vectors are extracted before the flush can drop the heavy
+  // per-period series (store_results == false streams at O(metrics) per
+  // job, not O(series)).
+  std::vector<std::vector<std::pair<std::string, double>>> metrics_by_job(
+      jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::vector<char> done(jobs.size(), 0);
+  std::size_t flushed = 0;
+  bool flushing = false;
+
+  // At most one thread flushes at a time, and sink I/O (JSONL
+  // serialization, the on_result hook) happens with the lock RELEASED --
+  // workers finishing short jobs never queue behind a slow sink. The
+  // active flusher re-checks the prefix after every item, so entries
+  // marked done while it was writing are picked up before it retires.
+  auto flush_prefix = [&](std::unique_lock<std::mutex>& lock) {
+    if (flushing) return;
+    flushing = true;
+    while (flushed < out.jobs.size() && done[flushed]) {
+      JobOutcome& outcome = out.jobs[flushed];
+      ++flushed;
+      lock.unlock();  // the flushed slot is stable; only this thread
+                      // touches it now
+      if (options_.jsonl != nullptr) {
+        *options_.jsonl << jsonl_line(outcome, options_.jsonl_timing).dump()
+                        << '\n';
+      }
+      if (options_.on_result) options_.on_result(outcome);
+      if (!options_.store_results) outcome.result = ExperimentResult{};
+      lock.lock();
+    }
+    flushing = false;
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      JobOutcome outcome;
+      outcome.job = std::move(jobs[i]);
+      const auto job_start = std::chrono::steady_clock::now();
+      try {
+        Experiment experiment(outcome.job.spec);
+        outcome.result = experiment.run();
+        outcome.ok = true;
+      } catch (const std::exception& e) {
+        outcome.error = e.what();
+      }
+      outcome.elapsed_seconds = seconds_since(job_start);
+      if (outcome.ok) metrics_by_job[i] = result_metrics(outcome.result);
+
+      std::unique_lock<std::mutex> lock(mu);
+      out.jobs[i] = std::move(outcome);
+      done[i] = 1;
+      flush_prefix(lock);
+    }
+  };
+
+  if (n_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Aggregate per point, in job-index order, so floating-point folds are
+  // independent of the execution interleaving. The point-contiguity
+  // precondition (see the header) is enforced, not assumed: a shuffled
+  // job list would otherwise split points into duplicate summaries.
+  for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+    const JobOutcome& outcome = out.jobs[i];
+    if (!outcome.ok) ++out.jobs_failed;
+    if (out.points.empty() || out.points.back().point != outcome.job.point) {
+      if (!out.points.empty() &&
+          outcome.job.point < out.points.back().point) {
+        throw SpecError(
+            "run_jobs: job list must be point-contiguous (job " +
+            std::to_string(i) + " revisits point " +
+            std::to_string(outcome.job.point) + ")");
+      }
+      PointSummary point;
+      point.point = outcome.job.point;
+      point.coords = outcome.job.coords;
+      out.points.push_back(std::move(point));
+    }
+  }
+  // One forward pass folds replicate columns into each point (jobs are
+  // point-major contiguous, as the grouping loop above already relies
+  // on), keeping aggregation O(jobs) however many points a sweep has.
+  std::vector<std::pair<std::string, std::vector<double>>> columns;
+  std::vector<double> elapsed;
+  std::size_t pi = 0;
+  auto finalize_point = [&] {
+    PointSummary& point = out.points[pi];
+    for (auto& [name, values] : columns) {
+      point.metrics.emplace_back(name, Aggregate::of(values));
+    }
+    point.elapsed = Aggregate::of(elapsed);
+    columns.clear();
+    elapsed.clear();
+  };
+  for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+    const JobOutcome& outcome = out.jobs[i];
+    if (outcome.job.point != out.points[pi].point) {
+      finalize_point();
+      ++pi;
+    }
+    elapsed.push_back(outcome.elapsed_seconds);
+    if (!outcome.ok) continue;
+    ++out.points[pi].replicates;
+    const auto& metrics = metrics_by_job[i];
+    if (columns.empty()) {
+      for (const auto& [name, value] : metrics) {
+        columns.emplace_back(name, std::vector<double>{value});
+      }
+    } else {
+      if (metrics.size() != columns.size()) {
+        throw SpecError(
+            "run_jobs: jobs sharing point " +
+            std::to_string(outcome.job.point) +
+            " produced different metric sets (specs within a point must "
+            "have the same shape)");
+      }
+      for (std::size_t m = 0; m < metrics.size(); ++m) {
+        columns[m].second.push_back(metrics[m].second);
+      }
+    }
+  }
+  if (!out.jobs.empty()) finalize_point();
+
+  out.elapsed_seconds = seconds_since(suite_start);
+  return out;
+}
+
+}  // namespace deproto::api

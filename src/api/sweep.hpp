@@ -1,0 +1,108 @@
+#pragma once
+
+// Declarative parameter sweeps: the second tier of the experiment facade.
+// Every figure in the paper is a sweep -- over N, failure fraction, churn
+// rate, initial seeds -- so a SweepSpec describes a *family* of runs: one
+// base ScenarioSpec plus axes (spec fields with value lists, combined as a
+// grid or zipped), and a replicate count whose per-replicate seeds are
+// derived deterministically via sim::Rng stream splitting. expand() turns
+// the spec into a flat, deterministically ordered job list; SuiteRunner
+// (api/suite_runner.hpp) executes it on a worker pool.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/json.hpp"
+#include "api/spec.hpp"
+
+namespace deproto::api {
+
+/// How the axes combine into sweep points. Grid takes the cartesian
+/// product (first axis outermost / slowest-varying); Zip walks all axes in
+/// lockstep (every axis must have the same length).
+enum class SweepMode { Grid, Zip };
+
+[[nodiscard]] const char* sweep_mode_name(SweepMode mode);
+[[nodiscard]] SweepMode sweep_mode_from_name(const std::string& name);
+
+/// One sweep dimension: a ScenarioSpec field (dotted path, see
+/// sweep_axis_fields()) and the values it takes. Values are Json so one
+/// axis type covers numbers ("n", "synthesis.p"), strings ("backend") and
+/// booleans ("faults.churn.enabled").
+struct SweepAxis {
+  std::string field;
+  std::vector<Json> values;
+
+  friend bool operator==(const SweepAxis&, const SweepAxis&) = default;
+};
+
+/// The coordinates of one sweep point: (field, value) per axis, in axis
+/// order.
+using SweepCoords = std::vector<std::pair<std::string, Json>>;
+
+/// One expanded job: a fully concrete ScenarioSpec plus where it sits in
+/// the sweep. Jobs are ordered point-major (point 0 replicate 0, point 0
+/// replicate 1, ..., point 1 replicate 0, ...), and that order is the
+/// determinism contract: results are reported by job index regardless of
+/// how many threads execute them.
+struct SweepJob {
+  std::size_t index = 0;      // position in the expanded job list
+  std::size_t point = 0;      // sweep-point index (axis combination)
+  std::size_t replicate = 0;  // replicate index within the point
+  SweepCoords coords;
+  ScenarioSpec spec;
+};
+
+struct SweepSpec {
+  std::string name;
+  std::string description;
+  ScenarioSpec base;
+  SweepMode mode = SweepMode::Grid;
+  std::vector<SweepAxis> axes;  // empty means one point: the base spec
+  /// Runs per sweep point. Replicate 0 keeps the point's own seed (so a
+  /// one-replicate sweep point reproduces a direct Experiment run);
+  /// replicate r > 0 runs with replicate_seed(point_seed, r).
+  std::size_t replicates = 1;
+
+  /// Points = grid product / zip length; throws SpecError on an empty or
+  /// mismatched axis.
+  [[nodiscard]] std::size_t point_count() const;
+  /// point_count() * replicates.
+  [[nodiscard]] std::size_t job_count() const;
+  /// The flat job list, in the deterministic point-major order above.
+  /// Throws SpecError on unknown axis fields or unappliable values.
+  [[nodiscard]] std::vector<SweepJob> expand() const;
+
+  [[nodiscard]] Json to_json() const;
+  static SweepSpec from_json(const Json& j);
+
+  friend bool operator==(const SweepSpec&, const SweepSpec&) = default;
+};
+
+/// Every field path a SweepAxis may name, for --list style discovery and
+/// error messages. Setting "n" rescales initial_counts proportionally
+/// (ScenarioSpec::scaled_to); "source.params[K]" and
+/// "faults.massive_failures[K].{time,fraction}" index into the base
+/// spec's existing entries.
+[[nodiscard]] std::vector<std::string> sweep_axis_fields();
+
+/// Set one axis field on a spec. Throws SpecError for unknown fields,
+/// out-of-range indices, or type mismatches.
+void apply_axis_value(ScenarioSpec& spec, const std::string& field,
+                      const Json& value);
+
+/// Compact rendering of one coordinate value for labels and job names
+/// ("25000", "0.2", "event"); numbers use %.12g, unlike the full-precision
+/// %.17g of Json::dump.
+[[nodiscard]] std::string sweep_value_label(const Json& value);
+
+/// The per-replicate seed derivation: replicate 0 keeps `base_seed`;
+/// replicate r > 0 draws from sim::Rng(base_seed).split(r), so replicate
+/// streams are decorrelated but fully determined by (base_seed, r).
+[[nodiscard]] std::uint64_t replicate_seed(std::uint64_t base_seed,
+                                           std::size_t replicate);
+
+}  // namespace deproto::api

@@ -58,4 +58,6 @@
 #include "api/json.hpp"
 #include "api/spec.hpp"
 #include "api/experiment.hpp"
+#include "api/sweep.hpp"
+#include "api/suite_runner.hpp"
 #include "api/registry.hpp"

@@ -51,9 +51,7 @@ void MetricsCollector::end_period(const Group& group) {
   in_period_ = false;
 }
 
-namespace {
-
-WindowSummary summarize(std::vector<double> values) {
+WindowSummary summarize_window(std::vector<double> values) {
   WindowSummary s;
   if (values.empty()) return s;
   std::sort(values.begin(), values.end());
@@ -68,8 +66,6 @@ WindowSummary summarize(std::vector<double> values) {
   return s;
 }
 
-}  // namespace
-
 WindowSummary MetricsCollector::summarize_state(std::size_t state,
                                                 std::size_t first,
                                                 std::size_t last) const {
@@ -81,7 +77,7 @@ WindowSummary MetricsCollector::summarize_state(std::size_t state,
   for (std::size_t i = first; i < last; ++i) {
     values.push_back(static_cast<double>(samples_[i].alive_in_state[state]));
   }
-  return summarize(std::move(values));
+  return summarize_window(std::move(values));
 }
 
 WindowSummary MetricsCollector::summarize_flux(std::size_t from,
@@ -97,7 +93,7 @@ WindowSummary MetricsCollector::summarize_flux(std::size_t from,
     values.push_back(
         static_cast<double>(samples_[i].transitions[from * states_ + to]));
   }
-  return summarize(std::move(values));
+  return summarize_window(std::move(values));
 }
 
 void MetricsCollector::write_population_csv(

@@ -1,0 +1,112 @@
+// The determinism contract, pinned as regression tests:
+//   1. the same ScenarioSpec run twice dumps byte-identical result JSON
+//      (in the canonical to_json(false) form, which excludes wall-clock);
+//   2. the same SweepSpec produces byte-identical aggregated JSON and
+//      JSONL whether SuiteRunner uses 1 thread or many.
+// Faulty scenarios are exercised on purpose: crash-recovery, churn, and
+// massive failures all draw from simulator RNG streams, so any hidden
+// shared state or order dependence would show up here first.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "api/suite_runner.hpp"
+#include "api/sweep.hpp"
+
+namespace deproto::api {
+namespace {
+
+ScenarioSpec shrunk(const std::string& name) {
+  ScenarioSpec spec = registry_get(name).scaled_to(300);
+  spec.periods = 10;
+  for (sim::MassiveFailure& f : spec.faults.massive_failures) {
+    f.time = 5.0;
+  }
+  return spec;
+}
+
+TEST(DeterminismTest, SameSpecTwiceIsByteIdentical) {
+  // One representative per fault-plan feature, on both backends.
+  const std::vector<std::string> scenarios = {
+      "epidemic",       "epidemic-event",
+      "lv-majority-failure", "endemic-crash-recovery",
+      "endemic-churn",  "endemic-churn-event",
+  };
+  for (const std::string& name : scenarios) {
+    const ScenarioSpec spec = shrunk(name);
+    const std::string first =
+        Experiment(spec).run().to_json(false).dump(2);
+    const std::string second =
+        Experiment(spec).run().to_json(false).dump(2);
+    EXPECT_EQ(first, second) << name;
+    // The timing field is genuinely excluded, not just zero.
+    EXPECT_EQ(first.find("elapsed_seconds"), std::string::npos) << name;
+  }
+}
+
+TEST(DeterminismTest, TimingFormDiffersOnlyInElapsed) {
+  const ScenarioSpec spec = shrunk("epidemic");
+  const ExperimentResult result = Experiment(spec).run();
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  const Json timed = result.to_json(true);
+  EXPECT_TRUE(timed.contains("elapsed_seconds"));
+  // Round trip keeps the elapsed value.
+  const ExperimentResult back = ExperimentResult::from_json(timed);
+  EXPECT_DOUBLE_EQ(back.elapsed_seconds, result.elapsed_seconds);
+  // And the deterministic projections agree.
+  EXPECT_EQ(back.to_json(false).dump(), result.to_json(false).dump());
+}
+
+TEST(DeterminismTest, ThreadCountNeverChangesSweepOutput) {
+  SweepSpec sweep;
+  sweep.name = "determinism";
+  sweep.base = shrunk("endemic-crash-recovery");
+  sweep.axes.push_back(
+      SweepAxis{"n", {Json::number(200), Json::number(300)}});
+  {
+    SweepAxis backend;
+    backend.field = "backend";
+    backend.values.push_back(Json::string("sync"));
+    backend.values.push_back(Json::string("event"));
+    sweep.axes.push_back(std::move(backend));
+  }
+  sweep.replicates = 2;  // 8 jobs
+
+  std::string json_by_threads[2];
+  std::string jsonl_by_threads[2];
+  const std::size_t thread_counts[2] = {1, 8};
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::ostringstream jsonl;
+    SuiteOptions options;
+    options.threads = thread_counts[i];
+    options.jsonl = &jsonl;
+    const SweepResult result = SuiteRunner(options).run(sweep);
+    EXPECT_EQ(result.jobs_failed, 0U);
+    json_by_threads[i] = result.to_json(false).dump(2);
+    jsonl_by_threads[i] = jsonl.str();
+  }
+  EXPECT_EQ(json_by_threads[0], json_by_threads[1]);
+  EXPECT_EQ(jsonl_by_threads[0], jsonl_by_threads[1]);
+  EXPECT_EQ(json_by_threads[0].find("elapsed_seconds"), std::string::npos);
+}
+
+TEST(DeterminismTest, RerunningASweepIsByteIdentical) {
+  SweepSpec sweep;
+  sweep.base = shrunk("lv-majority-failure");
+  sweep.replicates = 3;
+  SuiteOptions options;
+  options.threads = 4;
+  const std::string first =
+      SuiteRunner(options).run(sweep).to_json(false).dump(2);
+  const std::string second =
+      SuiteRunner(options).run(sweep).to_json(false).dump(2);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace deproto::api

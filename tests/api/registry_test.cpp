@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "api/experiment.hpp"
 #include "api/registry.hpp"
+#include "api/sweep.hpp"
 #include "core/mean_field.hpp"
 
 namespace deproto::api {
@@ -48,6 +52,60 @@ TEST(RegistryTest, EveryEntrySynthesizesAndVerifies) {
     EXPECT_TRUE(art.taxonomy.completely_partitionable) << name;
     EXPECT_TRUE(art.mean_field_verified) << name;
     EXPECT_GT(art.synthesis.machine.num_states(), 1U) << name;
+  }
+}
+
+TEST(SweepRegistryTest, ListsExactlyTheRegisteredPresets) {
+  const std::vector<std::string> expected = {
+      "fig7-accuracy-vs-n",
+      "fig11-convergence-vs-n",
+      "fig9-10-churn-rate",
+      "smoke-epidemic-scaling",
+  };
+  EXPECT_EQ(sweep_registry_names(), expected);
+}
+
+TEST(SweepRegistryTest, FindAndGetAgree) {
+  for (const std::string& name : sweep_registry_names()) {
+    const SweepSpec* found = sweep_registry_find(name);
+    ASSERT_NE(found, nullptr) << name;
+    EXPECT_EQ(found->name, name);
+    EXPECT_EQ(sweep_registry_get(name), *found);
+    EXPECT_FALSE(found->description.empty()) << name;
+  }
+  EXPECT_EQ(sweep_registry_find("no-such-sweep"), nullptr);
+  EXPECT_THROW((void)sweep_registry_get("no-such-sweep"), SpecError);
+}
+
+TEST(SweepRegistryTest, PresetsExpandToTheExpectedJobCounts) {
+  // Expansion only -- no preset executes here (fig7 alone is minutes of
+  // simulation). The job counts are API: paper figures cite them.
+  const std::vector<std::pair<std::string, std::size_t>> expected = {
+      {"fig7-accuracy-vs-n", 4},        // 4 N-points x 1 replicate
+      {"fig11-convergence-vs-n", 12},   // 4 N-points x 3 replicates
+      {"fig9-10-churn-rate", 9},        // 3 churn bands x 3 replicates
+      {"smoke-epidemic-scaling", 8},    // 2 N x 2 backends x 2 replicates
+  };
+  for (const auto& [name, jobs] : expected) {
+    const SweepSpec sweep = sweep_registry_get(name);
+    EXPECT_EQ(sweep.job_count(), jobs) << name;
+    const std::vector<SweepJob> expanded = sweep.expand();
+    EXPECT_EQ(expanded.size(), jobs) << name;
+    // Every expanded job names its coordinates and keeps a resolvable
+    // source (cheap; does not launch a simulator).
+    for (const SweepJob& job : expanded) {
+      EXPECT_FALSE(job.spec.name.empty()) << name;
+      EXPECT_NO_THROW((void)job.spec.resolve_source()) << job.spec.name;
+    }
+  }
+}
+
+TEST(SweepRegistryTest, PresetsRoundTripThroughJson) {
+  for (const std::string& name : sweep_registry_names()) {
+    const SweepSpec sweep = sweep_registry_get(name);
+    EXPECT_EQ(SweepSpec::from_json(Json::parse(sweep.to_json().dump(2))),
+              sweep)
+        << name;
   }
 }
 

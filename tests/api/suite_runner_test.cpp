@@ -1,0 +1,249 @@
+// SuiteRunner semantics: the worker pool preserves job-index ordering for
+// every sink, aggregates match hand-computed statistics, job failures are
+// captured without aborting the suite, and the aggregated document is
+// identical no matter how many threads executed the jobs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/suite_runner.hpp"
+#include "api/sweep.hpp"
+
+namespace deproto::api {
+namespace {
+
+SweepSpec small_sweep() {
+  SweepSpec sweep;
+  sweep.name = "unit";
+  sweep.base = registry_get("epidemic").scaled_to(300);
+  sweep.base.periods = 6;
+  sweep.axes.push_back(
+      SweepAxis{"n", {Json::number(200), Json::number(300)}});
+  sweep.replicates = 2;
+  return sweep;
+}
+
+TEST(AggregateTest, MatchesHandComputedStatistics) {
+  const Aggregate a = Aggregate::of({2.0, 4.0, 6.0, 8.0});
+  EXPECT_EQ(a.count, 4U);
+  EXPECT_DOUBLE_EQ(a.mean, 5.0);
+  EXPECT_DOUBLE_EQ(a.min, 2.0);
+  EXPECT_DOUBLE_EQ(a.max, 8.0);
+  // Population stddev: sqrt((9 + 1 + 1 + 9) / 4).
+  EXPECT_DOUBLE_EQ(a.stddev, std::sqrt(5.0));
+
+  const Aggregate empty = Aggregate::of({});
+  EXPECT_EQ(empty.count, 0U);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+  const Aggregate one = Aggregate::of({3.5});
+  EXPECT_EQ(one.count, 1U);
+  EXPECT_DOUBLE_EQ(one.mean, 3.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_EQ(Aggregate::from_json(one.to_json()), one);
+}
+
+TEST(SuiteRunnerTest, RunsEveryJobAndAggregatesPerPoint) {
+  const SweepResult result = SuiteRunner().run(small_sweep());
+  EXPECT_EQ(result.jobs_total, 4U);
+  EXPECT_EQ(result.jobs_failed, 0U);
+  ASSERT_EQ(result.jobs.size(), 4U);
+  ASSERT_EQ(result.points.size(), 2U);
+  for (const PointSummary& point : result.points) {
+    EXPECT_EQ(point.replicates, 2U);
+    const Aggregate* alive = point.metric("final_alive");
+    ASSERT_NE(alive, nullptr);
+    EXPECT_EQ(alive->count, 2U);
+    EXPECT_NE(point.metric("settle_time"), nullptr);
+    EXPECT_NE(point.metric("dominant_fraction"), nullptr);
+    EXPECT_EQ(point.metric("no_such_metric"), nullptr);
+    EXPECT_EQ(point.elapsed.count, 2U);
+  }
+  // No failures: both points aggregate the epidemic's absorption.
+  EXPECT_DOUBLE_EQ(result.points[0].metric("final_alive")->mean, 200.0);
+  EXPECT_DOUBLE_EQ(result.points[1].metric("final_alive")->mean, 300.0);
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  EXPECT_GT(result.jobs_per_second(), 0.0);
+}
+
+TEST(SuiteRunnerTest, OnResultFiresInJobIndexOrder) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<std::size_t> seen;
+    SuiteOptions options;
+    options.threads = threads;
+    options.on_result = [&seen](const JobOutcome& outcome) {
+      seen.push_back(outcome.job.index);
+    };
+    const SweepResult result = SuiteRunner(options).run(small_sweep());
+    EXPECT_EQ(result.threads, threads);
+    ASSERT_EQ(seen.size(), 4U) << threads;
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], i) << threads;
+    }
+  }
+}
+
+TEST(SuiteRunnerTest, ThreadCountNeverChangesAggregatedJsonOrJsonl) {
+  std::ostringstream jsonl1, jsonl4;
+  SuiteOptions one;
+  one.threads = 1;
+  one.jsonl = &jsonl1;
+  SuiteOptions four;
+  four.threads = 4;
+  four.jsonl = &jsonl4;
+
+  const SweepResult r1 = SuiteRunner(one).run(small_sweep());
+  const SweepResult r4 = SuiteRunner(four).run(small_sweep());
+  EXPECT_EQ(r1.to_json(false).dump(2), r4.to_json(false).dump(2));
+  EXPECT_EQ(jsonl1.str(), jsonl4.str());
+  EXPECT_FALSE(jsonl1.str().empty());
+}
+
+TEST(SuiteRunnerTest, MoreThreadsThanJobsIsFine) {
+  SweepSpec sweep = small_sweep();
+  sweep.axes.clear();
+  sweep.replicates = 1;  // a single job
+  SuiteOptions options;
+  options.threads = 16;
+  const SweepResult result = SuiteRunner(options).run(sweep);
+  EXPECT_EQ(result.jobs_total, 1U);
+  EXPECT_EQ(result.threads, 1U);  // clamped to the job count
+  EXPECT_EQ(result.jobs_failed, 0U);
+}
+
+TEST(SuiteRunnerTest, JobFailuresAreCapturedNotFatal) {
+  SweepSpec sweep = small_sweep();
+  sweep.replicates = 1;
+  // Point 0 (n=200) breaks at launch: more seeded states than machine
+  // states. Point 1 stays valid.
+  sweep.axes.clear();
+  sweep.axes.push_back(
+      SweepAxis{"periods", {Json::number(5), Json::number(6)}});
+  sweep.base.initial_counts = {100, 100, 100};
+
+  const SweepResult result = SuiteRunner().run(sweep);
+  EXPECT_EQ(result.jobs_total, 2U);
+  EXPECT_EQ(result.jobs_failed, 2U);
+  for (const JobOutcome& outcome : result.jobs) {
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_FALSE(outcome.error.empty());
+  }
+  // Failed-only points report zero successful replicates, no metrics.
+  ASSERT_EQ(result.points.size(), 2U);
+  EXPECT_EQ(result.points[0].replicates, 0U);
+  EXPECT_TRUE(result.points[0].metrics.empty());
+  // The failures appear in the serialized document, and survive a parse
+  // -> re-dump round trip byte-for-byte.
+  const Json j = result.to_json(false);
+  EXPECT_EQ(j.at("failures").size(), 2U);
+  EXPECT_EQ(SweepResult::from_json(j).to_json(false).dump(2), j.dump(2));
+}
+
+TEST(SuiteRunnerTest, MixedFailureStillAggregatesTheHealthyPoint) {
+  SweepSpec sweep;
+  sweep.name = "mixed";
+  sweep.base = registry_get("epidemic").scaled_to(200);
+  sweep.base.periods = 5;
+  SweepAxis axis;
+  axis.field = "backend";
+  axis.values.push_back(Json::string("sync"));
+  axis.values.push_back(Json::string("no-such-backend"));
+  // The bad value throws at expansion time -- so validate the expansion
+  // error path too, then fix the axis and check partial failure capture
+  // via a bad catalog id instead.
+  sweep.axes.push_back(axis);
+  EXPECT_THROW((void)SuiteRunner().run(sweep), SpecError);
+
+  // Replicates share a spec, so one-bad-one-good needs two points: zip a
+  // valid clock drift against one EventSimulator rejects at launch.
+  sweep.axes.clear();
+  sweep.replicates = 1;
+  sweep.mode = SweepMode::Zip;
+  SweepAxis seeds;
+  seeds.field = "seed";
+  seeds.values.push_back(Json::number(1));
+  seeds.values.push_back(Json::number(2));
+  sweep.axes.push_back(seeds);
+  SweepAxis drift;
+  drift.field = "clock_drift";
+  drift.values.push_back(Json::number(0.05));
+  drift.values.push_back(Json::number(-2.0));  // invalid at launch
+  sweep.axes.push_back(drift);
+  sweep.base.backend = Backend::Event;
+
+  const SweepResult result = SuiteRunner().run(sweep);
+  EXPECT_EQ(result.jobs_total, 2U);
+  EXPECT_EQ(result.jobs_failed, 1U);
+  EXPECT_TRUE(result.jobs[0].ok);
+  EXPECT_FALSE(result.jobs[1].ok);
+  EXPECT_EQ(result.points[0].replicates, 1U);
+  EXPECT_EQ(result.points[1].replicates, 0U);
+}
+
+TEST(SuiteRunnerTest, StoreResultsOffDropsSeriesButKeepsAggregates) {
+  SuiteOptions options;
+  options.store_results = false;
+  const SweepResult result = SuiteRunner(options).run(small_sweep());
+  EXPECT_EQ(result.jobs_failed, 0U);
+  for (const JobOutcome& outcome : result.jobs) {
+    EXPECT_TRUE(outcome.ok);  // identity and status survive
+    EXPECT_TRUE(outcome.result.series.empty());
+  }
+  EXPECT_EQ(result.points.size(), 2U);
+  EXPECT_NE(result.points[0].metric("final_alive"), nullptr);
+}
+
+TEST(SweepResultTest, JsonRoundTripsDeterministicAndTimingForms) {
+  const SweepResult result = SuiteRunner().run(small_sweep());
+
+  const SweepResult deterministic =
+      SweepResult::from_json(Json::parse(result.to_json(false).dump(2)));
+  EXPECT_EQ(deterministic.sweep, result.sweep);
+  EXPECT_EQ(deterministic.jobs_total, result.jobs_total);
+  EXPECT_EQ(deterministic.jobs_failed, result.jobs_failed);
+  ASSERT_EQ(deterministic.points.size(), result.points.size());
+  for (std::size_t p = 0; p < result.points.size(); ++p) {
+    EXPECT_EQ(deterministic.points[p].point, result.points[p].point);
+    EXPECT_EQ(deterministic.points[p].coords, result.points[p].coords);
+    EXPECT_EQ(deterministic.points[p].metrics, result.points[p].metrics);
+    // Timing is NOT in the deterministic form.
+    EXPECT_EQ(deterministic.points[p].elapsed, Aggregate{});
+  }
+  EXPECT_DOUBLE_EQ(deterministic.elapsed_seconds, 0.0);
+
+  const SweepResult timed =
+      SweepResult::from_json(Json::parse(result.to_json(true).dump(2)));
+  EXPECT_DOUBLE_EQ(timed.elapsed_seconds, result.elapsed_seconds);
+  EXPECT_EQ(timed.threads, result.threads);
+  EXPECT_EQ(timed.points[0].elapsed, result.points[0].elapsed);
+}
+
+TEST(SuiteRunnerTest, JsonlLinesAreOnePerJobInOrder) {
+  std::ostringstream jsonl;
+  SuiteOptions options;
+  options.jsonl = &jsonl;
+  const SweepResult result = SuiteRunner(options).run(small_sweep());
+  (void)result;
+
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    const Json parsed = Json::parse(line);
+    EXPECT_EQ(parsed.at("job").as_size(), count);
+    EXPECT_TRUE(parsed.at("ok").as_bool());
+    EXPECT_TRUE(parsed.contains("result"));
+    // No timing in JSONL by default (byte-identical across threads).
+    EXPECT_FALSE(parsed.at("result").contains("elapsed_seconds"));
+    ++count;
+  }
+  EXPECT_EQ(count, 4U);
+}
+
+}  // namespace
+}  // namespace deproto::api

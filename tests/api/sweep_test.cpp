@@ -1,0 +1,274 @@
+// SweepSpec semantics: axis application on every supported field, grid /
+// zip expansion order and counts, deterministic replicate-seed derivation
+// via sim::Rng splitting, and the JSON round trip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "api/registry.hpp"
+#include "api/sweep.hpp"
+
+namespace deproto::api {
+namespace {
+
+ScenarioSpec small_base() {
+  ScenarioSpec base = registry_get("epidemic").scaled_to(400);
+  base.periods = 8;
+  return base;
+}
+
+Json num(double v) { return Json::number(v); }
+
+TEST(SweepSpecTest, GridExpandsAsNestedLoops) {
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.axes.push_back(SweepAxis{"n", {num(200), num(400)}});
+  sweep.axes.push_back(SweepAxis{"periods", {num(4), num(6), num(8)}});
+
+  EXPECT_EQ(sweep.point_count(), 6U);
+  EXPECT_EQ(sweep.job_count(), 6U);
+  const std::vector<SweepJob> jobs = sweep.expand();
+  ASSERT_EQ(jobs.size(), 6U);
+  // First axis outermost: n=200 x {4,6,8}, then n=400 x {4,6,8}.
+  EXPECT_EQ(jobs[0].spec.n, 200U);
+  EXPECT_EQ(jobs[0].spec.periods, 4U);
+  EXPECT_EQ(jobs[2].spec.n, 200U);
+  EXPECT_EQ(jobs[2].spec.periods, 8U);
+  EXPECT_EQ(jobs[3].spec.n, 400U);
+  EXPECT_EQ(jobs[3].spec.periods, 4U);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].point, i);  // replicates == 1
+    EXPECT_EQ(jobs[i].replicate, 0U);
+    ASSERT_EQ(jobs[i].coords.size(), 2U);
+    EXPECT_EQ(jobs[i].coords[0].first, "n");
+    EXPECT_EQ(jobs[i].coords[1].first, "periods");
+  }
+}
+
+TEST(SweepSpecTest, ZipWalksAxesInLockstep) {
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.mode = SweepMode::Zip;
+  sweep.axes.push_back(SweepAxis{"n", {num(200), num(300)}});
+  sweep.axes.push_back(SweepAxis{"seed", {num(7), num(11)}});
+
+  const std::vector<SweepJob> jobs = sweep.expand();
+  ASSERT_EQ(jobs.size(), 2U);
+  EXPECT_EQ(jobs[0].spec.n, 200U);
+  EXPECT_EQ(jobs[0].spec.seed, 7U);
+  EXPECT_EQ(jobs[1].spec.n, 300U);
+  EXPECT_EQ(jobs[1].spec.seed, 11U);
+}
+
+TEST(SweepSpecTest, ZipRejectsMismatchedAxisLengths) {
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.mode = SweepMode::Zip;
+  sweep.axes.push_back(SweepAxis{"n", {num(200), num(300)}});
+  sweep.axes.push_back(SweepAxis{"seed", {num(7)}});
+  EXPECT_THROW((void)sweep.point_count(), SpecError);
+  EXPECT_THROW((void)sweep.expand(), SpecError);
+}
+
+TEST(SweepSpecTest, DuplicateAxisFieldsAreRejected) {
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.axes.push_back(SweepAxis{"n", {num(200)}});
+  sweep.axes.push_back(SweepAxis{"periods", {num(4)}});
+  sweep.axes.push_back(SweepAxis{"n", {num(300)}});  // double-apply slip
+  EXPECT_THROW((void)sweep.point_count(), SpecError);
+  EXPECT_THROW((void)sweep.expand(), SpecError);
+}
+
+TEST(SweepSpecTest, EmptyAxisAndZeroReplicatesAreErrors) {
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.axes.push_back(SweepAxis{"n", {}});
+  EXPECT_THROW((void)sweep.expand(), SpecError);
+
+  sweep.axes.clear();
+  sweep.replicates = 0;
+  EXPECT_THROW((void)sweep.job_count(), SpecError);
+}
+
+TEST(SweepSpecTest, NoAxesMeansOnePointOfReplicates) {
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.replicates = 3;
+  EXPECT_EQ(sweep.point_count(), 1U);
+  const std::vector<SweepJob> jobs = sweep.expand();
+  ASSERT_EQ(jobs.size(), 3U);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(jobs[r].point, 0U);
+    EXPECT_EQ(jobs[r].replicate, r);
+  }
+}
+
+TEST(SweepSpecTest, ReplicateSeedsAreSplitDerivedAndStable) {
+  // Replicate 0 keeps the point seed so a one-replicate point reproduces
+  // a direct Experiment run; later replicates are split-derived,
+  // decorrelated, and a pure function of (seed, r).
+  EXPECT_EQ(replicate_seed(2004, 0), 2004U);
+  EXPECT_NE(replicate_seed(2004, 1), 2004U);
+  EXPECT_NE(replicate_seed(2004, 1), replicate_seed(2004, 2));
+  EXPECT_NE(replicate_seed(2004, 1), replicate_seed(2005, 1));
+  EXPECT_EQ(replicate_seed(2004, 1), replicate_seed(2004, 1));
+
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.replicates = 2;
+  const std::vector<SweepJob> jobs = sweep.expand();
+  EXPECT_EQ(jobs[0].spec.seed, sweep.base.seed);
+  EXPECT_EQ(jobs[1].spec.seed, replicate_seed(sweep.base.seed, 1));
+}
+
+TEST(SweepSpecTest, NAxisRescalesInitialCounts) {
+  SweepSpec sweep;
+  sweep.base = small_base();  // 400 processes, counts {399, 1}
+  sweep.axes.push_back(SweepAxis{"n", {num(200)}});
+  const std::vector<SweepJob> jobs = sweep.expand();
+  ASSERT_EQ(jobs.size(), 1U);
+  EXPECT_EQ(jobs[0].spec.n, 200U);
+  // scaled_to keeps seeded states populated: one infective survives.
+  ASSERT_EQ(jobs[0].spec.initial_counts.size(), 2U);
+  EXPECT_EQ(jobs[0].spec.initial_counts[1], 1U);
+  EXPECT_EQ(jobs[0].spec.initial_counts[0], 199U);
+}
+
+TEST(SweepSpecTest, AppliesEverySupportedFieldKind) {
+  ScenarioSpec spec = registry_get("endemic-churn");
+  spec.faults.massive_failures.push_back(sim::MassiveFailure{10.0, 0.25});
+  spec.source.params = {4.0, 0.2, 0.05};
+
+  apply_axis_value(spec, "periods", num(42));
+  EXPECT_EQ(spec.periods, 42U);
+  apply_axis_value(spec, "seed", num(9));
+  EXPECT_EQ(spec.seed, 9U);
+  apply_axis_value(spec, "backend", Json::string("event"));
+  EXPECT_EQ(spec.backend, Backend::Event);
+  apply_axis_value(spec, "clock_drift", num(0.1));
+  EXPECT_DOUBLE_EQ(spec.clock_drift, 0.1);
+  apply_axis_value(spec, "source.params[1]", num(0.3));
+  EXPECT_DOUBLE_EQ(spec.source.params[1], 0.3);
+  apply_axis_value(spec, "synthesis.p", num(0.02));
+  ASSERT_TRUE(spec.synthesis.p.has_value());
+  EXPECT_DOUBLE_EQ(*spec.synthesis.p, 0.02);
+  apply_axis_value(spec, "synthesis.failure_rate", num(0.15));
+  EXPECT_DOUBLE_EQ(spec.synthesis.failure_rate, 0.15);
+  apply_axis_value(spec, "runtime.message_loss", num(0.05));
+  EXPECT_DOUBLE_EQ(spec.runtime.message_loss, 0.05);
+  apply_axis_value(spec, "runtime.token_ttl", num(4));
+  EXPECT_EQ(spec.runtime.tokens.ttl, 4U);
+  apply_axis_value(spec, "faults.massive_failures[0].time", num(5.5));
+  EXPECT_DOUBLE_EQ(spec.faults.massive_failures[0].time, 5.5);
+  apply_axis_value(spec, "faults.massive_failures[0].fraction", num(0.4));
+  EXPECT_DOUBLE_EQ(spec.faults.massive_failures[0].fraction, 0.4);
+  apply_axis_value(spec, "faults.crash_recovery.crash_prob", num(0.02));
+  EXPECT_DOUBLE_EQ(spec.faults.crash_recovery.crash_prob, 0.02);
+  apply_axis_value(spec, "faults.crash_recovery.mean_downtime_periods",
+                   num(5));
+  EXPECT_DOUBLE_EQ(spec.faults.crash_recovery.mean_downtime_periods, 5.0);
+  apply_axis_value(spec, "faults.churn.enabled", Json::boolean(false));
+  EXPECT_FALSE(spec.faults.churn.enabled);
+  apply_axis_value(spec, "faults.churn.hours", num(12));
+  EXPECT_DOUBLE_EQ(spec.faults.churn.hours, 12.0);
+  apply_axis_value(spec, "faults.churn.min_rate", num(0.02));
+  EXPECT_DOUBLE_EQ(spec.faults.churn.min_rate, 0.02);
+  apply_axis_value(spec, "faults.churn.max_rate", num(0.3));
+  EXPECT_DOUBLE_EQ(spec.faults.churn.max_rate, 0.3);
+  apply_axis_value(spec, "faults.churn.mean_downtime_hours", num(1.5));
+  EXPECT_DOUBLE_EQ(spec.faults.churn.mean_downtime_hours, 1.5);
+  apply_axis_value(spec, "faults.churn.seed", num(77));
+  EXPECT_EQ(spec.faults.churn.seed, 77U);
+  apply_axis_value(spec, "faults.churn.periods_per_hour", num(6));
+  EXPECT_DOUBLE_EQ(spec.faults.churn.periods_per_hour, 6.0);
+}
+
+TEST(SweepSpecTest, RejectsUnknownFieldsIndicesAndTypes) {
+  ScenarioSpec spec = small_base();
+  EXPECT_THROW(apply_axis_value(spec, "no.such.field", num(1)), SpecError);
+  EXPECT_THROW(apply_axis_value(spec, "source.params[0]", num(1)),
+               SpecError);  // base lists no params
+  EXPECT_THROW(apply_axis_value(spec, "faults.massive_failures[0].time",
+                                num(1)),
+               SpecError);  // none scheduled
+  EXPECT_THROW(apply_axis_value(spec, "faults.massive_failures[0].bogus",
+                                num(1)),
+               SpecError);
+  EXPECT_THROW(apply_axis_value(spec, "source.params[x]", num(1)),
+               SpecError);
+  // Type mismatch surfaces as SpecError, not a bare JsonError.
+  EXPECT_THROW(apply_axis_value(spec, "backend", num(3)), SpecError);
+  EXPECT_THROW(apply_axis_value(spec, "n", Json::string("many")), SpecError);
+}
+
+TEST(SweepSpecTest, JobNamesEncodeCoordinatesAndReplicate) {
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.axes.push_back(SweepAxis{"n", {num(200)}});
+  sweep.replicates = 2;
+  const std::vector<SweepJob> jobs = sweep.expand();
+  ASSERT_EQ(jobs.size(), 2U);
+  EXPECT_EQ(jobs[0].spec.name, "epidemic/n=200/r0");
+  EXPECT_EQ(jobs[1].spec.name, "epidemic/n=200/r1");
+}
+
+TEST(SweepSpecTest, JsonRoundTrips) {
+  SweepSpec sweep;
+  sweep.name = "round-trip";
+  sweep.description = "grid over n and backend";
+  sweep.base = small_base();
+  sweep.mode = SweepMode::Zip;
+  sweep.axes.push_back(SweepAxis{"n", {num(200), num(400)}});
+  {
+    SweepAxis backend;
+    backend.field = "backend";
+    backend.values.push_back(Json::string("sync"));
+    backend.values.push_back(Json::string("event"));
+    sweep.axes.push_back(std::move(backend));
+  }
+  sweep.replicates = 4;
+
+  EXPECT_EQ(SweepSpec::from_json(sweep.to_json()), sweep);
+  EXPECT_EQ(SweepSpec::from_json(Json::parse(sweep.to_json().dump())),
+            sweep);
+  EXPECT_EQ(SweepSpec::from_json(Json::parse(sweep.to_json().dump(2))),
+            sweep);
+}
+
+TEST(SweepSpecTest, FromJsonDefaults) {
+  // A minimal document: defaults fill in grid mode and one replicate.
+  const SweepSpec sweep = SweepSpec::from_json(Json::parse(
+      R"({"base": {"source": {"catalog": "epidemic"}, "n": 100}})"));
+  EXPECT_EQ(sweep.mode, SweepMode::Grid);
+  EXPECT_EQ(sweep.replicates, 1U);
+  EXPECT_TRUE(sweep.axes.empty());
+  EXPECT_EQ(sweep.base.n, 100U);
+  EXPECT_EQ(sweep.job_count(), 1U);
+}
+
+TEST(SweepSpecTest, SweepModeNamesRoundTrip) {
+  EXPECT_EQ(sweep_mode_from_name("grid"), SweepMode::Grid);
+  EXPECT_EQ(sweep_mode_from_name("zip"), SweepMode::Zip);
+  EXPECT_THROW((void)sweep_mode_from_name("diagonal"), SpecError);
+  EXPECT_STREQ(sweep_mode_name(SweepMode::Grid), "grid");
+  EXPECT_STREQ(sweep_mode_name(SweepMode::Zip), "zip");
+}
+
+TEST(SweepSpecTest, AxisFieldCatalogIsNonEmptyAndStable) {
+  const std::vector<std::string> fields = sweep_axis_fields();
+  EXPECT_FALSE(fields.empty());
+  // Spot-check the fields the registry presets rely on.
+  EXPECT_NE(std::find(fields.begin(), fields.end(), "n"), fields.end());
+  EXPECT_NE(std::find(fields.begin(), fields.end(), "backend"),
+            fields.end());
+  EXPECT_NE(std::find(fields.begin(), fields.end(),
+                      "faults.churn.max_rate"),
+            fields.end());
+}
+
+}  // namespace
+}  // namespace deproto::api

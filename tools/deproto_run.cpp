@@ -1,25 +1,37 @@
 // deproto-run: execute registered (or JSON-specified) experiment scenarios
-// through the deproto::api::Experiment facade.
+// and parameter sweeps through the deproto::api facade.
 //
-//   deproto-run --list                     show the scenario registry
+//   deproto-run --list                     show scenarios + sweep presets
 //   deproto-run <scenario> [options]       run one registered scenario
 //   deproto-run --spec spec.json [options] run a ScenarioSpec from a file
-//   deproto-run --smoke                    run every scenario at small N
+//   deproto-run --sweep <preset|file>      run a SweepSpec (see --list)
+//   deproto-run --smoke                    scenario x backend matrix
 //
 // Options:
 //   --n <N>            override the group size (initial counts rescale)
 //   --periods <k>      override the simulation length
 //   --seed <s>         override the simulation seed
 //   --backend <b>      override the execution backend (sync | event)
-//   --json <file>      write the structured ExperimentResult as JSON
-//   --spec-out <file>  write the (resolved) ScenarioSpec as JSON
-//   --quiet            suppress the population table
+//   --threads <T>      sweep/smoke worker threads (0 = all cores)
+//   --repeat <k>       replicates: lifts a scenario into a sweep, or
+//                      overrides a sweep's replicate count
+//   --json <file>      single run: the ExperimentResult as JSON;
+//                      sweep: the deterministic aggregated SweepResult
+//                      (timing goes to stdout, not into the file)
+//   --jsonl <file>     sweep: stream one result line per job, in job
+//                      order (byte-identical for any --threads)
+//   --spec-out <file>  write the (resolved) Scenario/SweepSpec as JSON
+//   --quiet            suppress the population table / per-job lines
 //
-// Every scenario runs on either backend: the fault plan (massive failures,
-// crash-recovery, churn) programs the unified sim::Simulator interface.
+// Every scenario runs on either backend, and the sweep engine guarantees
+// results are ordered and aggregated by job index: the same sweep run
+// with --threads 1 and --threads 8 writes byte-identical --json/--jsonl
+// output.
 //
-// Example:
+// Examples:
 //   deproto-run endemic-churn --backend event --n 1000 --json churn.json
+//   deproto-run --sweep fig11-convergence-vs-n --threads 8 --json out.json
+//   deproto-run lv-majority --repeat 5 --threads 2
 
 #include <algorithm>
 #include <cstdint>
@@ -29,9 +41,12 @@
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "api/experiment.hpp"
 #include "api/registry.hpp"
+#include "api/suite_runner.hpp"
+#include "api/sweep.hpp"
 #include "cli_util.hpp"
 #include "core/synthesis.hpp"
 #include "ode/parser.hpp"
@@ -40,11 +55,18 @@ namespace {
 
 using deproto::api::Experiment;
 using deproto::api::ExperimentResult;
+using deproto::api::JobOutcome;
 using deproto::api::ScenarioSpec;
+using deproto::api::SuiteOptions;
+using deproto::api::SuiteRunner;
+using deproto::api::SweepJob;
+using deproto::api::SweepResult;
+using deproto::api::SweepSpec;
 
 struct CliOptions {
   std::string scenario;
   std::string spec_file;
+  std::string sweep;
   bool list = false;
   bool smoke = false;
   bool quiet = false;
@@ -52,15 +74,20 @@ struct CliOptions {
   std::optional<std::size_t> periods;
   std::optional<std::uint64_t> seed;
   std::optional<deproto::api::Backend> backend;
+  std::size_t threads = 0;  // 0 = all cores
+  std::optional<std::size_t> repeat;
   std::string json_out;
+  std::string jsonl_out;
   std::string spec_out;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --list | --smoke | (<scenario> | --spec f.json) "
-               "[--n N] [--periods k] [--seed s] [--backend sync|event] "
-               "[--json out.json] [--spec-out out.json] [--quiet]\n",
+               "usage: %s --list | --smoke | (<scenario> | --spec f.json | "
+               "--sweep preset|f.json) [--n N] [--periods k] [--seed s] "
+               "[--backend sync|event] [--threads T] [--repeat k] "
+               "[--json out.json] [--jsonl out.jsonl] [--spec-out out.json] "
+               "[--quiet]\n",
                argv0);
   return 2;
 }
@@ -85,10 +112,30 @@ bool parse_args(int argc, char** argv, CliOptions* options) {
       options->quiet = true;
     } else if (arg == "--spec") {
       if (!next("--spec", &options->spec_file)) return false;
+    } else if (arg == "--sweep") {
+      if (!next("--sweep", &options->sweep)) return false;
     } else if (arg == "--json") {
       if (!next("--json", &options->json_out)) return false;
+    } else if (arg == "--jsonl") {
+      if (!next("--jsonl", &options->jsonl_out)) return false;
     } else if (arg == "--spec-out") {
       if (!next("--spec-out", &options->spec_out)) return false;
+    } else if (arg == "--threads") {
+      std::size_t threads = 0;
+      if (!next("--threads", &value)) return false;
+      if (!deproto::cli::parse_size(value, &threads)) {
+        return deproto::cli::value_error("--threads", "invalid thread count",
+                                         value);
+      }
+      options->threads = threads;
+    } else if (arg == "--repeat") {
+      std::size_t repeat = 0;
+      if (!next("--repeat", &value)) return false;
+      if (!deproto::cli::parse_size(value, &repeat) || repeat == 0) {
+        return deproto::cli::value_error("--repeat",
+                                         "invalid replicate count", value);
+      }
+      options->repeat = repeat;
     } else if (arg == "--n") {
       std::size_t n = 0;
       if (!next("--n", &value)) return false;
@@ -141,6 +188,15 @@ void list_registry() {
     std::printf("%-24s %-6s %8zu %8zu  %s\n", spec->name.c_str(),
                 deproto::api::backend_name(spec->backend), spec->n,
                 spec->periods, spec->description.c_str());
+  }
+  std::printf("\n%-24s %-6s %8s %8s  %s\n", "sweep preset", "mode", "points",
+              "jobs", "description");
+  for (const std::string& name : deproto::api::sweep_registry_names()) {
+    const SweepSpec* sweep = deproto::api::sweep_registry_find(name);
+    std::printf("%-24s %-6s %8zu %8zu  %s\n", sweep->name.c_str(),
+                deproto::api::sweep_mode_name(sweep->mode),
+                sweep->point_count(), sweep->job_count(),
+                sweep->description.c_str());
   }
 }
 
@@ -231,8 +287,14 @@ int run_one(const ScenarioSpec& spec, const CliOptions& options) {
   Experiment experiment(spec);
   const ExperimentResult result = experiment.run();
   print_result(spec, result, options.quiet);
+  if (!options.quiet) {
+    std::printf("elapsed: %.3fs\n", result.elapsed_seconds);
+  }
+  // The JSON artifact is the deterministic form (timing stays on
+  // stdout), so rerunning the same spec rewrites an identical file.
   if (!options.json_out.empty() &&
-      !write_file(options.json_out, result.to_json().dump(2))) {
+      !write_file(options.json_out,
+                  result.to_json(/*include_timing=*/false).dump(2))) {
     return 1;
   }
   if (!options.spec_out.empty() &&
@@ -242,13 +304,108 @@ int run_one(const ScenarioSpec& spec, const CliOptions& options) {
   return 0;
 }
 
+std::string coords_label(const deproto::api::SweepCoords& coords) {
+  std::string label;
+  for (const auto& [field, value] : coords) {
+    if (!label.empty()) label += " ";
+    label += field + "=" + deproto::api::sweep_value_label(value);
+  }
+  return label;
+}
+
+/// Execute a sweep through SuiteRunner: per-job progress lines and every
+/// sink in job-index order, per-point aggregates, then throughput. The
+/// --json document is the deterministic SweepResult form (no timing), so
+/// --threads 1 and --threads 8 write byte-identical files.
+int run_sweep(SweepSpec sweep, const CliOptions& options) {
+  sweep.base = apply_overrides(std::move(sweep.base), options);
+  if (options.repeat.has_value()) sweep.replicates = *options.repeat;
+
+  const std::size_t total_jobs = sweep.job_count();
+  std::printf("sweep: %s  (%zu points x %zu replicates = %zu jobs)\n",
+              sweep.name.empty() ? "<unnamed>" : sweep.name.c_str(),
+              sweep.point_count(), sweep.replicates, total_jobs);
+
+  std::ofstream jsonl;
+  SuiteOptions suite;
+  suite.threads = options.threads;
+  // Aggregates + sinks are the product here; each job's per-period
+  // series is dropped as soon as it flushes, so long sweeps never hold
+  // more than the out-of-order window in memory.
+  suite.store_results = false;
+  if (!options.jsonl_out.empty()) {
+    jsonl.open(options.jsonl_out);
+    if (!jsonl) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.jsonl_out.c_str());
+      return 1;
+    }
+    suite.jsonl = &jsonl;
+  }
+  if (!options.quiet) {
+    suite.on_result = [total_jobs](const JobOutcome& outcome) {
+      const std::string status =
+          outcome.ok ? "ok" : "FAILED: " + outcome.error;
+      std::printf("  [%3zu/%zu] %-44s %s (%.2fs)\n", outcome.job.index + 1,
+                  total_jobs, outcome.job.spec.name.c_str(), status.c_str(),
+                  outcome.elapsed_seconds);
+    };
+  }
+
+  const SweepResult result = SuiteRunner(suite).run(sweep);
+  if (suite.jsonl != nullptr && !jsonl.flush().good()) {
+    std::fprintf(stderr, "error: writing %s failed (disk full?)\n",
+                 options.jsonl_out.c_str());
+    return 1;
+  }
+
+  std::printf("\n%-44s %4s %12s %12s %10s\n", "point", "reps",
+              "settle-time", "dominant", "alive");
+  for (const deproto::api::PointSummary& point : result.points) {
+    const deproto::api::Aggregate* settle = point.metric("settle_time");
+    const deproto::api::Aggregate* dominant =
+        point.metric("dominant_fraction");
+    const deproto::api::Aggregate* alive = point.metric("final_alive");
+    std::printf("%-44s %4zu %6.1f ±%4.1f %11.3f %10.0f\n",
+                coords_label(point.coords).c_str(), point.replicates,
+                settle != nullptr ? settle->mean : 0.0,
+                settle != nullptr ? settle->stddev : 0.0,
+                dominant != nullptr ? dominant->mean : 0.0,
+                alive != nullptr ? alive->mean : 0.0);
+  }
+  std::printf("total: %zu jobs (%zu failed) in %.2fs -- %.2f jobs/s on "
+              "%zu thread%s\n",
+              result.jobs_total, result.jobs_failed, result.elapsed_seconds,
+              result.jobs_per_second(), result.threads,
+              result.threads == 1 ? "" : "s");
+
+  for (const JobOutcome& outcome : result.jobs) {
+    if (!outcome.ok) {
+      std::fprintf(stderr, "error: job %zu (%s): %s\n", outcome.job.index,
+                   outcome.job.spec.name.c_str(), outcome.error.c_str());
+    }
+  }
+  if (!options.json_out.empty() &&
+      !write_file(options.json_out,
+                  result.to_json(/*include_timing=*/false).dump(2))) {
+    return 1;
+  }
+  if (!options.spec_out.empty() &&
+      !write_file(options.spec_out, sweep.to_json().dump(2))) {
+    return 1;
+  }
+  return result.jobs_failed == 0 ? 0 : 1;
+}
+
 /// The registry-rot guard: list, then run every scenario at N <= 500 and
 /// <= 20 periods on BOTH backends -- the full {scenario} x {sync, event}
-/// matrix the unified Simulator interface promises. Registered as a CTest
-/// smoke test.
-int run_smoke() {
+/// matrix the unified Simulator interface promises -- through the
+/// SuiteRunner engine (so the smoke also exercises the pool + ordered
+/// sinks). Registered as a CTest smoke test.
+int run_smoke(const CliOptions& options) {
   list_registry();
-  std::size_t runs = 0;
+
+  std::vector<SweepJob> jobs;
   for (const std::string& name : deproto::api::registry_names()) {
     for (const deproto::api::Backend backend :
          {deproto::api::Backend::Sync, deproto::api::Backend::Event}) {
@@ -260,27 +417,71 @@ int run_smoke() {
       for (deproto::sim::MassiveFailure& f : spec.faults.massive_failures) {
         f.time = std::min(f.time, static_cast<double>(spec.periods) / 2.0);
       }
-      std::printf("\n-- smoke: %s [%s] --\n", name.c_str(),
-                  deproto::api::backend_name(backend));
-      Experiment experiment(spec);
-      const ExperimentResult result = experiment.run();
-      if (!result.mean_field_verified) {
-        std::fprintf(stderr, "error: %s: mean-field verification failed\n",
-                     name.c_str());
-        return 1;
-      }
-      if (result.series.size() < spec.periods) {
-        std::fprintf(stderr, "error: %s [%s]: recorded %zu of %zu periods\n",
-                     name.c_str(), deproto::api::backend_name(backend),
-                     result.series.size(), spec.periods);
-        return 1;
-      }
-      std::printf("ok: %zu periods, final alive=%zu\n", result.series.size(),
-                  result.final_alive);
-      ++runs;
+      SweepJob job;
+      job.index = jobs.size();
+      job.point = jobs.size();  // every combination is its own point
+      job.coords.emplace_back("scenario", deproto::api::Json::string(name));
+      job.coords.emplace_back(
+          "backend", deproto::api::Json::string(
+                         deproto::api::backend_name(backend)));
+      spec.name = name + "/" + deproto::api::backend_name(backend);
+      job.spec = std::move(spec);
+      jobs.push_back(std::move(job));
     }
   }
-  std::printf("\nsmoke: all %zu scenario/backend combinations ran\n", runs);
+
+  SuiteOptions suite;
+  suite.threads = options.threads;
+  std::ofstream jsonl;
+  if (!options.jsonl_out.empty()) {
+    jsonl.open(options.jsonl_out);
+    if (!jsonl) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.jsonl_out.c_str());
+      return 1;
+    }
+    suite.jsonl = &jsonl;
+  }
+  std::printf("\n");
+  const std::size_t expected = jobs.size();
+  suite.on_result = [expected](const JobOutcome& outcome) {
+    std::printf("smoke [%2zu/%zu] %-44s %s\n", outcome.job.index + 1,
+                expected, outcome.job.spec.name.c_str(),
+                outcome.ok ? "ok" : outcome.error.c_str());
+  };
+  const SweepResult result =
+      SuiteRunner(suite).run_jobs(std::move(jobs), "registry-smoke");
+  if (suite.jsonl != nullptr && !jsonl.flush().good()) {
+    std::fprintf(stderr, "error: writing %s failed (disk full?)\n",
+                 options.jsonl_out.c_str());
+    return 1;
+  }
+  if (!options.json_out.empty() &&
+      !write_file(options.json_out,
+                  result.to_json(/*include_timing=*/false).dump(2))) {
+    return 1;
+  }
+
+  bool failed = result.jobs_failed > 0;
+  for (const JobOutcome& outcome : result.jobs) {
+    if (!outcome.ok) continue;
+    if (!outcome.result.mean_field_verified) {
+      std::fprintf(stderr, "error: %s: mean-field verification failed\n",
+                   outcome.job.spec.name.c_str());
+      failed = true;
+    }
+    if (outcome.result.series.size() < outcome.job.spec.periods) {
+      std::fprintf(stderr, "error: %s: recorded %zu of %zu periods\n",
+                   outcome.job.spec.name.c_str(),
+                   outcome.result.series.size(), outcome.job.spec.periods);
+      failed = true;
+    }
+  }
+  if (failed) return 1;
+  std::printf("\nsmoke: all %zu scenario/backend combinations ran "
+              "(%.2fs, %.2f jobs/s on %zu thread%s)\n",
+              expected, result.elapsed_seconds, result.jobs_per_second(),
+              result.threads, result.threads == 1 ? "" : "s");
   return 0;
 }
 
@@ -291,13 +492,37 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, &options)) return usage(argv[0]);
 
   try {
-    if (options.smoke) return run_smoke();
+    if (options.smoke) return run_smoke(options);
     if (options.list) {
       list_registry();
       return 0;
     }
-    if (options.scenario.empty() == options.spec_file.empty()) {
-      return usage(argv[0]);  // exactly one of scenario / --spec
+    const int sources = (options.scenario.empty() ? 0 : 1) +
+                        (options.spec_file.empty() ? 0 : 1) +
+                        (options.sweep.empty() ? 0 : 1);
+    if (sources != 1) {
+      return usage(argv[0]);  // exactly one of scenario / --spec / --sweep
+    }
+
+    if (!options.sweep.empty()) {
+      // A registered preset name, or a SweepSpec JSON file.
+      if (const SweepSpec* preset =
+              deproto::api::sweep_registry_find(options.sweep)) {
+        return run_sweep(*preset, options);
+      }
+      std::ifstream in(options.sweep);
+      if (!in) {
+        std::fprintf(stderr,
+                     "error: %s is neither a sweep preset (--list) nor a "
+                     "readable file\n",
+                     options.sweep.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      return run_sweep(
+          SweepSpec::from_json(deproto::api::Json::parse(buffer.str())),
+          options);
     }
 
     ScenarioSpec spec;
@@ -313,6 +538,23 @@ int main(int argc, char** argv) {
       spec = ScenarioSpec::from_json(deproto::api::Json::parse(buffer.str()));
     } else {
       spec = deproto::api::registry_get(options.scenario);
+    }
+    if (options.repeat.has_value()) {
+      // --repeat lifts the single scenario into a replicate-only sweep:
+      // same spec, split-derived seeds, aggregated output.
+      SweepSpec sweep;
+      sweep.name = spec.name + "-x" + std::to_string(*options.repeat);
+      sweep.base = std::move(spec);
+      sweep.replicates = *options.repeat;
+      return run_sweep(std::move(sweep), options);
+    }
+    // Pool/sink flags only make sense for sweeps; rejecting them beats
+    // silently never creating the file the caller asked for.
+    if (!options.jsonl_out.empty() || options.threads != 0) {
+      std::fprintf(stderr,
+                   "error: --jsonl/--threads apply to --sweep, --smoke, "
+                   "or --repeat runs only\n");
+      return 1;
     }
     return run_one(apply_overrides(std::move(spec), options), options);
   } catch (const deproto::api::JsonError& e) {
