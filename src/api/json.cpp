@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace deproto::api {
 
@@ -41,8 +42,19 @@ void append_escaped(std::string& out, const std::string& s) {
 }
 
 void append_number(std::string& out, double v) {
+  // JSON has no NaN/Infinity lexemes. Throwing here would abort
+  // serialization of a whole document over one bad metric, after the
+  // compute that produced it is already done -- so the canonical encoding
+  // maps non-finite values to null (readers see NaN back, field by field).
   if (!std::isfinite(v)) {
-    throw JsonError("cannot serialize non-finite number");
+    out += "null";
+    return;
+  }
+  // -0.0 == 0.0 but "%.0f" would print "-0": semantically equal documents
+  // must dump identical bytes (they are content-addressed cache keys).
+  if (v == 0.0) {
+    out += '0';
+    return;
   }
   char buf[32];
   // Integers in the exactly-representable range print without a decimal
@@ -247,6 +259,11 @@ class Parser {
     char* end = nullptr;
     const double v = std::strtod(lexeme.c_str(), &end);
     if (end != lexeme.c_str() + lexeme.size()) fail("bad number");
+    // strtod saturates overflowing literals ("1e999") to +-infinity; a
+    // document can only mean a finite value (non-finite serializes as
+    // null), so letting it through would let +inf and -inf alias under
+    // the canonical encoding. Reject at the source instead.
+    if (!std::isfinite(v)) fail("number out of range");
     return Json::number(v);
   }
 
@@ -295,6 +312,10 @@ bool Json::as_bool() const {
 }
 
 double Json::as_number() const {
+  // null is the serialized form of a non-finite double (see append_number),
+  // so a numeric read of null yields NaN instead of throwing: one NaN
+  // metric degrades that field only, never a whole document.
+  if (type_ == Type::Null) return std::numeric_limits<double>::quiet_NaN();
   if (type_ != Type::Number) type_error("number", type_);
   return number_;
 }
@@ -342,6 +363,10 @@ const Json& Json::at(const std::string& key) const {
 }
 
 double Json::get_or(const std::string& key, double fallback) const {
+  // An explicit null reads as NaN (via as_number), NOT as the fallback:
+  // null is the serialized form of NaN, and substituting a finite default
+  // would make parse -> re-dump emit different bytes than the original --
+  // fatal for cache replays, which must reproduce the cold run exactly.
   return contains(key) ? at(key).as_number() : fallback;
 }
 

@@ -3,7 +3,11 @@
 // Minimal hand-rolled JSON value type for the experiment facade: enough to
 // serialize ScenarioSpec and ExperimentResult without a new dependency.
 // Objects preserve insertion order, so dumps are deterministic and diffable.
-// Numbers are doubles; integers round-trip exactly up to 2^53.
+// Numbers are doubles; integers round-trip exactly up to 2^53. The number
+// encoding is canonical -- semantically equal values dump identical bytes
+// (negative zero prints as "0", non-finite values as null) -- because
+// compact dumps double as content-addressed cache keys
+// (api/result_cache.hpp).
 
 #include <cstddef>
 #include <cstdint>
@@ -59,6 +63,8 @@ class Json {
   }
 
   /// Typed accessors; throw JsonError when the type does not match.
+  /// Exception: as_number() on null returns NaN (null is how non-finite
+  /// doubles serialize), so one bad metric never aborts a whole parse.
   [[nodiscard]] bool as_bool() const;
   [[nodiscard]] double as_number() const;
   [[nodiscard]] std::uint64_t as_u64() const;

@@ -1,0 +1,117 @@
+#pragma once
+
+// On-disk, content-addressed memoization of ExperimentResults: the unit of
+// work a sweep re-executes after editing one axis is the SweepJob, and a
+// job is fully determined by its concrete ScenarioSpec (sweep expansion
+// bakes the replicate seed into spec.seed). So the cache key is a SHA-256
+// over the canonical compact ScenarioSpec JSON plus a cache-format/code
+// salt, and the cached payload is the job's deterministic
+// ExperimentResult::to_json(false) document -- a warm replay parses to a
+// result whose re-dump is byte-identical to the cold run's.
+//
+//   ResultCache cache("/tmp/deproto-cache");
+//   SuiteOptions options;
+//   options.cache = &cache;                  // lookup-before-execute +
+//   SuiteRunner(options).run(sweep);         // write-through-after
+//
+// Entries are self-describing JSON files named <key>.json; anything that
+// fails to open, parse, or validate (truncated write, stale format, salt
+// mismatch, hash collision) is treated as a miss, re-run, and atomically
+// overwritten -- a corrupt cache can cost time, never correctness. Failed
+// jobs are never cached (they re-run every time, counted as `skipped`).
+
+#include <cstddef>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "api/experiment.hpp"
+#include "api/spec.hpp"
+
+namespace deproto::api {
+
+/// SHA-256 of `bytes` as 64 lowercase hex chars (FIPS 180-4, hand-rolled
+/// -- no new dependency). The primitive under key_for(), exposed so tests
+/// can pin it against the NIST vectors.
+[[nodiscard]] std::string sha256_hex(const std::string& bytes);
+
+/// Cache accounting over one ResultCache's lifetime. SuiteRunner reports
+/// the per-run delta in SweepResult::cache; the CLI prints it.
+struct CacheStats {
+  std::size_t hits = 0;    ///< entries loaded instead of executed
+  std::size_t misses = 0;  ///< lookups that had to execute (incl. corrupt)
+  std::size_t corrupt = 0;  ///< subset of misses: entry present but invalid
+  std::size_t stores = 0;   ///< entries written after a miss
+  std::size_t skipped = 0;  ///< failed jobs: never cached, always re-run
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
+class ResultCache {
+ public:
+  /// Bumped whenever the key derivation or the cached payload shape
+  /// changes incompatibly; every key hashes it, so a binary with a new
+  /// format sees an old directory as all misses instead of bad replays.
+  static constexpr int kFormatVersion = 1;
+
+  /// Opens (creating, with parents) the cache directory. `salt` is the
+  /// user-level invalidation knob: any change to it -- new code revision,
+  /// edited protocol table, "just re-run everything" -- renames every key.
+  /// Throws SpecError when the directory cannot be created.
+  explicit ResultCache(std::filesystem::path dir, std::string salt = "");
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept {
+    return dir_;
+  }
+  [[nodiscard]] const std::string& salt() const noexcept { return salt_; }
+
+  /// The content address of one concrete spec: 64 hex chars of
+  /// SHA-256("deproto-result-cache/v<N>\n<salt>\n<canonical spec dump>").
+  /// The compact spec dump is canonical by construction (ordered keys,
+  /// normalized numbers), so semantically equal specs share a key.
+  [[nodiscard]] std::string key_for(const ScenarioSpec& spec) const;
+
+  /// Lookup-before-execute: returns the memoized result, or nullopt on
+  /// miss. A present-but-invalid entry (unparseable, wrong format/salt,
+  /// spec mismatch) counts as corrupt + miss; the caller re-runs and
+  /// store() overwrites it. Thread-safe.
+  [[nodiscard]] std::optional<ExperimentResult> load(const ScenarioSpec& spec);
+
+  /// Write-through-after: memoize a successful result under spec's key
+  /// (atomic tmp-file + rename, so a crashed run never leaves a torn
+  /// entry under the final name). Best-effort: I/O failures are swallowed
+  /// -- the cache degrades to re-running, it never fails a sweep.
+  /// Thread-safe.
+  void store(const ScenarioSpec& spec, const ExperimentResult& result);
+
+  /// Record a job that ran and failed; failures are not memoized.
+  void note_skipped();
+
+  [[nodiscard]] CacheStats stats() const;
+
+  /// Garbage collection: remove every entry file in dir() that this
+  /// instance neither loaded nor stored (stale points from edited sweeps,
+  /// abandoned tmp files, foreign junk). Call after the runs that define
+  /// the live set; returns the number of files removed.
+  std::size_t gc_unused();
+
+ private:
+  /// key_for with the spec already canonicalized: load/store serialize
+  /// the spec exactly once per call instead of once per use.
+  [[nodiscard]] std::string key_for_dump(const std::string& spec_dump) const;
+  [[nodiscard]] std::filesystem::path entry_path(const std::string& key) const;
+
+  std::filesystem::path dir_;
+  std::string salt_;
+
+  mutable std::mutex mu_;
+  std::unordered_set<std::string> used_;  // entry filenames touched
+  CacheStats stats_;
+};
+
+}  // namespace deproto::api

@@ -15,6 +15,18 @@ double param_or(const std::vector<double>& params, std::size_t index,
   return index < params.size() ? params[index] : fallback;
 }
 
+/// Spec documents are inputs, not measurements: a non-finite number (an
+/// explicit null, which reads back as NaN) is a configuration error and
+/// fails loudly here -- unlike result documents, where null metrics
+/// degrade field by field. Also keeps NaN out of canonical spec JSON, so
+/// cache keys only ever address finite, distinguishable specs.
+double finite(double v, const char* field) {
+  if (!std::isfinite(v)) {
+    throw SpecError(std::string(field) + ": must be a finite number");
+  }
+  return v;
+}
+
 Json synthesis_to_json(const core::SynthesisOptions& o) {
   Json j = Json::object();
   if (o.p.has_value()) j.set("p", Json::number(*o.p));
@@ -36,8 +48,9 @@ Json synthesis_to_json(const core::SynthesisOptions& o) {
 
 core::SynthesisOptions synthesis_from_json(const Json& j) {
   core::SynthesisOptions o;
-  if (j.contains("p")) o.p = j.at("p").as_number();
-  o.failure_rate = j.get_or("failure_rate", o.failure_rate);
+  if (j.contains("p")) o.p = finite(j.at("p").as_number(), "synthesis.p");
+  o.failure_rate = finite(j.get_or("failure_rate", o.failure_rate),
+                          "synthesis.failure_rate");
   o.allow_tokenizing = j.get_or("allow_tokenizing", o.allow_tokenizing);
   o.auto_rewrite = j.get_or("auto_rewrite", o.auto_rewrite);
   o.slack_name = j.get_or("slack_name", o.slack_name);
@@ -64,7 +77,8 @@ Json runtime_to_json(const sim::RuntimeOptions& o) {
 
 sim::RuntimeOptions runtime_from_json(const Json& j) {
   sim::RuntimeOptions o;
-  o.message_loss = j.get_or("message_loss", o.message_loss);
+  o.message_loss = finite(j.get_or("message_loss", o.message_loss),
+                          "runtime.message_loss");
   const std::string mode = j.get_or("token_mode", std::string("directory"));
   if (mode == "directory") {
     o.tokens.mode = sim::TokenRouting::Mode::Directory;
@@ -73,8 +87,11 @@ sim::RuntimeOptions runtime_from_json(const Json& j) {
   } else {
     throw SpecError("unknown token_mode: " + mode);
   }
-  o.tokens.ttl = static_cast<unsigned>(j.get_or(
-      "token_ttl", static_cast<double>(o.tokens.ttl)));
+  if (j.contains("token_ttl")) {
+    // as_size rejects null/NaN/fractions before the narrowing cast (a
+    // raw static_cast<unsigned> of NaN would be undefined behavior).
+    o.tokens.ttl = static_cast<unsigned>(j.at("token_ttl").as_size());
+  }
   o.simultaneous_updates =
       j.get_or("simultaneous_updates", o.simultaneous_updates);
   return o;
@@ -121,27 +138,34 @@ FaultPlan faults_from_json(const Json& j) {
       // saved by older builds still load.
       const double time = e.contains("time") ? e.at("time").as_number()
                                              : e.at("period").as_number();
-      f.massive_failures.push_back(
-          sim::MassiveFailure{time, e.at("fraction").as_number()});
+      f.massive_failures.push_back(sim::MassiveFailure{
+          finite(time, "massive_failures.time"),
+          finite(e.at("fraction").as_number(), "massive_failures.fraction")});
     }
   }
   if (j.contains("crash_recovery")) {
     const Json& cr = j.at("crash_recovery");
-    f.crash_recovery.crash_prob = cr.get_or("crash_prob", 0.0);
+    f.crash_recovery.crash_prob =
+        finite(cr.get_or("crash_prob", 0.0), "crash_recovery.crash_prob");
     f.crash_recovery.mean_downtime_periods =
-        cr.get_or("mean_downtime_periods", 0.0);
+        finite(cr.get_or("mean_downtime_periods", 0.0),
+               "crash_recovery.mean_downtime_periods");
   }
   if (j.contains("churn")) {
     const Json& ch = j.at("churn");
     f.churn.enabled = true;
-    f.churn.hours = ch.get_or("hours", f.churn.hours);
-    f.churn.min_rate = ch.get_or("min_rate", f.churn.min_rate);
-    f.churn.max_rate = ch.get_or("max_rate", f.churn.max_rate);
+    f.churn.hours = finite(ch.get_or("hours", f.churn.hours), "churn.hours");
+    f.churn.min_rate =
+        finite(ch.get_or("min_rate", f.churn.min_rate), "churn.min_rate");
+    f.churn.max_rate =
+        finite(ch.get_or("max_rate", f.churn.max_rate), "churn.max_rate");
     f.churn.mean_downtime_hours =
-        ch.get_or("mean_downtime_hours", f.churn.mean_downtime_hours);
+        finite(ch.get_or("mean_downtime_hours", f.churn.mean_downtime_hours),
+               "churn.mean_downtime_hours");
     if (ch.contains("seed")) f.churn.seed = ch.at("seed").as_u64();
     f.churn.periods_per_hour =
-        ch.get_or("periods_per_hour", f.churn.periods_per_hour);
+        finite(ch.get_or("periods_per_hour", f.churn.periods_per_hour),
+               "churn.periods_per_hour");
   }
   return f;
 }
@@ -280,7 +304,7 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     spec.source.ode_text = src.get_or("ode", std::string());
     if (src.contains("params")) {
       for (const Json& e : src.at("params").elements()) {
-        spec.source.params.push_back(e.as_number());
+        spec.source.params.push_back(finite(e.as_number(), "source.params"));
       }
     }
   }
@@ -292,7 +316,8 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
   }
   spec.backend =
       backend_from_name(j.get_or("backend", std::string("sync")));
-  spec.clock_drift = j.get_or("clock_drift", spec.clock_drift);
+  spec.clock_drift =
+      finite(j.get_or("clock_drift", spec.clock_drift), "clock_drift");
   if (j.contains("n")) spec.n = j.at("n").as_size();
   if (j.contains("periods")) spec.periods = j.at("periods").as_size();
   if (j.contains("seed")) spec.seed = j.at("seed").as_u64();

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <thread>
 
@@ -75,6 +76,9 @@ Json jsonl_line(const JobOutcome& outcome, bool with_timing) {
   } else {
     line.set("error", Json::string(outcome.error));
   }
+  // Cache provenance is environment state (warm vs cold), so like timing
+  // it never appears in the default byte-identical line format.
+  if (with_timing) line.set("cached", Json::boolean(outcome.cached));
   return line;
 }
 
@@ -159,6 +163,10 @@ Json SweepResult::to_json(bool include_timing) const {
                       .set("error", Json::string(outcome.error)));
   }
   j.set("failures", std::move(failures));
+  // A truncated JSONL sink marks the run as bad in both forms (a document
+  // produced by a failed run should never compare equal to a clean one);
+  // the key is absent on healthy runs so their bytes are unchanged.
+  if (jsonl_failed) j.set("jsonl_failed", Json::boolean(true));
   if (include_timing) {
     Json timing = Json::object();
     timing.set("elapsed_seconds", Json::number(elapsed_seconds));
@@ -170,6 +178,16 @@ Json SweepResult::to_json(bool include_timing) const {
     }
     timing.set("point_elapsed", std::move(per_point));
     j.set("timing", std::move(timing));
+    if (cache_enabled) {
+      // Hit/miss accounting rides with timing: both describe how this
+      // run executed, not what it computed.
+      j.set("cache", Json::object()
+                         .set("hits", Json::number(cache.hits))
+                         .set("misses", Json::number(cache.misses))
+                         .set("corrupt", Json::number(cache.corrupt))
+                         .set("stores", Json::number(cache.stores))
+                         .set("skipped", Json::number(cache.skipped)));
+    }
   }
   return j;
 }
@@ -200,6 +218,7 @@ SweepResult SweepResult::from_json(const Json& j) {
       r.jobs.push_back(std::move(outcome));
     }
   }
+  r.jsonl_failed = j.get_or("jsonl_failed", false);
   if (j.contains("timing")) {
     const Json& timing = j.at("timing");
     r.elapsed_seconds = timing.get_or("elapsed_seconds", 0.0);
@@ -212,6 +231,18 @@ SweepResult SweepResult::from_json(const Json& j) {
         r.points[p].elapsed = Aggregate::from_json(elapsed[p]);
       }
     }
+  }
+  if (j.contains("cache")) {
+    const Json& cache = j.at("cache");
+    r.cache_enabled = true;
+    r.cache.hits = cache.at("hits").as_size();
+    r.cache.misses = cache.at("misses").as_size();
+    r.cache.corrupt =
+        cache.contains("corrupt") ? cache.at("corrupt").as_size() : 0;
+    r.cache.stores =
+        cache.contains("stores") ? cache.at("stores").as_size() : 0;
+    r.cache.skipped =
+        cache.contains("skipped") ? cache.at("skipped").as_size() : 0;
   }
   return r;
 }
@@ -238,7 +269,12 @@ SweepResult SuiteRunner::run_jobs(std::vector<SweepJob> jobs,
   out.sweep = suite_name;
   out.jobs_total = jobs.size();
   out.threads = n_threads;
+  out.cache_enabled = options_.cache != nullptr;
   out.jobs.resize(jobs.size());
+  // The cache instance may outlive this run (warm reruns reuse it), so
+  // the per-run accounting is a delta against its lifetime counters.
+  const CacheStats cache_before =
+      options_.cache != nullptr ? options_.cache->stats() : CacheStats{};
 
   // The engine: an atomic counter hands out job indices; completed
   // outcomes land in a slot vector; whichever worker extends the
@@ -268,13 +304,20 @@ SweepResult SuiteRunner::run_jobs(std::vector<SweepJob> jobs,
       ++flushed;
       lock.unlock();  // the flushed slot is stable; only this thread
                       // touches it now
+      bool sink_failed = false;
       if (options_.jsonl != nullptr) {
         *options_.jsonl << jsonl_line(outcome, options_.jsonl_timing).dump()
                         << '\n';
+        // A full disk fails silently otherwise: the stream swallows the
+        // short write and the run would report success over a truncated
+        // file. Checked per line so the failure is caught while the run
+        // can still surface it, not after the ofstream is gone.
+        sink_failed = !options_.jsonl->good();
       }
       if (options_.on_result) options_.on_result(outcome);
       if (!options_.store_results) outcome.result = ExperimentResult{};
       lock.lock();
+      if (sink_failed) out.jsonl_failed = true;
     }
     flushing = false;
   };
@@ -287,11 +330,29 @@ SweepResult SuiteRunner::run_jobs(std::vector<SweepJob> jobs,
       outcome.job = std::move(jobs[i]);
       const auto job_start = std::chrono::steady_clock::now();
       try {
-        Experiment experiment(outcome.job.spec);
-        outcome.result = experiment.run();
-        outcome.ok = true;
+        // Lookup-before-execute: a hit replays the memoized result and
+        // runs zero simulation; a miss executes and writes through, so
+        // the next run of the same spec (any thread count, any axis
+        // reordering that preserves the spec) hits.
+        if (options_.cache != nullptr) {
+          if (std::optional<ExperimentResult> cached =
+                  options_.cache->load(outcome.job.spec)) {
+            outcome.result = std::move(*cached);
+            outcome.ok = true;
+            outcome.cached = true;
+          }
+        }
+        if (!outcome.cached) {
+          Experiment experiment(outcome.job.spec);
+          outcome.result = experiment.run();
+          outcome.ok = true;
+          if (options_.cache != nullptr) {
+            options_.cache->store(outcome.job.spec, outcome.result);
+          }
+        }
       } catch (const std::exception& e) {
         outcome.error = e.what();
+        if (options_.cache != nullptr) options_.cache->note_skipped();
       }
       outcome.elapsed_seconds = seconds_since(job_start);
       if (outcome.ok) metrics_by_job[i] = result_metrics(outcome.result);
@@ -377,6 +438,19 @@ SweepResult SuiteRunner::run_jobs(std::vector<SweepJob> jobs,
   }
   if (!out.jobs.empty()) finalize_point();
 
+  // Surface buffered sink failures before the caller closes the stream
+  // (an ofstream destructor would swallow them).
+  if (options_.jsonl != nullptr && !options_.jsonl->flush().good()) {
+    out.jsonl_failed = true;
+  }
+  if (options_.cache != nullptr) {
+    const CacheStats after = options_.cache->stats();
+    out.cache.hits = after.hits - cache_before.hits;
+    out.cache.misses = after.misses - cache_before.misses;
+    out.cache.corrupt = after.corrupt - cache_before.corrupt;
+    out.cache.stores = after.stores - cache_before.stores;
+    out.cache.skipped = after.skipped - cache_before.skipped;
+  }
   out.elapsed_seconds = seconds_since(suite_start);
   return out;
 }

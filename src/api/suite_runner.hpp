@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "api/experiment.hpp"
+#include "api/result_cache.hpp"
 #include "api/sweep.hpp"
 
 namespace deproto::api {
@@ -75,6 +76,10 @@ struct JobOutcome {
   std::string error;
   ExperimentResult result;  // valid when ok
   double elapsed_seconds = 0.0;
+  /// Replayed from SuiteOptions::cache instead of executed. Cached and
+  /// fresh outcomes are indistinguishable to every sink's deterministic
+  /// form; the flag only feeds counters and timing-form diagnostics.
+  bool cached = false;
 };
 
 struct SweepResult {
@@ -88,6 +93,17 @@ struct SweepResult {
   std::vector<PointSummary> points;
   double elapsed_seconds = 0.0;  // whole-suite wall clock
   std::size_t threads = 1;
+  /// Cache accounting for this run (all zero unless cache_enabled). Like
+  /// timing, it is environment state -- a warm rerun hits where the cold
+  /// run missed -- so it serializes under the "timing" form only and the
+  /// deterministic to_json(false) stays byte-identical warm vs cold.
+  bool cache_enabled = false;
+  CacheStats cache;
+  /// The JSONL sink reported a write failure (disk full, closed stream):
+  /// the file on disk is truncated and must not be trusted. SuiteRunner
+  /// flushes the sink before returning so buffered failures surface here
+  /// too; the CLI turns this into a nonzero exit status.
+  bool jsonl_failed = false;
 
   [[nodiscard]] double jobs_per_second() const;
 
@@ -116,6 +132,10 @@ struct SuiteOptions {
   bool jsonl_timing = false;
   /// Progress hook, invoked in job-index order (never concurrently).
   std::function<void(const JobOutcome&)> on_result;
+  /// Optional result memoization (non-owning; must outlive the run):
+  /// lookup-before-execute, write-through-after. Hits skip the simulation
+  /// entirely; every sink sees cached and fresh results identically.
+  ResultCache* cache = nullptr;
 };
 
 class SuiteRunner {

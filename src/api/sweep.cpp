@@ -1,5 +1,6 @@
 #include "api/sweep.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -106,6 +107,14 @@ std::vector<std::string> sweep_axis_fields() {
 
 void apply_axis_value(ScenarioSpec& spec, const std::string& field,
                       const Json& value) {
+  // null reads as NaN through as_number (the non-finite encoding), and a
+  // non-finite number would flow into the spec only to dump as null --
+  // making distinct specs alias under one cache key and emitting JSON
+  // that spec parsing (which rejects null numerics) cannot re-load.
+  if (value.is_null() ||
+      (value.is_number() && !std::isfinite(value.as_number()))) {
+    throw SpecError("axis " + field + ": value must be finite, not null");
+  }
   try {
     std::size_t k = 0;
     std::string rest;

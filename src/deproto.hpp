@@ -58,6 +58,7 @@
 #include "api/json.hpp"
 #include "api/spec.hpp"
 #include "api/experiment.hpp"
+#include "api/result_cache.hpp"
 #include "api/sweep.hpp"
 #include "api/suite_runner.hpp"
 #include "api/registry.hpp"

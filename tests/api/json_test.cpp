@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "api/json.hpp"
 
 namespace deproto::api {
@@ -54,6 +57,47 @@ TEST(JsonTest, IntegersPrintWithoutDecimalPoint) {
   EXPECT_EQ(Json::number(-3.0).dump(), "-3");
 }
 
+TEST(JsonTest, NonFiniteNumbersSerializeAsNullAndReadBackAsNaN) {
+  // One NaN metric must not abort serialization of a whole document: the
+  // canonical encoding is null, and a numeric read of null is NaN.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Json::number(nan).dump(), "null");
+  EXPECT_EQ(Json::number(inf).dump(), "null");
+  EXPECT_EQ(Json::number(-inf).dump(), "null");
+
+  Json doc = Json::object();
+  doc.set("good", Json::number(1.5));
+  doc.set("bad", Json::number(nan));
+  EXPECT_EQ(doc.dump(), R"({"good":1.5,"bad":null})");
+
+  // Writer -> parser round trip: the field degrades, the document lives.
+  const Json back = Json::parse(doc.dump());
+  EXPECT_DOUBLE_EQ(back.at("good").as_number(), 1.5);
+  EXPECT_TRUE(back.at("bad").is_null());
+  EXPECT_TRUE(std::isnan(back.at("bad").as_number()));
+  // An explicit null reads as NaN even through get_or -- substituting
+  // the fallback would re-dump as a finite number, so parse -> re-dump
+  // of a NaN field would not be idempotent (cache replays depend on it).
+  EXPECT_TRUE(std::isnan(back.get_or("bad", -1.0)));
+  EXPECT_DOUBLE_EQ(back.get_or("absent", -1.0), -1.0);
+  // Integral reads of null still fail loudly -- NaN is not a count.
+  EXPECT_THROW((void)back.at("bad").as_size(), JsonError);
+}
+
+TEST(JsonTest, NegativeZeroNormalizesToZero) {
+  // Cache keys hash the compact dump, so the two doubles that compare
+  // equal must print identical bytes ("%.0f" alone would emit "-0").
+  EXPECT_EQ(Json::number(-0.0).dump(), "0");
+  EXPECT_EQ(Json::number(0.0).dump(), "0");
+  EXPECT_EQ(Json::number(-0.0).dump(), Json::number(0.0).dump());
+  // The parser may hand back -0.0 (strtod keeps the sign); re-dumping
+  // canonicalizes it away.
+  EXPECT_EQ(Json::parse("-0").dump(), "0");
+  EXPECT_EQ(Json::parse("-0.0").dump(), "0");
+  EXPECT_EQ(Json::parse("[-0.0,0]").dump(), "[0,0]");
+}
+
 TEST(JsonTest, ParseRoundTripsEveryType) {
   const std::string text =
       R"({"a":[1,2.5,true,false,null],"b":{"nested":"stré"},"c":-1e-3})";
@@ -75,6 +119,11 @@ TEST(JsonTest, ParseRejectsMalformedInput) {
   EXPECT_THROW((void)Json::parse("tru"), JsonError);
   EXPECT_THROW((void)Json::parse("\"unterminated"), JsonError);
   EXPECT_THROW((void)Json::parse("1.2.3"), JsonError);
+  // Overflowing literals saturate to +-inf in strtod; accepting them
+  // would let distinct documents alias under the canonical (null)
+  // encoding of non-finite numbers.
+  EXPECT_THROW((void)Json::parse("1e999"), JsonError);
+  EXPECT_THROW((void)Json::parse("-1e999"), JsonError);
   // Lone surrogates would serialize to invalid UTF-8.
   EXPECT_THROW((void)Json::parse(R"("\ud800")"), JsonError);
   EXPECT_THROW((void)Json::parse(R"("\ud800x")"), JsonError);

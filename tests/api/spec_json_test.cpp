@@ -112,6 +112,28 @@ TEST(SpecJsonTest, BadShapesThrow) {
                SpecError);
 }
 
+TEST(SpecJsonTest, NullNumericFieldsAreRejectedNotNaN) {
+  // Result documents tolerate null metrics (they read back as NaN); spec
+  // documents are inputs, where null/NaN is a configuration error --
+  // e.g. a NaN clock_drift would sail past the negativity check, and a
+  // null token_ttl would hit an undefined double -> unsigned cast.
+  EXPECT_THROW((void)ScenarioSpec::from_json(
+                   Json::parse(R"({"clock_drift":null})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"synthesis":{"failure_rate":null}})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"source":{"catalog":"lv","params":[null]}})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"faults":{"churn":{"min_rate":null}}})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"runtime":{"token_ttl":null}})")),
+               JsonError);  // integral read of null fails in the json layer
+}
+
 TEST(SpecJsonTest, ResultRoundTrips) {
   ScenarioSpec spec = registry_get("epidemic");
   spec = spec.scaled_to(400);

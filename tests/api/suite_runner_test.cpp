@@ -223,6 +223,31 @@ TEST(SweepResultTest, JsonRoundTripsDeterministicAndTimingForms) {
   EXPECT_EQ(timed.points[0].elapsed, result.points[0].elapsed);
 }
 
+TEST(SuiteRunnerTest, JsonlSinkFailureMarksTheRun) {
+  // A full disk does not throw: ostream write failures are silent state.
+  // This streambuf refuses every byte, the worst-case sink.
+  class RefusingBuf : public std::streambuf {
+   protected:
+    int_type overflow(int_type) override { return traits_type::eof(); }
+  };
+  RefusingBuf buf;
+  std::ostream sink(&buf);
+
+  SuiteOptions options;
+  options.jsonl = &sink;
+  const SweepResult result = SuiteRunner(options).run(small_sweep());
+  // The jobs themselves succeeded; only the sink is bad -- and the run
+  // says so instead of reporting a truncated file as success.
+  EXPECT_EQ(result.jobs_failed, 0U);
+  EXPECT_TRUE(result.jsonl_failed);
+  // The mark survives serialization (both forms) and the round trip;
+  // healthy documents carry no such key, so their bytes are unchanged.
+  EXPECT_TRUE(result.to_json(false).get_or("jsonl_failed", false));
+  EXPECT_TRUE(SweepResult::from_json(result.to_json(false)).jsonl_failed);
+  const SweepResult healthy = SuiteRunner().run(small_sweep());
+  EXPECT_FALSE(healthy.to_json(false).contains("jsonl_failed"));
+}
+
 TEST(SuiteRunnerTest, JsonlLinesAreOnePerJobInOrder) {
   std::ostringstream jsonl;
   SuiteOptions options;

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 
 #include "api/registry.hpp"
 #include "api/sweep.hpp"
@@ -203,6 +204,19 @@ TEST(SweepSpecTest, RejectsUnknownFieldsIndicesAndTypes) {
   // Type mismatch surfaces as SpecError, not a bare JsonError.
   EXPECT_THROW(apply_axis_value(spec, "backend", num(3)), SpecError);
   EXPECT_THROW(apply_axis_value(spec, "n", Json::string("many")), SpecError);
+  // null (NaN through as_number) and non-finite numbers would poison a
+  // numeric field -- and alias distinct specs under one cache key, since
+  // non-finite values all dump as null.
+  EXPECT_THROW(apply_axis_value(spec, "clock_drift", Json::null()),
+               SpecError);
+  EXPECT_THROW(apply_axis_value(
+                   spec, "clock_drift",
+                   Json::number(std::numeric_limits<double>::infinity())),
+               SpecError);
+  EXPECT_THROW(apply_axis_value(
+                   spec, "synthesis.p",
+                   Json::number(std::numeric_limits<double>::quiet_NaN())),
+               SpecError);
 }
 
 TEST(SweepSpecTest, JobNamesEncodeCoordinatesAndReplicate) {

@@ -1,0 +1,60 @@
+# Cached-sweep smoke: run the CI sweep preset twice against one cache
+# directory and assert the warm run (a) reports every job as a cache hit
+# and (b) writes --json/--jsonl artifacts byte-identical to the cold run.
+# This is the determinism-contract-extended-to-replays check, runnable as
+# one command from CTest and the CI jobs:
+#
+#   cmake -DDEPROTO_RUN=<path/to/deproto-run> -P tools/cached_sweep_smoke.cmake
+#
+# Scratch space lives next to the binary under test (the build tree, never
+# the source checkout -- in script mode CMAKE_CURRENT_BINARY_DIR is just
+# the invoking cwd) and is recreated from empty on every invocation.
+
+if(NOT DEFINED DEPROTO_RUN)
+  message(FATAL_ERROR "pass -DDEPROTO_RUN=<path to deproto-run>")
+endif()
+
+get_filename_component(bin_dir "${DEPROTO_RUN}" DIRECTORY)
+set(work "${bin_dir}/cached-sweep-smoke")
+file(REMOVE_RECURSE "${work}")
+file(MAKE_DIRECTORY "${work}")
+
+set(sweep_args --sweep smoke-epidemic-scaling --threads 2
+    --cache "${work}/cache" --quiet)
+
+foreach(pass cold warm)
+  execute_process(
+    COMMAND "${DEPROTO_RUN}" ${sweep_args}
+            --json "${work}/${pass}.json" --jsonl "${work}/${pass}.jsonl"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${pass} cached sweep failed (exit ${rc}):\n${stdout}\n${stderr}")
+  endif()
+  set(${pass}_stdout "${stdout}")
+endforeach()
+
+# The cold run executes everything; the warm run must replay everything.
+if(NOT cold_stdout MATCHES "cache: 0/8 hits, 8 misses \\(0 corrupt\\), 8 stored")
+  message(FATAL_ERROR "cold run did not miss+store all 8 jobs:\n${cold_stdout}")
+endif()
+if(NOT warm_stdout MATCHES "cache: 8/8 hits, 0 misses \\(0 corrupt\\), 0 stored")
+  message(FATAL_ERROR "warm run was not all cache hits:\n${warm_stdout}")
+endif()
+
+# Byte-identical artifacts: cached and fresh results are indistinguishable
+# to every sink.
+foreach(artifact json jsonl)
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${work}/cold.${artifact}" "${work}/warm.${artifact}"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+      "warm .${artifact} differs from cold (cache replay broke determinism)")
+  endif()
+endforeach()
+
+message(STATUS "cached sweep smoke: warm run all hits, artifacts byte-identical")

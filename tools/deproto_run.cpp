@@ -20,6 +20,13 @@
 //                      (timing goes to stdout, not into the file)
 //   --jsonl <file>     sweep: stream one result line per job, in job
 //                      order (byte-identical for any --threads)
+//   --cache <dir>      sweep/smoke: content-addressed result cache --
+//                      jobs whose spec already has a memoized result
+//                      replay it instead of executing (defaults to
+//                      $DEPROTO_CACHE_DIR when set)
+//   --no-cache         ignore --cache and $DEPROTO_CACHE_DIR
+//   --cache-gc         after the run, delete cache entries it did not
+//                      touch (stale points from edited sweeps)
 //   --spec-out <file>  write the (resolved) Scenario/SweepSpec as JSON
 //   --quiet            suppress the population table / per-job lines
 //
@@ -36,7 +43,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -45,6 +54,7 @@
 
 #include "api/experiment.hpp"
 #include "api/registry.hpp"
+#include "api/result_cache.hpp"
 #include "api/suite_runner.hpp"
 #include "api/sweep.hpp"
 #include "cli_util.hpp"
@@ -56,6 +66,7 @@ namespace {
 using deproto::api::Experiment;
 using deproto::api::ExperimentResult;
 using deproto::api::JobOutcome;
+using deproto::api::ResultCache;
 using deproto::api::ScenarioSpec;
 using deproto::api::SuiteOptions;
 using deproto::api::SuiteRunner;
@@ -79,6 +90,9 @@ struct CliOptions {
   std::string json_out;
   std::string jsonl_out;
   std::string spec_out;
+  std::string cache_dir;  // --cache, else $DEPROTO_CACHE_DIR
+  bool no_cache = false;
+  bool cache_gc = false;
 };
 
 int usage(const char* argv0) {
@@ -86,8 +100,8 @@ int usage(const char* argv0) {
                "usage: %s --list | --smoke | (<scenario> | --spec f.json | "
                "--sweep preset|f.json) [--n N] [--periods k] [--seed s] "
                "[--backend sync|event] [--threads T] [--repeat k] "
-               "[--json out.json] [--jsonl out.jsonl] [--spec-out out.json] "
-               "[--quiet]\n",
+               "[--json out.json] [--jsonl out.jsonl] [--cache dir] "
+               "[--no-cache] [--cache-gc] [--spec-out out.json] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -118,6 +132,12 @@ bool parse_args(int argc, char** argv, CliOptions* options) {
       if (!next("--json", &options->json_out)) return false;
     } else if (arg == "--jsonl") {
       if (!next("--jsonl", &options->jsonl_out)) return false;
+    } else if (arg == "--cache") {
+      if (!next("--cache", &options->cache_dir)) return false;
+    } else if (arg == "--no-cache") {
+      options->no_cache = true;
+    } else if (arg == "--cache-gc") {
+      options->cache_gc = true;
     } else if (arg == "--spec-out") {
       if (!next("--spec-out", &options->spec_out)) return false;
     } else if (arg == "--threads") {
@@ -313,6 +333,41 @@ std::string coords_label(const deproto::api::SweepCoords& coords) {
   return label;
 }
 
+/// Resolve the result cache from --cache / $DEPROTO_CACHE_DIR; nullptr
+/// when caching is off (no directory named, or --no-cache). Throws
+/// SpecError (caught in main) when the directory cannot be created or
+/// --cache-gc was asked for with no cache to collect.
+std::unique_ptr<ResultCache> open_cache(const CliOptions& options) {
+  std::string dir = options.no_cache ? std::string() : options.cache_dir;
+  if (dir.empty() && !options.no_cache) {
+    if (const char* env = std::getenv("DEPROTO_CACHE_DIR")) dir = env;
+  }
+  if (dir.empty()) {
+    if (options.cache_gc) {
+      throw deproto::api::SpecError(
+          "--cache-gc needs a cache (--cache <dir> or $DEPROTO_CACHE_DIR)");
+    }
+    return nullptr;
+  }
+  return std::make_unique<ResultCache>(dir);
+}
+
+/// The hit/miss line after a cached run ("cache: 12/12 hits, ..."), plus
+/// the optional --cache-gc sweep of entries this run did not touch.
+void finish_cache(const SweepResult& result, ResultCache* cache,
+                  bool cache_gc) {
+  if (cache == nullptr) return;
+  const std::size_t lookups = result.cache.hits + result.cache.misses;
+  std::printf("cache: %zu/%zu hits, %zu misses (%zu corrupt), %zu stored, "
+              "%zu skipped [%s]\n",
+              result.cache.hits, lookups, result.cache.misses,
+              result.cache.corrupt, result.cache.stores,
+              result.cache.skipped, cache->dir().string().c_str());
+  if (cache_gc) {
+    std::printf("cache-gc: pruned %zu stale entries\n", cache->gc_unused());
+  }
+}
+
 /// Execute a sweep through SuiteRunner: per-job progress lines and every
 /// sink in job-index order, per-point aggregates, then throughput. The
 /// --json document is the deterministic SweepResult form (no timing), so
@@ -333,6 +388,8 @@ int run_sweep(SweepSpec sweep, const CliOptions& options) {
   // series is dropped as soon as it flushes, so long sweeps never hold
   // more than the out-of-order window in memory.
   suite.store_results = false;
+  const std::unique_ptr<ResultCache> cache = open_cache(options);
+  suite.cache = cache.get();
   if (!options.jsonl_out.empty()) {
     jsonl.open(options.jsonl_out);
     if (!jsonl) {
@@ -345,7 +402,8 @@ int run_sweep(SweepSpec sweep, const CliOptions& options) {
   if (!options.quiet) {
     suite.on_result = [total_jobs](const JobOutcome& outcome) {
       const std::string status =
-          outcome.ok ? "ok" : "FAILED: " + outcome.error;
+          outcome.ok ? (outcome.cached ? "ok (cached)" : "ok")
+                     : "FAILED: " + outcome.error;
       std::printf("  [%3zu/%zu] %-44s %s (%.2fs)\n", outcome.job.index + 1,
                   total_jobs, outcome.job.spec.name.c_str(), status.c_str(),
                   outcome.elapsed_seconds);
@@ -353,7 +411,7 @@ int run_sweep(SweepSpec sweep, const CliOptions& options) {
   }
 
   const SweepResult result = SuiteRunner(suite).run(sweep);
-  if (suite.jsonl != nullptr && !jsonl.flush().good()) {
+  if (result.jsonl_failed || (suite.jsonl != nullptr && !jsonl.good())) {
     std::fprintf(stderr, "error: writing %s failed (disk full?)\n",
                  options.jsonl_out.c_str());
     return 1;
@@ -378,6 +436,7 @@ int run_sweep(SweepSpec sweep, const CliOptions& options) {
               result.jobs_total, result.jobs_failed, result.elapsed_seconds,
               result.jobs_per_second(), result.threads,
               result.threads == 1 ? "" : "s");
+  finish_cache(result, cache.get(), options.cache_gc);
 
   for (const JobOutcome& outcome : result.jobs) {
     if (!outcome.ok) {
@@ -432,6 +491,8 @@ int run_smoke(const CliOptions& options) {
 
   SuiteOptions suite;
   suite.threads = options.threads;
+  const std::unique_ptr<ResultCache> cache = open_cache(options);
+  suite.cache = cache.get();
   std::ofstream jsonl;
   if (!options.jsonl_out.empty()) {
     jsonl.open(options.jsonl_out);
@@ -447,15 +508,17 @@ int run_smoke(const CliOptions& options) {
   suite.on_result = [expected](const JobOutcome& outcome) {
     std::printf("smoke [%2zu/%zu] %-44s %s\n", outcome.job.index + 1,
                 expected, outcome.job.spec.name.c_str(),
-                outcome.ok ? "ok" : outcome.error.c_str());
+                outcome.ok ? (outcome.cached ? "ok (cached)" : "ok")
+                           : outcome.error.c_str());
   };
   const SweepResult result =
       SuiteRunner(suite).run_jobs(std::move(jobs), "registry-smoke");
-  if (suite.jsonl != nullptr && !jsonl.flush().good()) {
+  if (result.jsonl_failed || (suite.jsonl != nullptr && !jsonl.good())) {
     std::fprintf(stderr, "error: writing %s failed (disk full?)\n",
                  options.jsonl_out.c_str());
     return 1;
   }
+  finish_cache(result, cache.get(), options.cache_gc);
   if (!options.json_out.empty() &&
       !write_file(options.json_out,
                   result.to_json(/*include_timing=*/false).dump(2))) {
@@ -548,12 +611,14 @@ int main(int argc, char** argv) {
       sweep.replicates = *options.repeat;
       return run_sweep(std::move(sweep), options);
     }
-    // Pool/sink flags only make sense for sweeps; rejecting them beats
-    // silently never creating the file the caller asked for.
-    if (!options.jsonl_out.empty() || options.threads != 0) {
+    // Pool/sink/cache flags only make sense for sweeps; rejecting them
+    // beats silently never creating the file (or cache) the caller asked
+    // for. An ambient $DEPROTO_CACHE_DIR is simply unused here.
+    if (!options.jsonl_out.empty() || options.threads != 0 ||
+        !options.cache_dir.empty() || options.cache_gc) {
       std::fprintf(stderr,
-                   "error: --jsonl/--threads apply to --sweep, --smoke, "
-                   "or --repeat runs only\n");
+                   "error: --jsonl/--threads/--cache/--cache-gc apply to "
+                   "--sweep, --smoke, or --repeat runs only\n");
       return 1;
     }
     return run_one(apply_overrides(std::move(spec), options), options);
