@@ -1,0 +1,118 @@
+// Period throughput of the three execution backends as N grows. The
+// per-node backends pay O(N) work per period (the event backend adds
+// queue scheduling on top), while the count backend advances a period in
+// O(states + actions) -- flat in N. The table quantifies the gigascale
+// claim behind the count backend: >= 100x the sync backend's period
+// throughput at N >= 10^6, and N = 10^8 still runs at per-period costs
+// the per-node backends pay near N = 10^3.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "api/spec.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+constexpr std::size_t kPeriods = 20;
+
+/// Seconds to advance a fresh fig11-style LV majority run (p = 0.01,
+/// 60/40 split) kPeriods periods on `backend` at size n. Launch work
+/// (synthesis + simulator construction + seeding) stays outside the
+/// timed window.
+double seconds_for_periods(deproto::api::Backend backend, std::size_t n) {
+  deproto::api::ScenarioSpec spec =
+      deproto::api::registry_get("lv-majority").scaled_to(n);
+  spec.synthesis.p = 0.01;
+  spec.backend = backend;
+  spec.periods = kPeriods;
+  deproto::api::Experiment experiment(spec);
+  deproto::api::ExperimentRun run = experiment.launch();
+  const auto start = std::chrono::steady_clock::now();
+  run.advance(kPeriods);
+  const auto stop = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(run.simulator().now());
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+// (backend label, N) -> microseconds per period, for the summary table.
+std::map<std::pair<std::string, std::size_t>, double> us_per_period;
+
+void BM_PeriodThroughput(benchmark::State& state,
+                         deproto::api::Backend backend) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double seconds = 0.0;
+  std::size_t trials = 0;
+  for (auto _ : state) {
+    seconds += seconds_for_periods(backend, n);
+    ++trials;
+  }
+  const double us = 1e6 * seconds / static_cast<double>(trials * kPeriods);
+  us_per_period[{deproto::api::backend_name(backend), n}] = us;
+  state.counters["us_per_period"] = us;
+}
+
+BENCHMARK_CAPTURE(BM_PeriodThroughput, sync, deproto::api::Backend::Sync)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+// The event backend schedules per-process timers; above N = 10^5 one
+// 20-period run is minutes, so its curve stops there.
+BENCHMARK_CAPTURE(BM_PeriodThroughput, event, deproto::api::Backend::Event)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(10000)
+    ->Arg(100000);
+BENCHMARK_CAPTURE(BM_PeriodThroughput, count, deproto::api::Backend::Count)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000)
+    ->Arg(10000000)
+    ->Arg(100000000);
+
+void BM_PrintScalingTable(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(us_per_period.size());
+  }
+  if (!once()) return;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& [key, us] : us_per_period) {
+    rows.push_back({key.first, std::to_string(key.second),
+                    bench_util::fmt(us, 2), bench_util::fmt_sci(1e6 / us, 2)});
+  }
+  bench_util::banner("Period throughput by backend (LV majority, p=0.01)");
+  bench_util::table({"backend", "N", "us/period", "periods/s"}, rows);
+
+  std::vector<std::vector<std::string>> speedups;
+  for (const auto& [key, us] : us_per_period) {
+    if (key.first != "sync") continue;
+    const auto count = us_per_period.find({"count", key.second});
+    if (count == us_per_period.end()) continue;
+    speedups.push_back({std::to_string(key.second),
+                        bench_util::fmt(us / count->second, 1)});
+  }
+  bench_util::banner("Count-backend speedup over sync (same N)");
+  bench_util::table({"N", "speedup"}, speedups);
+  bench_util::note(
+      "gigascale claim: the count backend is >= 100x sync at N >= 10^6, "
+      "and its us/period stays flat as N grows");
+}
+BENCHMARK(BM_PrintScalingTable)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

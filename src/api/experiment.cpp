@@ -203,6 +203,16 @@ const Experiment::Artifacts& Experiment::artifacts() {
 
 ExperimentRun::ExperimentRun(Experiment& owner) : owner_(&owner) {}
 
+sim::Group& ExperimentRun::group() {
+  if (!simulator_->per_node()) {
+    throw SpecError(
+        "backend count has no per-node group: per-node-identity features "
+        "(group access, host history, token tracing) need backend sync or "
+        "event");
+  }
+  return simulator_->group();
+}
+
 ExperimentRun Experiment::launch() {
   try {
     return launch_impl();
@@ -231,12 +241,15 @@ ExperimentRun Experiment::launch_impl() {
 
   // Stand up the backend. This is the only backend-specific block: from
   // here on the experiment is programmed purely through sim::Simulator.
-  if (spec_.backend == Backend::Sync) {
+  // Backend::Auto resolves here: count at or above the crossover N, sync
+  // below it.
+  const Backend backend = resolve_backend(spec_.backend, spec_.n);
+  if (backend == Backend::Sync) {
     run.executor_ =
         std::make_unique<sim::MachineExecutor>(machine, spec_.runtime);
     run.simulator_ = std::make_unique<sim::SyncSimulator>(
         spec_.n, *run.executor_, spec_.seed);
-  } else {
+  } else if (backend == Backend::Event) {
     sim::EventSimOptions options;
     options.network.loss = spec_.runtime.message_loss;
     options.clock_drift = spec_.clock_drift;
@@ -245,6 +258,14 @@ ExperimentRun Experiment::launch_impl() {
         spec_.n, machine, spec_.seed, options);
     run.event_ = event.get();
     run.simulator_ = std::move(event);
+  } else {
+    sim::CountSimOptions options;
+    options.message_loss = spec_.runtime.message_loss;
+    options.tokens = spec_.runtime.tokens;
+    auto count = std::make_unique<sim::CountSimulator>(
+        spec_.n, machine, spec_.seed, options);
+    run.count_ = count.get();
+    run.simulator_ = std::move(count);
   }
 
   // One scheduling surface for every fault-plan field, on either backend.
@@ -267,11 +288,11 @@ ExperimentRun Experiment::launch_impl() {
     simulator.attach_churn(trace, churn.periods_per_hour);
   }
   // Report the populations actually materialized (the even-spread
-  // remainder lands in state 0).
-  const sim::Group& seeded = run.group();
+  // remainder lands in state 0). The count accessors are defined on every
+  // backend, unlike group().
   run.initial_counts_.clear();
-  for (std::size_t s = 0; s < seeded.num_states(); ++s) {
-    run.initial_counts_.push_back(seeded.count(s));
+  for (std::size_t s = 0; s < simulator.num_states(); ++s) {
+    run.initial_counts_.push_back(simulator.count(s));
   }
   return run;
 }
@@ -296,7 +317,7 @@ ExperimentResult ExperimentRun::finish() {
   result.machine_text = art.synthesis.machine.to_string();
   result.initial_counts = initial_counts_;
 
-  // One series point per period on both backends. The event simulator
+  // One series point per period on every backend. The event simulator
   // additionally samples at t = 0; that point duplicates initial_counts,
   // so it is skipped here.
   const std::vector<sim::PeriodSample>& samples =
@@ -307,15 +328,17 @@ ExperimentResult ExperimentRun::finish() {
         PeriodPoint{sample.time, sample.alive_in_state, sample.total_alive});
   }
 
-  const sim::Group& g = simulator_->group();
-  for (std::size_t s = 0; s < g.num_states(); ++s) {
-    result.final_counts.push_back(g.count(s));
+  for (std::size_t s = 0; s < simulator_->num_states(); ++s) {
+    result.final_counts.push_back(simulator_->count(s));
   }
-  result.final_alive = g.total_alive();
+  result.final_alive = simulator_->total_alive();
 
   if (executor_) {
     result.tokens = executor_->token_stats();
     result.probes_total = executor_->probes_total();
+  } else if (count_ != nullptr) {
+    result.tokens = count_->token_stats();
+    result.probes_total = count_->probes_total();
   } else {
     result.messages_sent = event_->network().sent();
     result.messages_dropped = event_->network().dropped();

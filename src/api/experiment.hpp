@@ -4,8 +4,9 @@
 // takes a declarative ScenarioSpec and owns the wiring that every caller
 // used to hand-roll -- parse/resolve the source system, classify it,
 // synthesize the state machine, verify the mean field, stand up the
-// simulator backend (sync or event) with the spec's fault plan, run it,
-// and collect a structured, JSON-serializable ExperimentResult.
+// simulator backend (sync, event, count, or auto-resolved) with the
+// spec's fault plan, run it, and collect a structured, JSON-serializable
+// ExperimentResult.
 //
 //   api::Experiment experiment(api::registry_get("epidemic"));
 //   const api::ExperimentResult result = experiment.run();
@@ -25,6 +26,7 @@
 #include "api/spec.hpp"
 #include "core/synthesis.hpp"
 #include "ode/taxonomy.hpp"
+#include "sim/count_sim.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/runtime.hpp"
 #include "sim/simulator.hpp"
@@ -102,7 +104,11 @@ class ExperimentRun {
   ExperimentRun(ExperimentRun&&) noexcept = default;
   ExperimentRun& operator=(ExperimentRun&&) noexcept = default;
 
-  [[nodiscard]] sim::Group& group() { return simulator_->group(); }
+  /// Per-node process table. Per-node backends only: the count backend
+  /// has no identities, so this throws SpecError steering callers that
+  /// need them (host history, token tracing, targeted mutation by pid) to
+  /// backend sync or event.
+  [[nodiscard]] sim::Group& group();
   /// The live backend, through the unified fault/scheduling interface:
   /// callers can program mid-run faults without caring which backend the
   /// spec selected.
@@ -128,6 +134,7 @@ class ExperimentRun {
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<sim::MachineExecutor> executor_;  // sync backend only
   sim::EventSimulator* event_ = nullptr;            // event backend only
+  sim::CountSimulator* count_ = nullptr;            // count backend only
 };
 
 class Experiment {

@@ -87,7 +87,32 @@ std::vector<ScenarioSpec> build_registry() {
     specs.push_back(std::move(spec));
   }
 
+  {
+    ScenarioSpec spec = epidemic_base();
+    spec.name = "epidemic-count";
+    spec.description =
+        "The pull epidemic at N = 10^6 on the count backend: one infective "
+        "converts a million processes in O(states) work per period";
+    spec.backend = Backend::Count;
+    spec.n = 1000000;
+    spec.periods = 32;
+    spec.initial_counts = {999999, 1};
+    specs.push_back(std::move(spec));
+  }
+
   specs.push_back(lv_base());
+
+  {
+    ScenarioSpec spec = lv_base();
+    spec.name = "lv-majority-count";
+    spec.description =
+        "Figure 11 at gigascale: LV majority vote with N = 10^6 on the "
+        "count backend, a 60/40 split converging in seconds";
+    spec.backend = Backend::Count;
+    spec.n = 1000000;
+    spec.initial_counts = {600000, 400000, 0};
+    specs.push_back(std::move(spec));
+  }
 
   {
     ScenarioSpec spec = lv_base();
@@ -138,6 +163,19 @@ std::vector<ScenarioSpec> build_registry() {
     spec.periods = 300;
     spec.seed = 23;
     spec.initial_counts = {100, 380, 1520};
+    spec.faults.massive_failures.push_back(sim::MassiveFailure{150, 0.5});
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = endemic_base();
+    spec.name = "endemic-massive-failure-count";
+    spec.description =
+        "Figure 5's massive failure at N = 10^6 on the count backend: "
+        "half a million anonymous crashes, equilibrium recovery in seconds";
+    spec.backend = Backend::Count;
+    spec.n = 1000000;
+    spec.initial_counts = {50000, 190000, 760000};
     spec.faults.massive_failures.push_back(sim::MassiveFailure{150, 0.5});
     specs.push_back(std::move(spec));
   }

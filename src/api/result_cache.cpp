@@ -2,13 +2,16 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <system_error>
 #include <thread>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "api/json.hpp"
 
@@ -175,6 +178,14 @@ std::optional<ExperimentResult> ResultCache::load(const ScenarioSpec& spec) {
     result.reset();  // unparseable or shape-mismatched entry: a miss
   }
 
+  if (result.has_value()) {
+    // A hit is a use: refresh the entry's mtime so the LRU size bound
+    // (set_max_bytes) evicts cold entries before replayed ones.
+    std::error_code touch_ec;
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), touch_ec);
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   if (result.has_value()) {
     ++stats_.hits;
@@ -225,9 +236,20 @@ void ResultCache::store(const ScenarioSpec& spec,
     return;
   }
 
+  std::error_code size_ec;
+  const std::uint64_t entry_bytes = std::filesystem::file_size(path, size_ec);
+
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.stores;
   used_.insert(path.filename().string());
+  if (max_bytes_ > 0) {
+    if (approx_bytes_valid_) {
+      approx_bytes_ += size_ec ? 0 : entry_bytes;
+    }
+    if (!approx_bytes_valid_ || approx_bytes_ > max_bytes_) {
+      enforce_size_bound_locked();
+    }
+  }
 }
 
 void ResultCache::note_skipped() {
@@ -238,6 +260,59 @@ void ResultCache::note_skipped() {
 CacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void ResultCache::set_max_bytes(std::uint64_t max_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_bytes_ = max_bytes;
+  approx_bytes_valid_ = false;  // reseed from a scan at the next store
+}
+
+std::uint64_t ResultCache::max_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_bytes_;
+}
+
+std::size_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void ResultCache::enforce_size_bound_locked() {
+  struct Entry {
+    std::filesystem::file_time_type mtime;
+    std::string name;  // mtime tie-break, so eviction order is stable
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!dirent.is_regular_file()) continue;
+    if (dirent.path().extension() != ".json") continue;  // skip stray .tmp
+    std::error_code stat_ec;
+    Entry entry;
+    entry.mtime = dirent.last_write_time(stat_ec);
+    if (stat_ec) continue;
+    entry.bytes = dirent.file_size(stat_ec);
+    if (stat_ec) continue;
+    entry.name = dirent.path().filename().string();
+    total += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return std::tie(a.mtime, a.name) < std::tie(b.mtime, b.name);
+            });
+  for (const Entry& entry : entries) {
+    if (total <= max_bytes_) break;
+    std::error_code remove_ec;
+    if (!std::filesystem::remove(dir_ / entry.name, remove_ec)) continue;
+    total -= entry.bytes;
+    ++evictions_;
+  }
+  approx_bytes_ = total;
+  approx_bytes_valid_ = true;
 }
 
 std::size_t ResultCache::gc_unused() {

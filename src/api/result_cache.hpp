@@ -21,6 +21,7 @@
 // jobs are never cached (they re-run every time, counted as `skipped`).
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <mutex>
 #include <optional>
@@ -94,6 +95,20 @@ class ResultCache {
 
   [[nodiscard]] CacheStats stats() const;
 
+  /// Size bound on the entry files in dir(): when non-zero, store() keeps
+  /// the total size of <key>.json entries at or below `max_bytes` by
+  /// evicting least-recently-used entries first (recency is the entry
+  /// file's mtime; load() hits refresh it, so replayed entries stay warm).
+  /// 0 -- the default -- means unbounded. The bound is enforced as
+  /// entries are stored, best-effort: an already-oversized directory only
+  /// shrinks once something new is written into it.
+  void set_max_bytes(std::uint64_t max_bytes);
+  [[nodiscard]] std::uint64_t max_bytes() const;
+
+  /// Entries this instance evicted to stay under max_bytes(). Kept out of
+  /// CacheStats so the SweepResult serialization is unchanged.
+  [[nodiscard]] std::size_t evictions() const;
+
   /// Garbage collection: remove every entry file in dir() that this
   /// instance neither loaded nor stored (stale points from edited sweeps,
   /// abandoned tmp files, foreign junk). Call after the runs that define
@@ -106,12 +121,26 @@ class ResultCache {
   [[nodiscard]] std::string key_for_dump(const std::string& spec_dump) const;
   [[nodiscard]] std::filesystem::path entry_path(const std::string& key) const;
 
+  /// Rescan dir() and evict oldest-mtime entries (filename breaks ties,
+  /// for determinism) until the total is within max_bytes_. Caller holds
+  /// mu_. Leaves approx_bytes_ equal to the post-eviction total.
+  void enforce_size_bound_locked();
+
   std::filesystem::path dir_;
   std::string salt_;
 
   mutable std::mutex mu_;
   std::unordered_set<std::string> used_;  // entry filenames touched
   CacheStats stats_;
+  std::uint64_t max_bytes_ = 0;  // 0 = unbounded
+  /// Running estimate of the entry bytes in dir(), used to skip the
+  /// directory rescan while comfortably under the bound. Lazily seeded
+  /// from a scan at the first bounded store; overwrites double-count
+  /// until the next enforcement rescan corrects them (approximation only
+  /// ever triggers enforcement early, never late by more than the drift).
+  std::uint64_t approx_bytes_ = 0;
+  bool approx_bytes_valid_ = false;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace deproto::api

@@ -173,13 +173,31 @@ FaultPlan faults_from_json(const Json& j) {
 }  // namespace
 
 const char* backend_name(Backend backend) {
-  return backend == Backend::Sync ? "sync" : "event";
+  switch (backend) {
+    case Backend::Sync:
+      return "sync";
+    case Backend::Event:
+      return "event";
+    case Backend::Count:
+      return "count";
+    case Backend::Auto:
+      return "auto";
+  }
+  return "sync";  // unreachable
 }
 
 Backend backend_from_name(const std::string& name) {
   if (name == "sync") return Backend::Sync;
   if (name == "event") return Backend::Event;
-  throw SpecError("unknown backend: " + name + " (want sync | event)");
+  if (name == "count") return Backend::Count;
+  if (name == "auto") return Backend::Auto;
+  throw SpecError("unknown backend: " + name +
+                  " (want sync | event | count | auto)");
+}
+
+Backend resolve_backend(Backend backend, std::size_t n) {
+  if (backend != Backend::Auto) return backend;
+  return n >= kAutoBackendCrossoverN ? Backend::Count : Backend::Sync;
 }
 
 std::vector<std::string> catalog_source_ids() {

@@ -79,10 +79,23 @@ struct FaultPlan {
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
 
-enum class Backend { Sync, Event };
+/// Execution backend: per-node round-synchronous (Sync), per-node fully
+/// asynchronous (Event), count-based O(states)-per-period (Count), or
+/// Auto, which resolves at launch to Count when n >=
+/// kAutoBackendCrossoverN and to Sync below it.
+enum class Backend { Sync, Event, Count, Auto };
+
+/// Auto crossover: below this N the per-node sync backend is cheap and
+/// exact; at or above it the count backend's O(states) periods win and
+/// its O(1/N) approximations are negligible.
+inline constexpr std::size_t kAutoBackendCrossoverN = 100000;
 
 [[nodiscard]] const char* backend_name(Backend backend);
 [[nodiscard]] Backend backend_from_name(const std::string& name);
+
+/// The backend an Auto spec with population `n` launches on; non-Auto
+/// backends pass through unchanged.
+[[nodiscard]] Backend resolve_backend(Backend backend, std::size_t n);
 
 struct ScenarioSpec {
   std::string name;

@@ -4,70 +4,12 @@
 #include <stdexcept>
 
 #include "core/mean_field.hpp"
+#include "core/transition_model.hpp"
 #include "numerics/eigen.hpp"
 #include "numerics/jacobian.hpp"
 #include "numerics/lyapunov.hpp"
 
 namespace deproto::core {
-
-namespace {
-
-/// Per-action expected firing rate (transitions per period, as a fraction
-/// of N) at the point x, mirroring exact_drift's semantics, along with the
-/// (from, to) states of the move it causes.
-struct ActionRate {
-  std::size_t from;
-  std::size_t to;
-  double rate;
-};
-
-std::vector<ActionRate> action_rates(const ProtocolStateMachine& machine,
-                                     const num::Vec& x, double f) {
-  std::vector<ActionRate> rates;
-  for (const Action& action : machine.actions()) {
-    std::visit(
-        [&](const auto& a) {
-          using T = std::decay_t<decltype(a)>;
-          if constexpr (std::is_same_v<T, FlippingAction>) {
-            rates.push_back(
-                {a.from_state, a.to_state, a.coin_bias * x[a.from_state]});
-          } else if constexpr (std::is_same_v<T, SamplingAction>) {
-            double prob = a.coin_bias;
-            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
-              prob *= (1.0 - f) * x[a.from_state];
-            }
-            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
-            rates.push_back(
-                {a.from_state, a.to_state, prob * x[a.from_state]});
-          } else if constexpr (std::is_same_v<T, TokenizingAction>) {
-            double prob = a.coin_bias;
-            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
-              prob *= (1.0 - f) * x[a.executor_state];
-            }
-            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
-            if (x[a.token_state] > 0.0) {
-              rates.push_back(
-                  {a.token_state, a.to_state, prob * x[a.executor_state]});
-            }
-          } else if constexpr (std::is_same_v<T, PushAction>) {
-            rates.push_back({a.target_state, a.to_state,
-                             static_cast<double>(a.fanout) * a.coin_bias *
-                                 (1.0 - f) * x[a.executor_state] *
-                                 x[a.target_state]});
-          } else if constexpr (std::is_same_v<T, AnyOfSamplingAction>) {
-            const double hit = (1.0 - f) * x[a.match_state];
-            const double prob =
-                1.0 - std::pow(1.0 - hit, static_cast<double>(a.fanout));
-            rates.push_back({a.from_state, a.to_state,
-                             a.coin_bias * prob * x[a.from_state]});
-          }
-        },
-        action);
-  }
-  return rates;
-}
-
-}  // namespace
 
 num::Matrix diffusion_matrix(const ProtocolStateMachine& machine,
                              const num::Vec& point, double message_loss) {
@@ -80,15 +22,19 @@ num::Matrix diffusion_matrix(const ProtocolStateMachine& machine,
   }
   const std::size_t r = m - 1;
   num::Matrix b(r, r);
-  for (const ActionRate& ar : action_rates(machine, point, message_loss)) {
-    if (ar.from == ar.to) continue;
+  // The shared transition model carries each action's expected firing rate
+  // at `point` (gated Tokenizing channels come back with rate 0, which
+  // contributes nothing, matching the old explicit skip).
+  for (const core::TransitionChannel& ch :
+       transition_channels(machine, point, message_loss)) {
+    if (ch.from == ch.to) continue;
     // Jump vector in reduced coordinates (last state dropped).
     num::Vec d(r, 0.0);
-    if (ar.from < r) d[ar.from] -= 1.0;
-    if (ar.to < r) d[ar.to] += 1.0;
+    if (ch.from < r) d[ch.from] -= 1.0;
+    if (ch.to < r) d[ch.to] += 1.0;
     for (std::size_t i = 0; i < r; ++i) {
       for (std::size_t j = 0; j < r; ++j) {
-        b(i, j) += ar.rate * d[i] * d[j];
+        b(i, j) += ch.rate * d[i] * d[j];
       }
     }
   }

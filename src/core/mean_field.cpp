@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/transition_model.hpp"
+
 namespace deproto::core {
 
 namespace {
@@ -93,54 +95,11 @@ num::Vec exact_drift(const ProtocolStateMachine& m, const num::Vec& x,
     throw std::invalid_argument("exact_drift: state size mismatch");
   }
   num::Vec drift(m.num_states(), 0.0);
-
-  auto move_mass = [&](std::size_t from, std::size_t to, double mass) {
-    drift[from] -= mass;
-    drift[to] += mass;
-  };
-
-  for (const Action& action : m.actions()) {
-    std::visit(
-        [&](const auto& a) {
-          using T = std::decay_t<decltype(a)>;
-          if constexpr (std::is_same_v<T, FlippingAction>) {
-            move_mass(a.from_state, a.to_state,
-                      a.coin_bias * x[a.from_state]);
-          } else if constexpr (std::is_same_v<T, SamplingAction>) {
-            double prob = a.coin_bias;
-            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
-              prob *= (1.0 - f) * x[a.from_state];
-            }
-            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
-            move_mass(a.from_state, a.to_state, prob * x[a.from_state]);
-          } else if constexpr (std::is_same_v<T, TokenizingAction>) {
-            double prob = a.coin_bias;
-            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
-              prob *= (1.0 - f) * x[a.executor_state];
-            }
-            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
-            // Tokens drop when nobody is in token_state.
-            if (x[a.token_state] > 0.0) {
-              move_mass(a.token_state, a.to_state,
-                        prob * x[a.executor_state]);
-            }
-          } else if constexpr (std::is_same_v<T, PushAction>) {
-            // Each of the fanout probes from each executor converts an
-            // x-target with probability (1-f) * x_target * q.
-            const double mass = static_cast<double>(a.fanout) * a.coin_bias *
-                                (1.0 - f) * x[a.executor_state] *
-                                x[a.target_state];
-            move_mass(a.target_state, a.to_state, mass);
-          } else if constexpr (std::is_same_v<T, AnyOfSamplingAction>) {
-            // Exact any-of-b probability, no linearization.
-            const double hit = (1.0 - f) * x[a.match_state];
-            const double prob =
-                1.0 - std::pow(1.0 - hit, static_cast<double>(a.fanout));
-            move_mass(a.from_state, a.to_state,
-                      a.coin_bias * prob * x[a.from_state]);
-          }
-        },
-        action);
+  // Per-action rates (including the token-drop gate) live in the shared
+  // transition model; the drift is just their mass balance.
+  for (const TransitionChannel& ch : transition_channels(m, x, f)) {
+    drift[ch.from] -= ch.rate;
+    drift[ch.to] += ch.rate;
   }
   return drift;
 }

@@ -1,0 +1,90 @@
+#include "core/transition_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <variant>
+
+#include "core/action.hpp"
+
+namespace deproto::core {
+
+std::vector<TransitionChannel> transition_channels(
+    const ProtocolStateMachine& machine, const num::Vec& x,
+    double message_loss) {
+  if (x.size() != machine.num_states()) {
+    throw std::invalid_argument("transition_channels: state size mismatch");
+  }
+  const double f = message_loss;
+  std::vector<TransitionChannel> channels;
+  channels.reserve(machine.actions().size());
+
+  for (std::size_t i = 0; i < machine.actions().size(); ++i) {
+    TransitionChannel ch;
+    ch.action = i;
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, FlippingAction>) {
+            ch.executor = a.from_state;
+            ch.from = a.from_state;
+            ch.to = a.to_state;
+            ch.fire_prob = a.coin_bias;
+            ch.rate = a.coin_bias * x[a.from_state];
+            ch.moves_executor = true;
+          } else if constexpr (std::is_same_v<T, SamplingAction>) {
+            double prob = a.coin_bias;
+            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
+              prob *= (1.0 - f) * x[a.from_state];
+            }
+            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
+            ch.executor = a.from_state;
+            ch.from = a.from_state;
+            ch.to = a.to_state;
+            ch.fire_prob = prob;
+            ch.rate = prob * x[a.from_state];
+            ch.moves_executor = true;
+          } else if constexpr (std::is_same_v<T, TokenizingAction>) {
+            double prob = a.coin_bias;
+            for (std::size_t k = 0; k < a.same_state_samples; ++k) {
+              prob *= (1.0 - f) * x[a.executor_state];
+            }
+            for (std::size_t s : a.target_states) prob *= (1.0 - f) * x[s];
+            ch.executor = a.executor_state;
+            ch.from = a.token_state;
+            ch.to = a.to_state;
+            ch.fire_prob = prob;
+            // Tokens drop when nobody is in token_state.
+            ch.rate = x[a.token_state] > 0.0 ? prob * x[a.executor_state]
+                                             : 0.0;
+            ch.moves_executor = false;
+          } else if constexpr (std::is_same_v<T, PushAction>) {
+            // Each of the fanout probes from each executor converts an
+            // x-target with probability (1-f) * x_target * q.
+            ch.executor = a.executor_state;
+            ch.from = a.target_state;
+            ch.to = a.to_state;
+            ch.fire_prob = static_cast<double>(a.fanout) * a.coin_bias *
+                           (1.0 - f) * x[a.target_state];
+            ch.rate = static_cast<double>(a.fanout) * a.coin_bias *
+                      (1.0 - f) * x[a.executor_state] * x[a.target_state];
+            ch.moves_executor = false;
+          } else if constexpr (std::is_same_v<T, AnyOfSamplingAction>) {
+            // Exact any-of-b probability, no linearization.
+            const double hit = (1.0 - f) * x[a.match_state];
+            const double prob =
+                1.0 - std::pow(1.0 - hit, static_cast<double>(a.fanout));
+            ch.executor = a.from_state;
+            ch.from = a.from_state;
+            ch.to = a.to_state;
+            ch.fire_prob = a.coin_bias * prob;
+            ch.rate = a.coin_bias * prob * x[a.from_state];
+            ch.moves_executor = true;
+          }
+        },
+        machine.actions()[i]);
+    channels.push_back(ch);
+  }
+  return channels;
+}
+
+}  // namespace deproto::core

@@ -1,0 +1,48 @@
+#pragma once
+// Per-period transition-probability extraction shared by every consumer of
+// a ProtocolStateMachine's dynamics: the mean-field drift (exact_drift),
+// the CLT noise model (fluctuations.cpp), and the count-based simulation
+// backend (sim/count_sim.cpp). Each action contributes exactly one channel
+// describing who attempts it, what mass moves where, and with what
+// per-executor firing probability at a given population point x.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/state_machine.hpp"
+#include "numerics/vector.hpp"
+
+namespace deproto::core {
+
+/// One action's transition channel at a population point x (fractions of N
+/// for the mean-field consumers; per-probe hit probabilities for the count
+/// backend). `fire_prob` is the probability that a single executor fires
+/// the action this period; `rate` is the expected population fraction
+/// moved from -> to, i.e. fire_prob * x[executor] with the token-drop gate
+/// applied (a Tokenizing channel's rate is 0 when x[token_state] <= 0).
+///
+/// For PushAction the "firing" is a conversion of a *target*: `executor`
+/// is still the pushing state, but `from` is the converted target state
+/// and `fire_prob` is the expected conversions per executor
+/// (fanout * coin * (1-f) * x[target], the linearized form exact_drift
+/// uses). Count-level consumers that need the per-contact conversion
+/// probability should visit the underlying action instead.
+struct TransitionChannel {
+  std::size_t action = 0;    ///< index into machine.actions()
+  std::size_t executor = 0;  ///< state whose members attempt the action
+  std::size_t from = 0;      ///< state mass leaves when the action fires
+  std::size_t to = 0;        ///< state mass enters when the action fires
+  double fire_prob = 0.0;    ///< per-executor firing probability at x
+  double rate = 0.0;         ///< expected moved mass (fraction of N)
+  bool moves_executor = false;  ///< from == executor (self-transition)
+};
+
+/// Evaluate every action of `machine` at the point `x` under message-loss
+/// probability `message_loss`. Channels are returned in machine.actions()
+/// order, one per action, so channels[i] corresponds to actions()[i] and
+/// per-state consumers can index them through actions_of(state).
+[[nodiscard]] std::vector<TransitionChannel> transition_channels(
+    const ProtocolStateMachine& machine, const num::Vec& x,
+    double message_loss = 0.0);
+
+}  // namespace deproto::core

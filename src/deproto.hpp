@@ -28,6 +28,7 @@
 // core: the equation -> state machine synthesis mapping
 #include "core/action.hpp"
 #include "core/state_machine.hpp"
+#include "core/transition_model.hpp"
 #include "core/synthesis.hpp"
 #include "core/mean_field.hpp"
 #include "core/failure_compensation.hpp"
@@ -40,18 +41,21 @@
 #include "protocols/baselines.hpp"
 #include "protocols/analysis.hpp"
 
-// sim: synchronous and event-driven group simulation behind one interface
+// sim: synchronous, event-driven, and count-based simulation behind one
+// interface
 #include "sim/rng.hpp"
 #include "sim/protocol.hpp"
 #include "sim/group.hpp"
 #include "sim/network.hpp"
 #include "sim/metrics.hpp"
 #include "sim/churn.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/swim.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync_sim.hpp"
 #include "sim/event_sim.hpp"
+#include "sim/count_sim.hpp"
 #include "sim/runtime.hpp"
 
 // api: the declarative experiment facade over the whole pipeline

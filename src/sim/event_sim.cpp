@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/fault_plan.hpp"
+
 namespace deproto::sim {
 
 EventSimulator::EventSimulator(std::size_t n,
@@ -92,12 +94,10 @@ void EventSimulator::recover_process(ProcessId pid) {
 }
 
 void EventSimulator::schedule_massive_failure(double time, double fraction) {
-  if (!(fraction >= 0.0 && fraction <= 1.0)) {
-    throw std::invalid_argument("schedule_massive_failure: bad fraction");
-  }
+  fault_plan::validate_failure_fraction(fraction);
   queue_.schedule(std::max(time, queue_.now()), [this, fraction] {
-    const auto victims = static_cast<std::size_t>(std::llround(
-        fraction * static_cast<double>(group_.total_alive())));
+    const std::size_t victims =
+        fault_plan::failure_victims(fraction, group_.total_alive());
     for (ProcessId pid : group_.crash_random_alive(victims, rng_)) {
       note_mass_crashed(pid);
     }
@@ -117,10 +117,7 @@ void EventSimulator::schedule_crash(ProcessId pid, double time,
 
 void EventSimulator::set_crash_recovery(double crash_prob,
                                         double mean_downtime_periods) {
-  if (!(crash_prob >= 0.0 && crash_prob <= 1.0) ||
-      mean_downtime_periods < 0.0) {
-    throw std::invalid_argument("set_crash_recovery: bad parameters");
-  }
+  fault_plan::validate_crash_recovery(crash_prob, mean_downtime_periods);
   // Each call starts a fresh tick chain; any chain already in the queue
   // carries a stale epoch and dies at its next tick, so reconfiguring
   // (including disarm + re-arm within one period) never stacks chains.
@@ -139,11 +136,12 @@ void EventSimulator::on_crash_recovery_tick(std::uint64_t epoch) {
   for (ProcessId pid : group_.crash_random_alive(crashes, rng_)) {
     note_mass_crashed(pid);
     if (mean_downtime_ > 0.0) {
-      // Mirror the sync backend: downtime is one period (the crash is only
-      // noticed at the next boundary) plus an exponential tail. Recoveries
-      // outlive a later disarm, as the sync backend's heap does.
+      // Downtime quantization is shared with the sync backend: one period
+      // (the crash is only noticed at the next boundary) plus an
+      // exponential tail. Recoveries outlive a later disarm, as the sync
+      // backend's heap does.
       const ProcessId copy = pid;
-      queue_.schedule_in(1.0 + rng_.exponential_mean(mean_downtime_),
+      queue_.schedule_in(fault_plan::recovery_delay(rng_, mean_downtime_),
                          [this, copy] { recover_process(copy); });
     }
   }
@@ -152,17 +150,14 @@ void EventSimulator::on_crash_recovery_tick(std::uint64_t epoch) {
 
 void EventSimulator::attach_churn(const ChurnTrace& trace,
                                   double periods_per_hour) {
-  if (!(periods_per_hour > 0.0)) {
-    throw std::invalid_argument("attach_churn: bad periods_per_hour");
-  }
   // Attaching replaces any earlier trace (the sync backend's semantics):
   // events already in the queue carry the previous epoch and become
   // no-ops, since the queue offers no cancellation.
   const std::uint64_t epoch = ++churn_epoch_;
-  for (const ChurnEvent& e : trace.events()) {
+  for (const ChurnEvent& e :
+       fault_plan::trace_in_periods(trace, periods_per_hour, queue_.now())) {
     if (e.host >= group_.size()) continue;
-    const double t =
-        std::max(e.time_hours * periods_per_hour, queue_.now());
+    const double t = e.time_hours;  // already converted to periods
     const ProcessId pid = e.host;
     if (e.up) {
       queue_.schedule(t, [this, pid, epoch] {

@@ -61,6 +61,15 @@ class EventSimulator final : public Simulator {
     return metrics_;
   }
   [[nodiscard]] Rng& rng() noexcept override { return rng_; }
+  [[nodiscard]] std::size_t num_states() const noexcept override {
+    return group_.num_states();
+  }
+  [[nodiscard]] std::size_t count(std::size_t state) const override {
+    return group_.count(state);
+  }
+  [[nodiscard]] std::size_t total_alive() const noexcept override {
+    return group_.total_alive();
+  }
   [[nodiscard]] const Network& network() const noexcept { return network_; }
   [[nodiscard]] double now() const noexcept override { return queue_.now(); }
 

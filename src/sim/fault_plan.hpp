@@ -1,0 +1,49 @@
+#pragma once
+// Fault-plan quantization and validation rules shared by every execution
+// backend (sync, event, count). Each rule used to live duplicated inside
+// sync_sim.cpp and event_sim.cpp; a backend that re-derives any of them
+// risks drifting from the others in exactly the places the backend
+// equivalence suite compares, so they are pinned here once.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/churn.hpp"
+#include "sim/rng.hpp"
+
+namespace deproto::sim::fault_plan {
+
+/// Throws std::invalid_argument unless fraction lies in [0, 1].
+void validate_failure_fraction(double fraction);
+
+/// Throws std::invalid_argument unless crash_prob lies in [0, 1] and the
+/// mean downtime is non-negative.
+void validate_crash_recovery(double crash_prob, double mean_downtime_periods);
+
+/// Throws std::invalid_argument unless periods_per_hour is positive.
+void validate_periods_per_hour(double periods_per_hour);
+
+/// Massive-failure victim count: fraction of the currently alive
+/// population, rounded to nearest (llround).
+[[nodiscard]] std::size_t failure_victims(double fraction,
+                                          std::size_t total_alive);
+
+/// Convert a churn trace from wall-clock hours into protocol periods,
+/// clamping each event to happen no earlier than `min_time` (the event
+/// backend passes its current queue time so stale events fire "now"; the
+/// sync backend passes 0). Order is preserved; callers needing sorted
+/// playback sort afterwards.
+[[nodiscard]] std::vector<ChurnEvent> trace_in_periods(
+    const ChurnTrace& trace, double periods_per_hour, double min_time = 0.0);
+
+/// Background crash-recovery downtime: one whole period (the crash is
+/// only noticed at the next boundary) plus an exponential tail drawn from
+/// `rng`. Returns the delay relative to the crash time.
+[[nodiscard]] double recovery_delay(Rng& rng, double mean_downtime_periods);
+
+/// First whole-period boundary at or after `time`: the period index where
+/// a round-based backend notices an event scheduled at `time`. Negative
+/// times clamp to period 0.
+[[nodiscard]] std::size_t first_period_at_or_after(double time);
+
+}  // namespace deproto::sim::fault_plan

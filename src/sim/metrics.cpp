@@ -35,6 +35,14 @@ void MetricsCollector::record_transition(std::size_t from, std::size_t to) {
   ++current_.transitions[from * states_ + to];
 }
 
+void MetricsCollector::record_transitions(std::size_t from, std::size_t to,
+                                          std::size_t count) {
+  if (from >= states_ || to >= states_) {
+    throw std::out_of_range("MetricsCollector::record_transitions");
+  }
+  current_.transitions[from * states_ + to] += count;
+}
+
 void MetricsCollector::end_period(const Group& group) {
   if (!in_period_) {
     throw std::logic_error("MetricsCollector::end_period without begin");
@@ -48,6 +56,25 @@ void MetricsCollector::end_period(const Group& group) {
   if (track_hosts_) {
     host_history_.push_back(group.members(tracked_state_));
   }
+  in_period_ = false;
+}
+
+void MetricsCollector::end_period(
+    const std::vector<std::size_t>& alive_in_state, std::size_t total_alive) {
+  if (!in_period_) {
+    throw std::logic_error("MetricsCollector::end_period without begin");
+  }
+  if (alive_in_state.size() != states_) {
+    throw std::invalid_argument("MetricsCollector::end_period: bad counts");
+  }
+  if (track_hosts_) {
+    throw std::logic_error(
+        "MetricsCollector::end_period: host history needs a per-node "
+        "backend");
+  }
+  current_.alive_in_state = alive_in_state;
+  current_.total_alive = total_alive;
+  samples_.push_back(current_);
   in_period_ = false;
 }
 

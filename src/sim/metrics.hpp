@@ -50,8 +50,19 @@ class MetricsCollector {
   /// Count one state transition within the current period.
   void record_transition(std::size_t from, std::size_t to);
 
+  /// Count `count` state transitions at once (the count backend moves
+  /// whole binomial batches per action instead of one process at a time).
+  void record_transitions(std::size_t from, std::size_t to,
+                          std::size_t count);
+
   /// Snapshot populations and close the current period.
   void end_period(const Group& group);
+
+  /// Close the current period from a per-state count vector (the count
+  /// backend has no Group). Host history needs per-node identity, so this
+  /// throws std::logic_error when enable_host_history() is active.
+  void end_period(const std::vector<std::size_t>& alive_in_state,
+                  std::size_t total_alive);
 
   [[nodiscard]] const std::vector<PeriodSample>& samples() const noexcept {
     return samples_;

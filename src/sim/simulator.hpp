@@ -1,12 +1,18 @@
 #pragma once
 
 // The unified simulator interface: one fault/scheduling/seeding API over
-// both execution backends (round-synchronous SyncSimulator and fully
-// asynchronous EventSimulator). This is the scheduler-independence claim
-// of the paper made concrete: an experiment is programmed once against
-// `Simulator&` -- seeding, massive failures, background crash-recovery,
-// churn-trace playback, targeted crashes -- and executes unchanged on
-// either backend.
+// all execution backends (round-synchronous SyncSimulator, fully
+// asynchronous EventSimulator, and the count-based CountSimulator). This
+// is the scheduler-independence claim of the paper made concrete: an
+// experiment is programmed once against `Simulator&` -- seeding, massive
+// failures, background crash-recovery, churn-trace playback, targeted
+// crashes -- and executes unchanged on any backend.
+//
+// Population observation happens through the count accessors
+// (num_states / count / total_alive): those are defined on every backend.
+// group() exposes per-node identity and is only available where the
+// backend actually materializes one object per process (per_node() true);
+// the count backend has no such representation and throws.
 //
 // Time convention: every time argument is measured in *fractional protocol
 // periods* from simulation start. The sync backend quantizes to period
@@ -39,11 +45,25 @@ class Simulator {
  public:
   virtual ~Simulator() = default;
 
-  [[nodiscard]] virtual Group& group() noexcept = 0;
+  /// Per-node process table. Only available when per_node() is true; the
+  /// count backend throws std::logic_error (it has no per-node identity).
+  [[nodiscard]] virtual Group& group() = 0;
   [[nodiscard]] virtual MetricsCollector& metrics() noexcept = 0;
   [[nodiscard]] virtual Rng& rng() noexcept = 0;
   /// Current simulation time in fractional periods.
   [[nodiscard]] virtual double now() const noexcept = 0;
+
+  /// Whether this backend materializes one object per process (and thus
+  /// supports group(), per-host history, and targeted schedule_crash by
+  /// identity). The count backend returns false.
+  [[nodiscard]] virtual bool per_node() const noexcept { return true; }
+
+  /// Count-level population observation, defined on every backend: the
+  /// number of protocol states, alive processes currently in `state`, and
+  /// total alive processes.
+  [[nodiscard]] virtual std::size_t num_states() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t count(std::size_t state) const = 0;
+  [[nodiscard]] virtual std::size_t total_alive() const noexcept = 0;
 
   /// Distribute initial states: counts[s] processes start in state s
   /// (counts must sum to <= N; remaining processes keep state 0).

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/fault_plan.hpp"
+
 namespace deproto::sim {
 
 SyncSimulator::SyncSimulator(std::size_t n, PeriodicProtocol& protocol,
@@ -14,9 +16,7 @@ SyncSimulator::SyncSimulator(std::size_t n, PeriodicProtocol& protocol,
       metrics_(protocol.num_states()) {}
 
 void SyncSimulator::schedule_massive_failure(double time, double fraction) {
-  if (!(fraction >= 0.0 && fraction <= 1.0)) {
-    throw std::invalid_argument("schedule_massive_failure: bad fraction");
-  }
+  fault_plan::validate_failure_fraction(fraction);
   failures_.push_back(PendingFailure{MassiveFailure{time, fraction}, false});
 }
 
@@ -39,15 +39,8 @@ void SyncSimulator::schedule_crash(ProcessId pid, double time,
 
 void SyncSimulator::attach_churn(const ChurnTrace& trace,
                                  double periods_per_hour) {
-  if (!(periods_per_hour > 0.0)) {
-    throw std::invalid_argument("attach_churn: bad periods_per_hour");
-  }
-  churn_.clear();
+  churn_ = fault_plan::trace_in_periods(trace, periods_per_hour);
   churn_next_ = 0;
-  for (ChurnEvent e : trace.events()) {
-    e.time_hours *= periods_per_hour;  // now measured in periods
-    churn_.push_back(e);
-  }
   std::sort(churn_.begin(), churn_.end(),
             [](const ChurnEvent& a, const ChurnEvent& b) {
               return a.time_hours < b.time_hours;
@@ -74,10 +67,7 @@ void SyncSimulator::seed_states(const std::vector<std::size_t>& counts) {
 
 void SyncSimulator::set_crash_recovery(double crash_prob,
                                        double mean_downtime_periods) {
-  if (!(crash_prob >= 0.0 && crash_prob <= 1.0) ||
-      mean_downtime_periods < 0.0) {
-    throw std::invalid_argument("set_crash_recovery: bad parameters");
-  }
+  fault_plan::validate_crash_recovery(crash_prob, mean_downtime_periods);
   crash_prob_ = crash_prob;
   mean_downtime_ = mean_downtime_periods;
 }
@@ -110,9 +100,8 @@ void SyncSimulator::run(std::size_t periods) {
     for (PendingFailure& pending : failures_) {
       if (pending.applied || pending.failure.time > t) continue;
       pending.applied = true;
-      const auto victims = static_cast<std::size_t>(
-          std::llround(pending.failure.fraction *
-                       static_cast<double>(group_.total_alive())));
+      const std::size_t victims = fault_plan::failure_victims(
+          pending.failure.fraction, group_.total_alive());
       for (ProcessId pid : group_.crash_random_alive(victims, rng_)) {
         protocol_.on_crash(pid);
       }
@@ -144,8 +133,8 @@ void SyncSimulator::run(std::size_t periods) {
       for (ProcessId pid : group_.crash_random_alive(crashes, rng_)) {
         protocol_.on_crash(pid);
         if (mean_downtime_ > 0.0) {
-          recoveries_.emplace(t + 1.0 + rng_.exponential_mean(mean_downtime_),
-                              pid);
+          recoveries_.emplace(
+              t + fault_plan::recovery_delay(rng_, mean_downtime_), pid);
         }
       }
     }

@@ -34,6 +34,15 @@ class SyncSimulator final : public Simulator {
   [[nodiscard]] MetricsCollector& metrics() noexcept override {
     return metrics_;
   }
+  [[nodiscard]] std::size_t num_states() const noexcept override {
+    return group_.num_states();
+  }
+  [[nodiscard]] std::size_t count(std::size_t state) const override {
+    return group_.count(state);
+  }
+  [[nodiscard]] std::size_t total_alive() const noexcept override {
+    return group_.total_alive();
+  }
   [[nodiscard]] std::size_t current_period() const noexcept {
     return period_;
   }

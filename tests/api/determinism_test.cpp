@@ -95,6 +95,35 @@ TEST(DeterminismTest, ThreadCountNeverChangesSweepOutput) {
   EXPECT_EQ(json_by_threads[0].find("elapsed_seconds"), std::string::npos);
 }
 
+TEST(DeterminismTest, CountBackendSweepIsThreadCountInvariant) {
+  // The gigascale path: a count-backend sweep (with a fault plan, so the
+  // fault RNG streams are in play) writes byte-identical aggregated JSON
+  // and JSONL on 1 and 8 worker threads.
+  SweepSpec sweep;
+  sweep.name = "count-determinism";
+  sweep.base = shrunk("endemic-crash-recovery");
+  sweep.base.backend = Backend::Count;
+  sweep.axes.push_back(
+      SweepAxis{"n", {Json::number(200), Json::number(300)}});
+  sweep.replicates = 2;  // 4 jobs
+
+  std::string json_by_threads[2];
+  std::string jsonl_by_threads[2];
+  const std::size_t thread_counts[2] = {1, 8};
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::ostringstream jsonl;
+    SuiteOptions options;
+    options.threads = thread_counts[i];
+    options.jsonl = &jsonl;
+    const SweepResult result = SuiteRunner(options).run(sweep);
+    EXPECT_EQ(result.jobs_failed, 0U);
+    json_by_threads[i] = result.to_json(false).dump(2);
+    jsonl_by_threads[i] = jsonl.str();
+  }
+  EXPECT_EQ(json_by_threads[0], json_by_threads[1]);
+  EXPECT_EQ(jsonl_by_threads[0], jsonl_by_threads[1]);
+}
+
 TEST(DeterminismTest, RerunningASweepIsByteIdentical) {
   SweepSpec sweep;
   sweep.base = shrunk("lv-majority-failure");

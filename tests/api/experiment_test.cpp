@@ -200,6 +200,37 @@ TEST(ExperimentTest, EventBackendAppliesMassiveFailureAtFractionalTime) {
   EXPECT_EQ(result.final_alive, 400U);
 }
 
+TEST(ExperimentTest, CountBackendRunsAndGroupAccessIsSpecError) {
+  ScenarioSpec spec = registry_get("epidemic").scaled_to(2000);
+  spec.backend = Backend::Count;
+  Experiment experiment(spec);
+  ExperimentRun run = experiment.launch();
+  // Per-node-identity features are a documented SpecError on the count
+  // backend, not a raw std::logic_error from the sim layer.
+  EXPECT_THROW((void)run.group(), SpecError);
+  run.advance(spec.periods);
+  const ExperimentResult result = run.finish();
+  EXPECT_EQ(result.series.size(), spec.periods);
+  EXPECT_EQ(result.final_alive, 2000U);
+  EXPECT_EQ(result.convergence.dominant_state, 1U);  // y = infected
+  EXPECT_TRUE(result.convergence.absorbed);
+}
+
+TEST(ExperimentTest, AutoBackendResolvesAtLaunch) {
+  ScenarioSpec small = registry_get("epidemic").scaled_to(500);
+  small.backend = Backend::Auto;
+  Experiment small_exp(small);
+  ExperimentRun small_run = small_exp.launch();
+  EXPECT_TRUE(small_run.simulator().per_node());  // sync below crossover
+
+  ScenarioSpec big =
+      registry_get("epidemic").scaled_to(kAutoBackendCrossoverN);
+  big.backend = Backend::Auto;
+  Experiment big_exp(big);
+  ExperimentRun big_run = big_exp.launch();
+  EXPECT_FALSE(big_run.simulator().per_node());  // count at the crossover
+}
+
 TEST(ExperimentTest, ConvergenceSummaryFlagsAbsorption) {
   const ExperimentResult result =
       Experiment(registry_get("epidemic")).run();

@@ -19,12 +19,15 @@ TEST(RegistryTest, ListsExactlyTheRegisteredScenarios) {
       "epidemic",
       "epidemic-lossy",
       "epidemic-event",
+      "epidemic-count",
       "lv-majority",
+      "lv-majority-count",
       "lv-majority-failure",
       "lv-majority-failure-event",
       "endemic",
       "endemic-massive-failure",
       "endemic-massive-failure-event",
+      "endemic-massive-failure-count",
       "endemic-crash-recovery",
       "endemic-crash-recovery-event",
       "endemic-churn",

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <optional>
@@ -323,6 +325,87 @@ TEST(ResultCacheTest, StoreLoadRoundTripsTheDeterministicForm) {
   // Timing is machine state, not content: never memoized.
   EXPECT_DOUBLE_EQ(replay->elapsed_seconds, 0.0);
   EXPECT_EQ(cache.stats(), (CacheStats{1, 0, 0, 1, 0}));
+}
+
+TEST(ResultCacheTest, SizeBoundEvictsOldestEntriesFirst) {
+  const fs::path dir = fresh_dir();
+  ScenarioSpec spec = registry_get("epidemic").scaled_to(150);
+  spec.periods = 4;
+  ResultCache cache(dir);
+  EXPECT_EQ(cache.max_bytes(), 0U);  // unbounded by default
+  EXPECT_EQ(cache.evictions(), 0U);
+  const ExperimentResult result = Experiment(spec).run();
+
+  // Four entries under distinct keys, with explicitly staggered mtimes
+  // (hours apart, so filesystem timestamp granularity cannot reorder the
+  // LRU ranking).
+  std::vector<std::string> keys;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ScenarioSpec variant = spec;
+    variant.seed = 1000 + i;
+    cache.store(variant, result);
+    keys.push_back(cache.key_for(variant));
+    fs::last_write_time(
+        dir / (keys.back() + ".json"),
+        fs::file_time_type::clock::now() -
+            std::chrono::hours(24 - static_cast<int>(i)));
+  }
+  ASSERT_EQ(entry_files(dir).size(), 4U);
+  const std::uintmax_t entry_bytes =
+      fs::file_size(dir / (keys[0] + ".json"));
+
+  // Bound the directory to ~2.5 entries; the next store (the newest
+  // entry) pushes the total over and the oldest entries are evicted
+  // until it fits.
+  cache.set_max_bytes(entry_bytes * 5 / 2);
+  ScenarioSpec fifth = spec;
+  fifth.seed = 2000;
+  cache.store(fifth, result);
+  keys.push_back(cache.key_for(fifth));
+
+  EXPECT_EQ(cache.evictions(), 3U);
+  EXPECT_FALSE(fs::exists(dir / (keys[0] + ".json")));
+  EXPECT_FALSE(fs::exists(dir / (keys[1] + ".json")));
+  EXPECT_FALSE(fs::exists(dir / (keys[2] + ".json")));
+  EXPECT_TRUE(fs::exists(dir / (keys[3] + ".json")));
+  EXPECT_TRUE(fs::exists(dir / (keys[4] + ".json")));
+}
+
+TEST(ResultCacheTest, LoadRefreshesRecencySoReplayedEntriesSurvive) {
+  const fs::path dir = fresh_dir();
+  ScenarioSpec spec = registry_get("epidemic").scaled_to(150);
+  spec.periods = 4;
+  ResultCache cache(dir);
+  const ExperimentResult result = Experiment(spec).run();
+
+  std::vector<ScenarioSpec> variants;
+  std::vector<std::string> keys;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ScenarioSpec variant = spec;
+    variant.seed = 1000 + i;
+    cache.store(variant, result);
+    keys.push_back(cache.key_for(variant));
+    fs::last_write_time(dir / (keys.back() + ".json"),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(24));
+    variants.push_back(std::move(variant));
+  }
+  // A hit on the first (otherwise oldest) entry bumps its mtime to now.
+  ASSERT_TRUE(cache.load(variants[0]).has_value());
+
+  const std::uintmax_t entry_bytes =
+      fs::file_size(dir / (keys[0] + ".json"));
+  cache.set_max_bytes(entry_bytes * 5 / 2);
+  ScenarioSpec fourth = spec;
+  fourth.seed = 2000;
+  cache.store(fourth, result);
+
+  // The cold entries went; the replayed one and the new store survive.
+  EXPECT_EQ(cache.evictions(), 2U);
+  EXPECT_TRUE(fs::exists(dir / (keys[0] + ".json")));
+  EXPECT_FALSE(fs::exists(dir / (keys[1] + ".json")));
+  EXPECT_FALSE(fs::exists(dir / (keys[2] + ".json")));
+  EXPECT_TRUE(fs::exists(dir / (cache.key_for(fourth) + ".json")));
 }
 
 }  // namespace

@@ -72,6 +72,31 @@ TEST(SpecJsonTest, EventBackendSpecRoundTrips) {
   EXPECT_EQ(back, spec);
 }
 
+TEST(SpecJsonTest, CountAndAutoBackendsRoundTrip) {
+  for (const Backend backend : {Backend::Count, Backend::Auto}) {
+    ScenarioSpec spec;
+    spec.source.catalog = "epidemic";
+    spec.backend = backend;
+    EXPECT_EQ(ScenarioSpec::from_json(Json::parse(spec.to_json().dump())),
+              spec);
+  }
+  EXPECT_STREQ(backend_name(Backend::Count), "count");
+  EXPECT_STREQ(backend_name(Backend::Auto), "auto");
+  EXPECT_EQ(backend_from_name("count"), Backend::Count);
+  EXPECT_EQ(backend_from_name("auto"), Backend::Auto);
+}
+
+TEST(SpecJsonTest, AutoBackendResolvesByCrossoverN) {
+  EXPECT_EQ(resolve_backend(Backend::Auto, kAutoBackendCrossoverN),
+            Backend::Count);
+  EXPECT_EQ(resolve_backend(Backend::Auto, kAutoBackendCrossoverN - 1),
+            Backend::Sync);
+  // Explicit backends pass through untouched at any N.
+  EXPECT_EQ(resolve_backend(Backend::Sync, 1000000), Backend::Sync);
+  EXPECT_EQ(resolve_backend(Backend::Event, 1000000), Backend::Event);
+  EXPECT_EQ(resolve_backend(Backend::Count, 10), Backend::Count);
+}
+
 TEST(SpecJsonTest, EveryRegistryEntryRoundTrips) {
   for (const std::string& name : registry_names()) {
     const ScenarioSpec spec = registry_get(name);

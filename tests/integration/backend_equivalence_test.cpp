@@ -1,12 +1,13 @@
 // Scheduler-independence under faults: every registry scenario with a
 // fault plan must reach the same steady state whether executed
-// round-synchronously or fully asynchronously (the event backend), and
-// both must sit near the mean-field recursion's endpoint. This is the
-// paper's central claim composed with the unified Simulator fault surface:
-// massive failures, background crash-recovery, and churn all run on either
-// backend now, so the steady states have to agree up to finite-size noise
-// (plus, for the recovery/churn scenarios, the rejoin influx the mean
-// field does not model).
+// round-synchronously, fully asynchronously (the event backend), or as a
+// pure count vector (the count backend), and all three must sit near the
+// mean-field recursion's endpoint. This is the paper's central claim
+// composed with the unified Simulator fault surface: massive failures,
+// background crash-recovery, and churn all run on every backend now, so
+// the steady states have to agree up to finite-size noise (plus, for the
+// recovery/churn scenarios, the rejoin influx the mean field does not
+// model).
 
 #include <gtest/gtest.h>
 
@@ -83,10 +84,10 @@ TEST(BackendEquivalenceTest, FaultScenariosAgreeAcrossBackendsAndMeanField) {
   for (const std::string& name : api::registry_names()) {
     api::ScenarioSpec base = api::registry_get(name);
     if (!base.faults.any()) continue;
-    // The -event registry variants carry the same fault plans as their
-    // sync siblings (the smoke matrix exercises them); comparing each base
-    // scenario across both backends here covers the physics once.
-    if (name.size() > 6 && name.ends_with("-event")) continue;
+    // The -event/-count registry variants carry the same fault plans as
+    // their sync siblings (the smoke matrix exercises them); comparing
+    // each base scenario across all backends here covers the physics once.
+    if (name.ends_with("-event") || name.ends_with("-count")) continue;
 
     base = base.scaled_to(500);
     // Fire scheduled failures early enough that the post-failure steady
@@ -99,32 +100,67 @@ TEST(BackendEquivalenceTest, FaultScenariosAgreeAcrossBackendsAndMeanField) {
     sync_spec.backend = api::Backend::Sync;
     api::ScenarioSpec event_spec = base;
     event_spec.backend = api::Backend::Event;
+    api::ScenarioSpec count_spec = base;
+    count_spec.backend = api::Backend::Count;
 
     api::Experiment sync_exp(sync_spec);
     api::Experiment event_exp(event_spec);
+    api::Experiment count_exp(count_spec);
     const api::ExperimentResult sync_result = sync_exp.run();
     const api::ExperimentResult event_result = event_exp.run();
+    const api::ExperimentResult count_result = count_exp.run();
 
     const std::size_t window = 20;
     const std::vector<double> sync_tail =
         tail_fractions(sync_result, window);
     const std::vector<double> event_tail =
         tail_fractions(event_result, window);
+    const std::vector<double> count_tail =
+        tail_fractions(count_result, window);
 
     // Backend agreement: finite-size noise plus the event backend's
-    // probe-time sequencing, at N = 500 over a 20-period window.
+    // probe-time sequencing (and the count backend's Jacobi/anonymous
+    // approximations), at N = 500 over a 20-period window.
     EXPECT_LT(max_gap(sync_tail, event_tail), 0.10) << name;
+    EXPECT_LT(max_gap(sync_tail, count_tail), 0.10) << name;
 
     // Mean-field agreement: looser, because the recursion models neither
     // the rejoin influx (crash-recovery, churn) nor sequencing bias.
     const std::vector<double> mean_field = mean_field_endpoint(sync_exp);
     EXPECT_LT(max_gap(sync_tail, mean_field), 0.17) << name;
     EXPECT_LT(max_gap(event_tail, mean_field), 0.17) << name;
+    EXPECT_LT(max_gap(count_tail, mean_field), 0.17) << name;
 
-    // Both backends recorded the full horizon and kept processes alive.
+    // Every backend recorded the full horizon and kept processes alive.
     EXPECT_EQ(sync_result.series.size(), base.periods) << name;
     EXPECT_EQ(event_result.series.size(), base.periods) << name;
+    EXPECT_EQ(count_result.series.size(), base.periods) << name;
     EXPECT_GT(event_result.final_alive, 0U) << name;
+    EXPECT_GT(count_result.final_alive, 0U) << name;
+  }
+}
+
+TEST(BackendEquivalenceTest, CleanConvergenceAgreesAcrossAllThreeBackends) {
+  // No faults: the LV majority vote must converge to the same absorbing
+  // majority at a comparable pace on all three backends (the count
+  // backend's settle time is the figure the gigascale sweeps report, so
+  // it has to line up with the per-node backends it replaces).
+  api::ScenarioSpec base = api::registry_get("lv-majority").scaled_to(2000);
+  for (const api::Backend backend :
+       {api::Backend::Sync, api::Backend::Event, api::Backend::Count}) {
+    api::ScenarioSpec spec = base;
+    spec.backend = backend;
+    api::Experiment experiment(spec);
+    const api::ExperimentResult result = experiment.run();
+    const char* label = api::backend_name(backend);
+    EXPECT_TRUE(result.convergence.absorbed) << label;
+    EXPECT_EQ(result.convergence.dominant_state, 0U) << label;  // state x
+    EXPECT_DOUBLE_EQ(result.convergence.dominant_fraction, 1.0) << label;
+    // All backends absorb the 60/40 split well before period 200 (the
+    // sync baseline settles near period 60; a generous margin absorbs
+    // scheduler noise without letting divergent dynamics pass).
+    EXPECT_GE(result.convergence.settle_time, 0.0) << label;
+    EXPECT_LT(result.convergence.settle_time, 200.0) << label;
   }
 }
 

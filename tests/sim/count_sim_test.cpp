@@ -1,0 +1,166 @@
+#include "sim/count_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/action.hpp"
+#include "core/state_machine.hpp"
+
+namespace deproto::sim {
+namespace {
+
+/// Minimal two-state machine: state 0 flips to state 1 with probability q
+/// (the count analogue of sync_sim_test's FlipProtocol).
+core::ProtocolStateMachine flip_machine(double q) {
+  core::ProtocolStateMachine machine({"a", "b"});
+  core::FlippingAction flip;
+  flip.from_state = 0;
+  flip.to_state = 1;
+  flip.coin_bias = q;
+  flip.rate_constant = q;
+  machine.add_action(flip);
+  return machine;
+}
+
+std::size_t sum_counts(const CountSimulator& simulator) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < simulator.num_states(); ++s) {
+    total += simulator.count(s);
+  }
+  return total;
+}
+
+TEST(CountSimTest, RunsPeriodsConservesPopulationAndRecordsMetrics) {
+  CountSimulator simulator(1000, flip_machine(0.3), 1);
+  simulator.run(10);
+  EXPECT_EQ(simulator.current_period(), 10U);
+  EXPECT_EQ(simulator.metrics().samples().size(), 10U);
+  EXPECT_EQ(simulator.total_alive(), 1000U);
+  EXPECT_EQ(sum_counts(simulator), 1000U);
+  // With q = 0.3 per period, state 0 decays to ~28 expected survivors.
+  EXPECT_LT(simulator.count(0), 200U);
+}
+
+TEST(CountSimTest, CertainFlipMovesEveryoneAndCountsTransitions) {
+  CountSimulator simulator(50, flip_machine(1.0), 2);
+  simulator.run(1);
+  EXPECT_EQ(simulator.count(0), 0U);
+  EXPECT_EQ(simulator.count(1), 50U);
+  EXPECT_EQ(simulator.metrics().samples()[0].transitions[0 * 2 + 1], 50U);
+  EXPECT_EQ(simulator.metrics().samples()[0].total_alive, 50U);
+}
+
+TEST(CountSimTest, OnePeriodIsABinomialDraw) {
+  // One period moves Binomial(N, q) processes: at N = 10000, q = 0.3 the
+  // draw is 3000 +- 46, so a 500-wide window is > 10 sigma.
+  CountSimulator simulator(10000, flip_machine(0.3), 3);
+  simulator.run(1);
+  EXPECT_NEAR(static_cast<double>(simulator.count(1)), 3000.0, 500.0);
+}
+
+TEST(CountSimTest, SeedStatesDistributesAndRemainderStaysInStateZero) {
+  CountSimulator simulator(100, flip_machine(0.0), 4);
+  simulator.seed_states({0, 40});
+  EXPECT_EQ(simulator.count(0), 60U);  // unseeded remainder
+  EXPECT_EQ(simulator.count(1), 40U);
+  EXPECT_THROW(simulator.seed_states({200, 0}), std::invalid_argument);
+  EXPECT_THROW(simulator.seed_states({0, 0, 0}), std::invalid_argument);
+}
+
+TEST(CountSimTest, GroupAccessThrowsAndPerNodeIsFalse) {
+  CountSimulator simulator(10, flip_machine(0.0), 5);
+  EXPECT_FALSE(simulator.per_node());
+  EXPECT_THROW((void)simulator.group(), std::logic_error);
+}
+
+TEST(CountSimTest, MassiveFailureRemovesRoundedFractionAtItsPeriod) {
+  CountSimulator simulator(1000, flip_machine(0.0), 6);
+  simulator.schedule_massive_failure(3, 0.5);
+  simulator.run(3);
+  EXPECT_EQ(simulator.total_alive(), 1000U);
+  simulator.run(1);
+  EXPECT_EQ(simulator.total_alive(), 500U);
+  EXPECT_EQ(sum_counts(simulator), 500U);
+}
+
+TEST(CountSimTest, MassiveFailureRemovesAcrossStates) {
+  CountSimulator simulator(1000, flip_machine(0.0), 7);
+  simulator.seed_states({500, 500});
+  simulator.schedule_massive_failure(0, 0.9);
+  simulator.run(1);
+  EXPECT_EQ(simulator.total_alive(), 100U);
+  EXPECT_EQ(sum_counts(simulator), 100U);
+  // Victims are spread over both buckets, not taken from one side only.
+  EXPECT_GT(simulator.count(0), 0U);
+  EXPECT_GT(simulator.count(1), 0U);
+}
+
+TEST(CountSimTest, ScheduledCrashAndRecoveryAreAnonymousButCounted) {
+  CountSimulator simulator(10, flip_machine(0.0), 8);
+  simulator.schedule_crash(/*pid=*/3, /*time=*/2.0, /*recover_time=*/5.0);
+  simulator.run(2);
+  EXPECT_EQ(simulator.total_alive(), 10U);
+  simulator.run(1);  // crash quantizes to the period-3 start
+  EXPECT_EQ(simulator.total_alive(), 9U);
+  simulator.run(3);  // rejoin at t = 5 revives one process into state 0
+  EXPECT_EQ(simulator.total_alive(), 10U);
+  EXPECT_EQ(sum_counts(simulator), 10U);
+}
+
+TEST(CountSimTest, ChurnPlaybackCrashesAndRevives) {
+  CountSimulator simulator(10, flip_machine(0.0), 9);
+  // One departure at hour 0.1 and a rejoin at hour 0.5 (periods: x10);
+  // churn events act within their covering period, like the sync backend.
+  simulator.attach_churn(ChurnTrace::from_events({
+                             ChurnEvent{0.1, 3, false},
+                             ChurnEvent{0.5, 3, true},
+                         }),
+                         10.0);
+  simulator.run(2);
+  EXPECT_EQ(simulator.total_alive(), 9U);
+  simulator.run(4);
+  EXPECT_EQ(simulator.total_alive(), 10U);
+}
+
+TEST(CountSimTest, BackgroundCrashRecoveryKeepsPopulationBounded) {
+  CountSimulator simulator(200, flip_machine(0.1), 10);
+  simulator.set_crash_recovery(/*crash_prob=*/0.2,
+                               /*mean_downtime_periods=*/2.0);
+  simulator.run(30);
+  // Crashes and revivals balance: some processes are down, none are lost.
+  EXPECT_GT(simulator.total_alive(), 0U);
+  EXPECT_LT(simulator.total_alive(), 200U);
+  EXPECT_EQ(sum_counts(simulator), simulator.total_alive());
+  EXPECT_THROW(simulator.set_crash_recovery(1.5, 1.0),
+               std::invalid_argument);
+}
+
+TEST(CountSimTest, SameSeedSameTrajectory) {
+  CountSimulator a(5000, flip_machine(0.2), 11);
+  CountSimulator b(5000, flip_machine(0.2), 11);
+  a.run(20);
+  b.run(20);
+  for (std::size_t s = 0; s < a.num_states(); ++s) {
+    EXPECT_EQ(a.count(s), b.count(s)) << s;
+  }
+  EXPECT_EQ(a.probes_total(), b.probes_total());
+}
+
+TEST(CountSimTest, RunForRoundsUpToWholePeriods) {
+  CountSimulator simulator(100, flip_machine(0.0), 12);
+  simulator.run_for(2.3);
+  EXPECT_EQ(simulator.current_period(), 3U);
+}
+
+TEST(CountSimTest, RejectsBadMessageLoss) {
+  CountSimOptions options;
+  options.message_loss = 1.5;
+  EXPECT_THROW(CountSimulator(10, flip_machine(0.0), 13, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deproto::sim

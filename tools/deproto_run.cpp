@@ -11,7 +11,9 @@
 //   --n <N>            override the group size (initial counts rescale)
 //   --periods <k>      override the simulation length
 //   --seed <s>         override the simulation seed
-//   --backend <b>      override the execution backend (sync | event)
+//   --backend <b>      override the execution backend
+//                      (sync | event | count | auto; auto picks count at
+//                      N >= 100000, sync below)
 //   --threads <T>      sweep/smoke worker threads (0 = all cores)
 //   --repeat <k>       replicates: lifts a scenario into a sweep, or
 //                      overrides a sweep's replicate count
@@ -27,10 +29,12 @@
 //   --no-cache         ignore --cache and $DEPROTO_CACHE_DIR
 //   --cache-gc         after the run, delete cache entries it did not
 //                      touch (stale points from edited sweeps)
+//   --cache-max-bytes <b>  bound the cache directory: evict the least
+//                      recently used entries as new results are stored
 //   --spec-out <file>  write the (resolved) Scenario/SweepSpec as JSON
 //   --quiet            suppress the population table / per-job lines
 //
-// Every scenario runs on either backend, and the sweep engine guarantees
+// Every scenario runs on any backend, and the sweep engine guarantees
 // results are ordered and aggregated by job index: the same sweep run
 // with --threads 1 and --threads 8 writes byte-identical --json/--jsonl
 // output.
@@ -93,15 +97,17 @@ struct CliOptions {
   std::string cache_dir;  // --cache, else $DEPROTO_CACHE_DIR
   bool no_cache = false;
   bool cache_gc = false;
+  std::optional<std::uint64_t> cache_max_bytes;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --list | --smoke | (<scenario> | --spec f.json | "
                "--sweep preset|f.json) [--n N] [--periods k] [--seed s] "
-               "[--backend sync|event] [--threads T] [--repeat k] "
+               "[--backend sync|event|count|auto] [--threads T] [--repeat k] "
                "[--json out.json] [--jsonl out.jsonl] [--cache dir] "
-               "[--no-cache] [--cache-gc] [--spec-out out.json] [--quiet]\n",
+               "[--no-cache] [--cache-gc] [--cache-max-bytes b] "
+               "[--spec-out out.json] [--quiet]\n",
                argv0);
   return 2;
 }
@@ -138,6 +144,14 @@ bool parse_args(int argc, char** argv, CliOptions* options) {
       options->no_cache = true;
     } else if (arg == "--cache-gc") {
       options->cache_gc = true;
+    } else if (arg == "--cache-max-bytes") {
+      std::uint64_t max_bytes = 0;
+      if (!next("--cache-max-bytes", &value)) return false;
+      if (!deproto::cli::parse_u64(value, &max_bytes)) {
+        return deproto::cli::value_error("--cache-max-bytes",
+                                         "invalid byte count", value);
+      }
+      options->cache_max_bytes = max_bytes;
     } else if (arg == "--spec-out") {
       if (!next("--spec-out", &options->spec_out)) return false;
     } else if (arg == "--threads") {
@@ -347,9 +361,18 @@ std::unique_ptr<ResultCache> open_cache(const CliOptions& options) {
       throw deproto::api::SpecError(
           "--cache-gc needs a cache (--cache <dir> or $DEPROTO_CACHE_DIR)");
     }
+    if (options.cache_max_bytes.has_value()) {
+      throw deproto::api::SpecError(
+          "--cache-max-bytes needs a cache (--cache <dir> or "
+          "$DEPROTO_CACHE_DIR)");
+    }
     return nullptr;
   }
-  return std::make_unique<ResultCache>(dir);
+  auto cache = std::make_unique<ResultCache>(dir);
+  if (options.cache_max_bytes.has_value()) {
+    cache->set_max_bytes(*options.cache_max_bytes);
+  }
+  return cache;
 }
 
 /// The hit/miss line after a cached run ("cache: 12/12 hits, ..."), plus
@@ -363,6 +386,11 @@ void finish_cache(const SweepResult& result, ResultCache* cache,
               result.cache.hits, lookups, result.cache.misses,
               result.cache.corrupt, result.cache.stores,
               result.cache.skipped, cache->dir().string().c_str());
+  if (cache->max_bytes() > 0) {
+    std::printf("cache-lru: %zu evicted (bound %llu bytes)\n",
+                cache->evictions(),
+                static_cast<unsigned long long>(cache->max_bytes()));
+  }
   if (cache_gc) {
     std::printf("cache-gc: pruned %zu stale entries\n", cache->gc_unused());
   }
@@ -457,8 +485,8 @@ int run_sweep(SweepSpec sweep, const CliOptions& options) {
 }
 
 /// The registry-rot guard: list, then run every scenario at N <= 500 and
-/// <= 20 periods on BOTH backends -- the full {scenario} x {sync, event}
-/// matrix the unified Simulator interface promises -- through the
+/// <= 20 periods on EVERY backend -- the full {scenario} x {sync, event,
+/// count} matrix the unified Simulator interface promises -- through the
 /// SuiteRunner engine (so the smoke also exercises the pool + ordered
 /// sinks). Registered as a CTest smoke test.
 int run_smoke(const CliOptions& options) {
@@ -467,7 +495,8 @@ int run_smoke(const CliOptions& options) {
   std::vector<SweepJob> jobs;
   for (const std::string& name : deproto::api::registry_names()) {
     for (const deproto::api::Backend backend :
-         {deproto::api::Backend::Sync, deproto::api::Backend::Event}) {
+         {deproto::api::Backend::Sync, deproto::api::Backend::Event,
+          deproto::api::Backend::Count}) {
       ScenarioSpec spec = deproto::api::registry_get(name);
       spec.backend = backend;
       spec = spec.scaled_to(std::min<std::size_t>(spec.n, 500));
@@ -615,10 +644,12 @@ int main(int argc, char** argv) {
     // beats silently never creating the file (or cache) the caller asked
     // for. An ambient $DEPROTO_CACHE_DIR is simply unused here.
     if (!options.jsonl_out.empty() || options.threads != 0 ||
-        !options.cache_dir.empty() || options.cache_gc) {
+        !options.cache_dir.empty() || options.cache_gc ||
+        options.cache_max_bytes.has_value()) {
       std::fprintf(stderr,
-                   "error: --jsonl/--threads/--cache/--cache-gc apply to "
-                   "--sweep, --smoke, or --repeat runs only\n");
+                   "error: --jsonl/--threads/--cache/--cache-gc/"
+                   "--cache-max-bytes apply to --sweep, --smoke, or "
+                   "--repeat runs only\n");
       return 1;
     }
     return run_one(apply_overrides(std::move(spec), options), options);
