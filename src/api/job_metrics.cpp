@@ -1,0 +1,44 @@
+#include "api/job_metrics.hpp"
+
+namespace deproto::api::detail {
+
+std::vector<std::pair<std::string, double>> result_metrics(
+    const ExperimentResult& r) {
+  std::vector<std::pair<std::string, double>> m;
+  m.emplace_back("settle_time", r.convergence.settle_time);
+  m.emplace_back("dominant_fraction", r.convergence.dominant_fraction);
+  m.emplace_back("absorbed", r.convergence.absorbed ? 1.0 : 0.0);
+  m.emplace_back("final_alive", static_cast<double>(r.final_alive));
+  for (std::size_t s = 0; s < r.state_names.size(); ++s) {
+    const double fraction =
+        r.final_alive == 0 ? 0.0
+                           : static_cast<double>(r.final_counts[s]) /
+                                 static_cast<double>(r.final_alive);
+    m.emplace_back("final_fraction_" + r.state_names[s], fraction);
+  }
+  m.emplace_back("probes_total", static_cast<double>(r.probes_total));
+  m.emplace_back("tokens_generated", static_cast<double>(r.tokens.generated));
+  m.emplace_back("tokens_delivered", static_cast<double>(r.tokens.delivered));
+  m.emplace_back("tokens_dropped", static_cast<double>(r.tokens.dropped));
+  m.emplace_back("messages_sent", static_cast<double>(r.messages_sent));
+  m.emplace_back("messages_dropped",
+                 static_cast<double>(r.messages_dropped));
+  return m;
+}
+
+Json metrics_to_json(
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  Json j = Json::object();
+  for (const auto& [name, value] : metrics) j.set(name, Json::number(value));
+  return j;
+}
+
+std::vector<std::pair<std::string, double>> metrics_from_json(const Json& j) {
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const auto& [name, value] : j.items()) {
+    metrics.emplace_back(name, value.as_number());
+  }
+  return metrics;
+}
+
+}  // namespace deproto::api::detail

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/job_metrics.hpp"
 #include "api/json.hpp"
 
 namespace deproto::api {
@@ -149,36 +150,56 @@ std::filesystem::path ResultCache::entry_path(const std::string& key) const {
   return dir_ / (key + ".json");
 }
 
-std::optional<ExperimentResult> ResultCache::load(const ScenarioSpec& spec) {
-  const std::string spec_dump = spec.to_json().dump();
-  const std::string key = key_for_dump(spec_dump);
-  const std::filesystem::path path = entry_path(key);
-
-  bool present = false;
-  std::optional<ExperimentResult> result;
+ResultCache::EntryRead ResultCache::read_entry(
+    const std::filesystem::path& path, const std::string& spec_dump,
+    CachedEntry* out) const {
   try {
     std::ifstream in(path, std::ios::binary);
-    if (in) {
-      present = true;
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      const Json entry = Json::parse(buffer.str());
-      // Self-verification: format, salt, and the full stored spec must
-      // match. The spec comparison turns a (vanishingly unlikely) hash
-      // collision into a miss instead of a silently wrong replay, and
-      // doubles as the corrupt-entry check for truncated/garbled files.
-      if (entry.at("format").as_size() ==
-              static_cast<std::size_t>(kFormatVersion) &&
-          entry.get_or("salt", std::string()) == salt_ &&
-          entry.at("spec").dump() == spec_dump) {
-        result = ExperimentResult::from_json(entry.at("result"));
-      }
+    if (!in) return EntryRead::Absent;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string contents = std::move(buffer).str();
+    // v2 entry: "<header json>\n<result dump>\n".
+    const std::size_t split = contents.find('\n');
+    if (split == std::string::npos) return EntryRead::Corrupt;
+    const Json header = Json::parse(contents.substr(0, split));
+    // Self-verification: format, salt, and the full stored spec must
+    // match. The spec comparison turns a (vanishingly unlikely) hash
+    // collision into a miss instead of a silently wrong replay, and
+    // doubles as the stale-format check for v1 entries (single-line JSON
+    // with format == 1: header parse succeeds, format test fails).
+    if (header.at("format").as_size() !=
+            static_cast<std::size_t>(kFormatVersion) ||
+        header.get_or("salt", std::string()) != salt_ ||
+        header.at("spec").dump() != spec_dump) {
+      return EntryRead::Corrupt;
     }
+    std::string dump = contents.substr(split + 1);
+    if (!dump.empty() && dump.back() == '\n') dump.pop_back();
+    // The warm path never parses the body, so integrity rests on the
+    // header's recorded byte count (catches truncation; torn writes are
+    // already impossible under tmp+rename) plus the canonical dump's
+    // fixed delimiters.
+    if (dump.size() != header.at("result_bytes").as_size() ||
+        dump.empty() || dump.front() != '{' || dump.back() != '}') {
+      return EntryRead::Corrupt;
+    }
+    out->metrics = header.at("metrics");
+    out->result_dump = std::move(dump);
+    return EntryRead::Ok;
   } catch (const std::exception&) {
-    result.reset();  // unparseable or shape-mismatched entry: a miss
+    return EntryRead::Corrupt;  // unparseable or shape-mismatched header
   }
+}
 
-  if (result.has_value()) {
+std::optional<CachedEntry> ResultCache::load_entry(const ScenarioSpec& spec) {
+  const std::string spec_dump = spec.to_json().dump();
+  const std::filesystem::path path = entry_path(key_for_dump(spec_dump));
+
+  CachedEntry entry;
+  const EntryRead read = read_entry(path, spec_dump, &entry);
+
+  if (read == EntryRead::Ok) {
     // A hit is a use: refresh the entry's mtime so the LRU size bound
     // (set_max_bytes) evicts cold entries before replayed ones.
     std::error_code touch_ec;
@@ -187,29 +208,54 @@ std::optional<ExperimentResult> ResultCache::load(const ScenarioSpec& spec) {
   }
 
   std::lock_guard<std::mutex> lock(mu_);
-  if (result.has_value()) {
+  if (read == EntryRead::Ok) {
     ++stats_.hits;
     used_.insert(path.filename().string());
-  } else {
-    ++stats_.misses;
-    if (present) ++stats_.corrupt;
+    return entry;
   }
-  return result;
+  ++stats_.misses;
+  if (read == EntryRead::Corrupt) ++stats_.corrupt;
+  return std::nullopt;
+}
+
+std::optional<ExperimentResult> ResultCache::load(const ScenarioSpec& spec) {
+  std::optional<CachedEntry> entry = load_entry(spec);
+  if (!entry.has_value()) return std::nullopt;
+  try {
+    return ExperimentResult::from_json(Json::parse(entry->result_dump));
+  } catch (const std::exception&) {
+    // Header verified but the body did not parse: demote the counted hit
+    // to a corrupt miss so the accounting matches what the caller saw.
+    std::lock_guard<std::mutex> lock(mu_);
+    --stats_.hits;
+    ++stats_.misses;
+    ++stats_.corrupt;
+    return std::nullopt;
+  }
 }
 
 void ResultCache::store(const ScenarioSpec& spec,
                         const ExperimentResult& result) {
+  store_dump(spec, result.to_json(/*include_timing=*/false).dump(),
+             detail::metrics_to_json(detail::result_metrics(result)));
+}
+
+void ResultCache::store_dump(const ScenarioSpec& spec,
+                             const std::string& result_dump,
+                             const Json& metrics) {
   Json spec_json = spec.to_json();
   const std::string key = key_for_dump(spec_json.dump());
   const std::filesystem::path path = entry_path(key);
 
-  Json entry = Json::object();
-  entry.set("format", Json::number(kFormatVersion));
-  entry.set("salt", Json::string(salt_));
-  entry.set("spec", std::move(spec_json));
-  // The deterministic form only: wall-clock in a memoized entry would
-  // leak one machine's timing into every later replay.
-  entry.set("result", result.to_json(/*include_timing=*/false));
+  // Header line only; the (deterministic-form) result dump is appended
+  // verbatim as line two. Wall-clock never enters an entry: it would leak
+  // one machine's timing into every later replay.
+  Json header = Json::object();
+  header.set("format", Json::number(kFormatVersion));
+  header.set("salt", Json::string(salt_));
+  header.set("spec", std::move(spec_json));
+  header.set("metrics", metrics);
+  header.set("result_bytes", Json::number(result_dump.size()));
 
   // Unique tmp name per writer (pid x thread, so concurrent processes
   // sharing one cache dir cannot interleave into the same tmp file), then
@@ -222,7 +268,7 @@ void ResultCache::store(const ScenarioSpec& spec,
               std::to_string(writer));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out << entry.dump() << '\n';
+    out << header.dump() << '\n' << result_dump << '\n';
     if (!out.flush().good()) {
       std::error_code ec;
       std::filesystem::remove(tmp, ec);

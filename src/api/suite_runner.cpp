@@ -9,6 +9,9 @@
 #include <ostream>
 #include <thread>
 
+#include "api/job_metrics.hpp"
+#include "dist/dispatcher.hpp"
+
 namespace deproto::api {
 
 namespace {
@@ -18,6 +21,10 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
                                        start)
       .count();
 }
+
+}  // namespace
+
+namespace detail {
 
 Json coords_to_json(const SweepCoords& coords) {
   Json j = Json::object();
@@ -33,37 +40,8 @@ SweepCoords coords_from_json(const Json& j) {
   return coords;
 }
 
-/// The fixed per-replicate metric vector (name, value) extracted from one
-/// successful result. Every replicate of a point yields the same key
-/// sequence, so per-point aggregation is a simple columnwise fold.
-std::vector<std::pair<std::string, double>> result_metrics(
-    const ExperimentResult& r) {
-  std::vector<std::pair<std::string, double>> m;
-  m.emplace_back("settle_time", r.convergence.settle_time);
-  m.emplace_back("dominant_fraction", r.convergence.dominant_fraction);
-  m.emplace_back("absorbed", r.convergence.absorbed ? 1.0 : 0.0);
-  m.emplace_back("final_alive", static_cast<double>(r.final_alive));
-  for (std::size_t s = 0; s < r.state_names.size(); ++s) {
-    const double fraction =
-        r.final_alive == 0
-            ? 0.0
-            : static_cast<double>(r.final_counts[s]) /
-                  static_cast<double>(r.final_alive);
-    m.emplace_back("final_fraction_" + r.state_names[s], fraction);
-  }
-  m.emplace_back("probes_total", static_cast<double>(r.probes_total));
-  m.emplace_back("tokens_generated",
-                 static_cast<double>(r.tokens.generated));
-  m.emplace_back("tokens_delivered",
-                 static_cast<double>(r.tokens.delivered));
-  m.emplace_back("tokens_dropped", static_cast<double>(r.tokens.dropped));
-  m.emplace_back("messages_sent", static_cast<double>(r.messages_sent));
-  m.emplace_back("messages_dropped",
-                 static_cast<double>(r.messages_dropped));
-  return m;
-}
-
-Json jsonl_line(const JobOutcome& outcome, bool with_timing) {
+Json jsonl_line(const JobOutcome& outcome, bool with_timing,
+                const std::string* raw_result) {
   Json line = Json::object();
   line.set("job", Json::number(outcome.job.index));
   line.set("point", Json::number(outcome.job.point));
@@ -72,7 +50,13 @@ Json jsonl_line(const JobOutcome& outcome, bool with_timing) {
   line.set("coords", coords_to_json(outcome.job.coords));
   line.set("ok", Json::boolean(outcome.ok));
   if (outcome.ok) {
-    line.set("result", outcome.result.to_json(with_timing));
+    if (raw_result != nullptr && !with_timing) {
+      // Dispatch mode: the worker already serialized the deterministic
+      // form; splice its bytes instead of re-building the tree.
+      line.set("result", Json::raw(*raw_result));
+    } else {
+      line.set("result", outcome.result.to_json(with_timing));
+    }
   } else {
     line.set("error", Json::string(outcome.error));
   }
@@ -82,297 +66,10 @@ Json jsonl_line(const JobOutcome& outcome, bool with_timing) {
   return line;
 }
 
-}  // namespace
-
-Aggregate Aggregate::of(const std::vector<double>& values) {
-  Aggregate a;
-  a.count = values.size();
-  if (values.empty()) return a;
-  a.min = values.front();
-  a.max = values.front();
-  double sum = 0.0;
-  for (const double v : values) {
-    sum += v;
-    a.min = std::min(a.min, v);
-    a.max = std::max(a.max, v);
-  }
-  a.mean = sum / static_cast<double>(a.count);
-  double sq = 0.0;
-  for (const double v : values) sq += (v - a.mean) * (v - a.mean);
-  a.stddev = std::sqrt(sq / static_cast<double>(a.count));
-  return a;
-}
-
-Json Aggregate::to_json() const {
-  return Json::object()
-      .set("count", Json::number(count))
-      .set("mean", Json::number(mean))
-      .set("stddev", Json::number(stddev))
-      .set("min", Json::number(min))
-      .set("max", Json::number(max));
-}
-
-Aggregate Aggregate::from_json(const Json& j) {
-  Aggregate a;
-  a.count = j.at("count").as_size();
-  a.mean = j.get_or("mean", 0.0);
-  a.stddev = j.get_or("stddev", 0.0);
-  a.min = j.get_or("min", 0.0);
-  a.max = j.get_or("max", 0.0);
-  return a;
-}
-
-const Aggregate* PointSummary::metric(const std::string& name) const {
-  for (const auto& [key, aggregate] : metrics) {
-    if (key == name) return &aggregate;
-  }
-  return nullptr;
-}
-
-double SweepResult::jobs_per_second() const {
-  return elapsed_seconds > 0.0
-             ? static_cast<double>(jobs_total) / elapsed_seconds
-             : 0.0;
-}
-
-Json SweepResult::to_json(bool include_timing) const {
-  Json j = Json::object();
-  if (!sweep.empty()) j.set("sweep", Json::string(sweep));
-  j.set("jobs_total", Json::number(jobs_total));
-  j.set("jobs_failed", Json::number(jobs_failed));
-  Json point_arr = Json::array();
-  for (const PointSummary& point : points) {
-    Json p = Json::object();
-    p.set("point", Json::number(point.point));
-    p.set("coords", coords_to_json(point.coords));
-    p.set("replicates", Json::number(point.replicates));
-    Json metrics = Json::object();
-    for (const auto& [name, aggregate] : point.metrics) {
-      metrics.set(name, aggregate.to_json());
-    }
-    p.set("metrics", std::move(metrics));
-    point_arr.push(std::move(p));
-  }
-  j.set("points", std::move(point_arr));
-  Json failures = Json::array();
-  for (const JobOutcome& outcome : jobs) {
-    if (outcome.ok || outcome.error.empty()) continue;
-    failures.push(Json::object()
-                      .set("job", Json::number(outcome.job.index))
-                      .set("scenario", Json::string(outcome.job.spec.name))
-                      .set("error", Json::string(outcome.error)));
-  }
-  j.set("failures", std::move(failures));
-  // A truncated JSONL sink marks the run as bad in both forms (a document
-  // produced by a failed run should never compare equal to a clean one);
-  // the key is absent on healthy runs so their bytes are unchanged.
-  if (jsonl_failed) j.set("jsonl_failed", Json::boolean(true));
-  if (include_timing) {
-    Json timing = Json::object();
-    timing.set("elapsed_seconds", Json::number(elapsed_seconds));
-    timing.set("threads", Json::number(threads));
-    timing.set("jobs_per_second", Json::number(jobs_per_second()));
-    Json per_point = Json::array();
-    for (const PointSummary& point : points) {
-      per_point.push(point.elapsed.to_json());
-    }
-    timing.set("point_elapsed", std::move(per_point));
-    j.set("timing", std::move(timing));
-    if (cache_enabled) {
-      // Hit/miss accounting rides with timing: both describe how this
-      // run executed, not what it computed.
-      j.set("cache", Json::object()
-                         .set("hits", Json::number(cache.hits))
-                         .set("misses", Json::number(cache.misses))
-                         .set("corrupt", Json::number(cache.corrupt))
-                         .set("stores", Json::number(cache.stores))
-                         .set("skipped", Json::number(cache.skipped)));
-    }
-  }
-  return j;
-}
-
-SweepResult SweepResult::from_json(const Json& j) {
-  SweepResult r;
-  r.sweep = j.get_or("sweep", std::string());
-  r.jobs_total = j.at("jobs_total").as_size();
-  r.jobs_failed = j.at("jobs_failed").as_size();
-  for (const Json& e : j.at("points").elements()) {
-    PointSummary point;
-    point.point = e.at("point").as_size();
-    point.coords = coords_from_json(e.at("coords"));
-    point.replicates = e.at("replicates").as_size();
-    for (const auto& [name, aggregate] : e.at("metrics").items()) {
-      point.metrics.emplace_back(name, Aggregate::from_json(aggregate));
-    }
-    r.points.push_back(std::move(point));
-  }
-  if (j.contains("failures")) {
-    // Reconstruct the failed outcomes (identity + error only) so parsing
-    // and re-dumping a document with failures is idempotent.
-    for (const Json& e : j.at("failures").elements()) {
-      JobOutcome outcome;
-      outcome.job.index = e.at("job").as_size();
-      outcome.job.spec.name = e.get_or("scenario", std::string());
-      outcome.error = e.get_or("error", std::string());
-      r.jobs.push_back(std::move(outcome));
-    }
-  }
-  r.jsonl_failed = j.get_or("jsonl_failed", false);
-  if (j.contains("timing")) {
-    const Json& timing = j.at("timing");
-    r.elapsed_seconds = timing.get_or("elapsed_seconds", 0.0);
-    r.threads = timing.contains("threads") ? timing.at("threads").as_size()
-                                           : r.threads;
-    if (timing.contains("point_elapsed")) {
-      const Json::Array& elapsed = timing.at("point_elapsed").elements();
-      for (std::size_t p = 0; p < elapsed.size() && p < r.points.size();
-           ++p) {
-        r.points[p].elapsed = Aggregate::from_json(elapsed[p]);
-      }
-    }
-  }
-  if (j.contains("cache")) {
-    const Json& cache = j.at("cache");
-    r.cache_enabled = true;
-    r.cache.hits = cache.at("hits").as_size();
-    r.cache.misses = cache.at("misses").as_size();
-    r.cache.corrupt =
-        cache.contains("corrupt") ? cache.at("corrupt").as_size() : 0;
-    r.cache.stores =
-        cache.contains("stores") ? cache.at("stores").as_size() : 0;
-    r.cache.skipped =
-        cache.contains("skipped") ? cache.at("skipped").as_size() : 0;
-  }
-  return r;
-}
-
-SuiteRunner::SuiteRunner(SuiteOptions options)
-    : options_(std::move(options)) {}
-
-SweepResult SuiteRunner::run(const SweepSpec& sweep) const {
-  return run_jobs(sweep.expand(),
-                  sweep.name.empty() ? sweep.base.name : sweep.name);
-}
-
-SweepResult SuiteRunner::run_jobs(std::vector<SweepJob> jobs,
-                                  const std::string& suite_name) const {
-  const auto suite_start = std::chrono::steady_clock::now();
-
-  std::size_t n_threads = options_.threads;
-  if (n_threads == 0) {
-    n_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  n_threads = std::max<std::size_t>(1, std::min(n_threads, jobs.size()));
-
-  SweepResult out;
-  out.sweep = suite_name;
-  out.jobs_total = jobs.size();
-  out.threads = n_threads;
-  out.cache_enabled = options_.cache != nullptr;
-  out.jobs.resize(jobs.size());
-  // The cache instance may outlive this run (warm reruns reuse it), so
-  // the per-run accounting is a delta against its lifetime counters.
-  const CacheStats cache_before =
-      options_.cache != nullptr ? options_.cache->stats() : CacheStats{};
-
-  // The engine: an atomic counter hands out job indices; completed
-  // outcomes land in a slot vector; whichever worker extends the
-  // completed prefix flushes it, so the JSONL sink and on_result hook
-  // observe strict job-index order no matter which thread finished what.
-  // Metric vectors are extracted before the flush can drop the heavy
-  // per-period series (store_results == false streams at O(metrics) per
-  // job, not O(series)).
-  std::vector<std::vector<std::pair<std::string, double>>> metrics_by_job(
-      jobs.size());
-  std::atomic<std::size_t> next{0};
-  std::mutex mu;
-  std::vector<char> done(jobs.size(), 0);
-  std::size_t flushed = 0;
-  bool flushing = false;
-
-  // At most one thread flushes at a time, and sink I/O (JSONL
-  // serialization, the on_result hook) happens with the lock RELEASED --
-  // workers finishing short jobs never queue behind a slow sink. The
-  // active flusher re-checks the prefix after every item, so entries
-  // marked done while it was writing are picked up before it retires.
-  auto flush_prefix = [&](std::unique_lock<std::mutex>& lock) {
-    if (flushing) return;
-    flushing = true;
-    while (flushed < out.jobs.size() && done[flushed]) {
-      JobOutcome& outcome = out.jobs[flushed];
-      ++flushed;
-      lock.unlock();  // the flushed slot is stable; only this thread
-                      // touches it now
-      bool sink_failed = false;
-      if (options_.jsonl != nullptr) {
-        *options_.jsonl << jsonl_line(outcome, options_.jsonl_timing).dump()
-                        << '\n';
-        // A full disk fails silently otherwise: the stream swallows the
-        // short write and the run would report success over a truncated
-        // file. Checked per line so the failure is caught while the run
-        // can still surface it, not after the ofstream is gone.
-        sink_failed = !options_.jsonl->good();
-      }
-      if (options_.on_result) options_.on_result(outcome);
-      if (!options_.store_results) outcome.result = ExperimentResult{};
-      lock.lock();
-      if (sink_failed) out.jsonl_failed = true;
-    }
-    flushing = false;
-  };
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      JobOutcome outcome;
-      outcome.job = std::move(jobs[i]);
-      const auto job_start = std::chrono::steady_clock::now();
-      try {
-        // Lookup-before-execute: a hit replays the memoized result and
-        // runs zero simulation; a miss executes and writes through, so
-        // the next run of the same spec (any thread count, any axis
-        // reordering that preserves the spec) hits.
-        if (options_.cache != nullptr) {
-          if (std::optional<ExperimentResult> cached =
-                  options_.cache->load(outcome.job.spec)) {
-            outcome.result = std::move(*cached);
-            outcome.ok = true;
-            outcome.cached = true;
-          }
-        }
-        if (!outcome.cached) {
-          Experiment experiment(outcome.job.spec);
-          outcome.result = experiment.run();
-          outcome.ok = true;
-          if (options_.cache != nullptr) {
-            options_.cache->store(outcome.job.spec, outcome.result);
-          }
-        }
-      } catch (const std::exception& e) {
-        outcome.error = e.what();
-        if (options_.cache != nullptr) options_.cache->note_skipped();
-      }
-      outcome.elapsed_seconds = seconds_since(job_start);
-      if (outcome.ok) metrics_by_job[i] = result_metrics(outcome.result);
-
-      std::unique_lock<std::mutex> lock(mu);
-      out.jobs[i] = std::move(outcome);
-      done[i] = 1;
-      flush_prefix(lock);
-    }
-  };
-
-  if (n_threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads);
-    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-
+void aggregate_points(
+    SweepResult& out,
+    const std::vector<std::vector<std::pair<std::string, double>>>&
+        metrics_by_job) {
   // Aggregate per point, in job-index order, so floating-point folds are
   // independent of the execution interleaving. The point-contiguity
   // precondition (see the header) is enforced, not assumed: a shuffled
@@ -437,6 +134,345 @@ SweepResult SuiteRunner::run_jobs(std::vector<SweepJob> jobs,
     }
   }
   if (!out.jobs.empty()) finalize_point();
+}
+
+}  // namespace detail
+
+Aggregate Aggregate::of(const std::vector<double>& values) {
+  Aggregate a;
+  a.count = values.size();
+  if (values.empty()) return a;
+  a.min = values.front();
+  a.max = values.front();
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+    a.min = std::min(a.min, v);
+    a.max = std::max(a.max, v);
+  }
+  a.mean = sum / static_cast<double>(a.count);
+  double sq = 0.0;
+  for (const double v : values) sq += (v - a.mean) * (v - a.mean);
+  a.stddev = std::sqrt(sq / static_cast<double>(a.count));
+  return a;
+}
+
+Json Aggregate::to_json() const {
+  return Json::object()
+      .set("count", Json::number(count))
+      .set("mean", Json::number(mean))
+      .set("stddev", Json::number(stddev))
+      .set("min", Json::number(min))
+      .set("max", Json::number(max));
+}
+
+Aggregate Aggregate::from_json(const Json& j) {
+  Aggregate a;
+  a.count = j.at("count").as_size();
+  a.mean = j.get_or("mean", 0.0);
+  a.stddev = j.get_or("stddev", 0.0);
+  a.min = j.get_or("min", 0.0);
+  a.max = j.get_or("max", 0.0);
+  return a;
+}
+
+const Aggregate* PointSummary::metric(const std::string& name) const {
+  for (const auto& [key, aggregate] : metrics) {
+    if (key == name) return &aggregate;
+  }
+  return nullptr;
+}
+
+double SweepResult::jobs_per_second() const {
+  return elapsed_seconds > 0.0
+             ? static_cast<double>(jobs_total) / elapsed_seconds
+             : 0.0;
+}
+
+Json SweepResult::to_json(bool include_timing) const {
+  Json j = Json::object();
+  if (!sweep.empty()) j.set("sweep", Json::string(sweep));
+  j.set("jobs_total", Json::number(jobs_total));
+  j.set("jobs_failed", Json::number(jobs_failed));
+  Json point_arr = Json::array();
+  for (const PointSummary& point : points) {
+    Json p = Json::object();
+    p.set("point", Json::number(point.point));
+    p.set("coords", detail::coords_to_json(point.coords));
+    p.set("replicates", Json::number(point.replicates));
+    Json metrics = Json::object();
+    for (const auto& [name, aggregate] : point.metrics) {
+      metrics.set(name, aggregate.to_json());
+    }
+    p.set("metrics", std::move(metrics));
+    point_arr.push(std::move(p));
+  }
+  j.set("points", std::move(point_arr));
+  Json failures = Json::array();
+  for (const JobOutcome& outcome : jobs) {
+    if (outcome.ok || outcome.error.empty()) continue;
+    failures.push(Json::object()
+                      .set("job", Json::number(outcome.job.index))
+                      .set("scenario", Json::string(outcome.job.spec.name))
+                      .set("error", Json::string(outcome.error)));
+  }
+  j.set("failures", std::move(failures));
+  // A truncated JSONL sink marks the run as bad in both forms (a document
+  // produced by a failed run should never compare equal to a clean one);
+  // the key is absent on healthy runs so their bytes are unchanged.
+  if (jsonl_failed) j.set("jsonl_failed", Json::boolean(true));
+  if (include_timing) {
+    Json timing = Json::object();
+    timing.set("elapsed_seconds", Json::number(elapsed_seconds));
+    timing.set("threads", Json::number(threads));
+    timing.set("jobs_per_second", Json::number(jobs_per_second()));
+    Json per_point = Json::array();
+    for (const PointSummary& point : points) {
+      per_point.push(point.elapsed.to_json());
+    }
+    timing.set("point_elapsed", std::move(per_point));
+    j.set("timing", std::move(timing));
+    if (cache_enabled) {
+      // Hit/miss accounting rides with timing: both describe how this
+      // run executed, not what it computed.
+      j.set("cache", Json::object()
+                         .set("hits", Json::number(cache.hits))
+                         .set("misses", Json::number(cache.misses))
+                         .set("corrupt", Json::number(cache.corrupt))
+                         .set("stores", Json::number(cache.stores))
+                         .set("skipped", Json::number(cache.skipped)));
+    }
+    if (dispatch_enabled) {
+      // Same contract as cache: how the run executed, not what it
+      // computed, so dispatch counters ride with timing too.
+      Json busy = Json::array();
+      for (const double seconds : dispatch.worker_busy_seconds) {
+        busy.push(Json::number(seconds));
+      }
+      j.set("dispatch",
+            Json::object()
+                .set("workers", Json::number(dispatch.workers))
+                .set("jobs_dispatched", Json::number(dispatch.jobs_dispatched))
+                .set("jobs_retried", Json::number(dispatch.jobs_retried))
+                .set("jobs_reassigned", Json::number(dispatch.jobs_reassigned))
+                .set("worker_restarts", Json::number(dispatch.worker_restarts))
+                .set("frames_received", Json::number(dispatch.frames_received))
+                .set("worker_busy_seconds", std::move(busy)));
+    }
+  }
+  return j;
+}
+
+SweepResult SweepResult::from_json(const Json& j) {
+  SweepResult r;
+  r.sweep = j.get_or("sweep", std::string());
+  r.jobs_total = j.at("jobs_total").as_size();
+  r.jobs_failed = j.at("jobs_failed").as_size();
+  for (const Json& e : j.at("points").elements()) {
+    PointSummary point;
+    point.point = e.at("point").as_size();
+    point.coords = detail::coords_from_json(e.at("coords"));
+    point.replicates = e.at("replicates").as_size();
+    for (const auto& [name, aggregate] : e.at("metrics").items()) {
+      point.metrics.emplace_back(name, Aggregate::from_json(aggregate));
+    }
+    r.points.push_back(std::move(point));
+  }
+  if (j.contains("failures")) {
+    // Reconstruct the failed outcomes (identity + error only) so parsing
+    // and re-dumping a document with failures is idempotent.
+    for (const Json& e : j.at("failures").elements()) {
+      JobOutcome outcome;
+      outcome.job.index = e.at("job").as_size();
+      outcome.job.spec.name = e.get_or("scenario", std::string());
+      outcome.error = e.get_or("error", std::string());
+      r.jobs.push_back(std::move(outcome));
+    }
+  }
+  r.jsonl_failed = j.get_or("jsonl_failed", false);
+  if (j.contains("timing")) {
+    const Json& timing = j.at("timing");
+    r.elapsed_seconds = timing.get_or("elapsed_seconds", 0.0);
+    r.threads = timing.contains("threads") ? timing.at("threads").as_size()
+                                           : r.threads;
+    if (timing.contains("point_elapsed")) {
+      const Json::Array& elapsed = timing.at("point_elapsed").elements();
+      for (std::size_t p = 0; p < elapsed.size() && p < r.points.size();
+           ++p) {
+        r.points[p].elapsed = Aggregate::from_json(elapsed[p]);
+      }
+    }
+  }
+  if (j.contains("cache")) {
+    const Json& cache = j.at("cache");
+    r.cache_enabled = true;
+    r.cache.hits = cache.at("hits").as_size();
+    r.cache.misses = cache.at("misses").as_size();
+    r.cache.corrupt =
+        cache.contains("corrupt") ? cache.at("corrupt").as_size() : 0;
+    r.cache.stores =
+        cache.contains("stores") ? cache.at("stores").as_size() : 0;
+    r.cache.skipped =
+        cache.contains("skipped") ? cache.at("skipped").as_size() : 0;
+  }
+  if (j.contains("dispatch")) {
+    const Json& d = j.at("dispatch");
+    r.dispatch_enabled = true;
+    r.dispatch.workers = d.at("workers").as_size();
+    r.dispatch.jobs_dispatched = d.at("jobs_dispatched").as_size();
+    r.dispatch.jobs_retried = d.at("jobs_retried").as_size();
+    r.dispatch.jobs_reassigned = d.at("jobs_reassigned").as_size();
+    r.dispatch.worker_restarts = d.at("worker_restarts").as_size();
+    r.dispatch.frames_received = d.at("frames_received").as_size();
+    if (d.contains("worker_busy_seconds")) {
+      for (const Json& seconds : d.at("worker_busy_seconds").elements()) {
+        r.dispatch.worker_busy_seconds.push_back(seconds.as_number());
+      }
+    }
+  }
+  return r;
+}
+
+SuiteRunner::SuiteRunner(SuiteOptions options)
+    : options_(std::move(options)) {}
+
+SweepResult SuiteRunner::run(const SweepSpec& sweep) const {
+  return run_jobs(sweep.expand(),
+                  sweep.name.empty() ? sweep.base.name : sweep.name);
+}
+
+SweepResult SuiteRunner::run_jobs(std::vector<SweepJob> jobs,
+                                  const std::string& suite_name) const {
+  if (options_.dispatch.workers > 0) {
+    if (options_.cache != nullptr) {
+      throw SpecError(
+          "run_jobs: SuiteOptions::cache cannot be combined with dispatch "
+          "(an in-process cache handle does not cross the fork; pass the "
+          "cache directory to workers via dispatch.extra_worker_args)");
+    }
+    return dist::run_dispatched(std::move(jobs), suite_name, options_);
+  }
+
+  const auto suite_start = std::chrono::steady_clock::now();
+
+  std::size_t n_threads = options_.threads;
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = std::max<std::size_t>(1, std::min(n_threads, jobs.size()));
+
+  SweepResult out;
+  out.sweep = suite_name;
+  out.jobs_total = jobs.size();
+  out.threads = n_threads;
+  out.cache_enabled = options_.cache != nullptr;
+  out.jobs.resize(jobs.size());
+  // The cache instance may outlive this run (warm reruns reuse it), so
+  // the per-run accounting is a delta against its lifetime counters.
+  const CacheStats cache_before =
+      options_.cache != nullptr ? options_.cache->stats() : CacheStats{};
+
+  // The engine: an atomic counter hands out job indices; completed
+  // outcomes land in a slot vector; whichever worker extends the
+  // completed prefix flushes it, so the JSONL sink and on_result hook
+  // observe strict job-index order no matter which thread finished what.
+  // Metric vectors are extracted before the flush can drop the heavy
+  // per-period series (store_results == false streams at O(metrics) per
+  // job, not O(series)).
+  std::vector<std::vector<std::pair<std::string, double>>> metrics_by_job(
+      jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::mutex mu;
+  std::vector<char> done(jobs.size(), 0);
+  std::size_t flushed = 0;
+  bool flushing = false;
+
+  // At most one thread flushes at a time, and sink I/O (JSONL
+  // serialization, the on_result hook) happens with the lock RELEASED --
+  // workers finishing short jobs never queue behind a slow sink. The
+  // active flusher re-checks the prefix after every item, so entries
+  // marked done while it was writing are picked up before it retires.
+  auto flush_prefix = [&](std::unique_lock<std::mutex>& lock) {
+    if (flushing) return;
+    flushing = true;
+    while (flushed < out.jobs.size() && done[flushed]) {
+      JobOutcome& outcome = out.jobs[flushed];
+      ++flushed;
+      lock.unlock();  // the flushed slot is stable; only this thread
+                      // touches it now
+      bool sink_failed = false;
+      if (options_.jsonl != nullptr) {
+        *options_.jsonl
+            << detail::jsonl_line(outcome, options_.jsonl_timing).dump()
+            << '\n';
+        // A full disk fails silently otherwise: the stream swallows the
+        // short write and the run would report success over a truncated
+        // file. Checked per line so the failure is caught while the run
+        // can still surface it, not after the ofstream is gone.
+        sink_failed = !options_.jsonl->good();
+      }
+      if (options_.on_result) options_.on_result(outcome);
+      if (!options_.store_results) outcome.result = ExperimentResult{};
+      lock.lock();
+      if (sink_failed) out.jsonl_failed = true;
+    }
+    flushing = false;
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      JobOutcome outcome;
+      outcome.job = std::move(jobs[i]);
+      const auto job_start = std::chrono::steady_clock::now();
+      try {
+        // Lookup-before-execute: a hit replays the memoized result and
+        // runs zero simulation; a miss executes and writes through, so
+        // the next run of the same spec (any thread count, any axis
+        // reordering that preserves the spec) hits.
+        if (options_.cache != nullptr) {
+          if (std::optional<ExperimentResult> cached =
+                  options_.cache->load(outcome.job.spec)) {
+            outcome.result = std::move(*cached);
+            outcome.ok = true;
+            outcome.cached = true;
+          }
+        }
+        if (!outcome.cached) {
+          Experiment experiment(outcome.job.spec);
+          outcome.result = experiment.run();
+          outcome.ok = true;
+          if (options_.cache != nullptr) {
+            options_.cache->store(outcome.job.spec, outcome.result);
+          }
+        }
+      } catch (const std::exception& e) {
+        outcome.error = e.what();
+        if (options_.cache != nullptr) options_.cache->note_skipped();
+      }
+      outcome.elapsed_seconds = seconds_since(job_start);
+      if (outcome.ok) {
+        metrics_by_job[i] = detail::result_metrics(outcome.result);
+      }
+
+      std::unique_lock<std::mutex> lock(mu);
+      out.jobs[i] = std::move(outcome);
+      done[i] = 1;
+      flush_prefix(lock);
+    }
+  };
+
+  if (n_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  detail::aggregate_points(out, metrics_by_job);
 
   // Surface buffered sink failures before the caller closes the stream
   // (an ofstream destructor would swallow them).

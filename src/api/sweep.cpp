@@ -197,7 +197,12 @@ void apply_axis_value(ScenarioSpec& spec, const std::string& field,
 std::uint64_t replicate_seed(std::uint64_t base_seed, std::size_t replicate) {
   if (replicate == 0) return base_seed;
   sim::Rng stream = sim::Rng(base_seed).split(replicate);
-  return stream.engine()();
+  // Clamp derived seeds to 53 bits: specs travel as JSON (cache keys, the
+  // dispatch wire protocol), whose numbers are doubles that are only exact
+  // up to 2^53. A full-width seed would silently round in transit, so an
+  // out-of-process worker would simulate a different replicate than the
+  // in-process engine.
+  return stream.engine()() & ((std::uint64_t{1} << 53) - 1);
 }
 
 std::size_t SweepSpec::point_count() const {

@@ -62,7 +62,13 @@
 #include "api/json.hpp"
 #include "api/spec.hpp"
 #include "api/experiment.hpp"
+#include "api/job_metrics.hpp"
 #include "api/result_cache.hpp"
 #include "api/sweep.hpp"
 #include "api/suite_runner.hpp"
 #include "api/registry.hpp"
+
+// dist: multi-process cluster sweep dispatch over the api engine
+#include "dist/wire.hpp"
+#include "dist/worker.hpp"
+#include "dist/dispatcher.hpp"

@@ -1,0 +1,575 @@
+#include "dist/dispatcher.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/job_metrics.hpp"
+#include "api/json.hpp"
+#include "dist/wire.hpp"
+
+namespace deproto::dist {
+
+namespace {
+
+using api::Json;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Ignore SIGPIPE for the dispatcher's lifetime (a worker dying mid-send
+/// must surface as EPIPE on the write, not kill this process), restoring
+/// the previous disposition on the way out.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() { previous_ = ::signal(SIGPIPE, SIG_IGN); }
+  ~SigpipeGuard() { ::signal(SIGPIPE, previous_); }
+
+ private:
+  void (*previous_)(int);
+};
+
+api::CacheStats cache_stats_from_json(const Json& j) {
+  api::CacheStats stats;
+  stats.hits = j.at("hits").as_size();
+  stats.misses = j.at("misses").as_size();
+  stats.corrupt = j.at("corrupt").as_size();
+  stats.stores = j.at("stores").as_size();
+  stats.skipped = j.at("skipped").as_size();
+  return stats;
+}
+
+struct WorkerSlot {
+  pid_t pid = -1;
+  int read_fd = -1;   // worker stdout (non-blocking, polled)
+  int write_fd = -1;  // worker stdin (blocking; job frames are small)
+  FrameDecoder decoder;
+  bool alive = false;
+  bool abandoned = false;  // startup failure / restart budget exhausted
+  bool hello_seen = false;
+  long current_job = -1;  // in-flight job index, -1 when idle
+  Clock::time_point last_frame;  // doubles as spawn time before Hello
+  Clock::time_point job_start;
+  double busy_seconds = 0.0;     // accumulated across incarnations
+  api::CacheStats cache_stats;   // this incarnation's cumulative report
+  bool cache_enabled = false;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(std::vector<api::SweepJob> jobs, const std::string& suite_name,
+             const api::SuiteOptions& options)
+      : jobs_(std::move(jobs)), options_(options) {
+    out_.sweep = suite_name;
+    out_.jobs_total = jobs_.size();
+    out_.threads = 1;  // the merge loop; worker count lives in dispatch
+    out_.dispatch_enabled = true;
+    out_.jobs.resize(jobs_.size());
+    done_.assign(jobs_.size(), 0);
+    attempts_.assign(jobs_.size(), 0);
+    metrics_by_job_.resize(jobs_.size());
+    raw_bodies_.resize(jobs_.size());
+    // The sinks below parse result bodies only when something in this
+    // process actually needs the tree; a plain JSONL sweep splices raw
+    // bytes end to end.
+    need_parse_ = options_.store_results || options_.on_result != nullptr ||
+                  (options_.jsonl != nullptr && options_.jsonl_timing);
+    timeout_ms_ = options_.dispatch.heartbeat_timeout_ms;
+    if (timeout_ms_ <= 0 && options_.dispatch.heartbeat_ms > 0) {
+      // Derived default: generous enough that scheduling hiccups never
+      // look like hangs, tight enough that a stuck worker is caught in
+      // seconds.
+      timeout_ms_ = std::max(5000, 20 * options_.dispatch.heartbeat_ms);
+    }
+    worker_argv_ = build_worker_argv();
+  }
+
+  api::SweepResult run() {
+    const auto suite_start = Clock::now();
+    for (std::size_t i = 0; i < jobs_.size(); ++i) pending_.push_back(i);
+
+    const std::size_t n_slots =
+        std::min(options_.dispatch.workers, std::max<std::size_t>(
+                                                jobs_.size(), 1));
+    slots_.resize(jobs_.empty() ? 0 : n_slots);
+    // Restart budget: every legitimate retry chain is covered, but a
+    // worker that dies endlessly while idle cannot spin the dispatcher
+    // forever.
+    restart_budget_ =
+        slots_.size() *
+        (static_cast<std::size_t>(std::max(0, options_.dispatch.max_retries)) +
+         2);
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      if (!spawn(s)) slots_[s].abandoned = true;
+    }
+
+    std::vector<struct pollfd> pfds;
+    std::vector<std::size_t> pfd_slot;
+    while (completed_ < jobs_.size()) {
+      pfds.clear();
+      pfd_slot.clear();
+      for (std::size_t s = 0; s < slots_.size(); ++s) {
+        if (!slots_[s].alive) continue;
+        struct pollfd pfd {};
+        pfd.fd = slots_[s].read_fd;
+        pfd.events = POLLIN;
+        pfds.push_back(pfd);
+        pfd_slot.push_back(s);
+      }
+      if (pfds.empty()) {
+        fail_remaining("no live workers remain");
+        break;
+      }
+      const int ready = ::poll(pfds.data(), pfds.size(), 100);
+      if (ready < 0 && errno != EINTR) {
+        fail_remaining("poll failed");
+        break;
+      }
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents == 0) continue;
+        read_available(pfd_slot[i]);
+      }
+      check_timeouts();
+    }
+
+    shutdown_workers();
+
+    out_.dispatch.workers = slots_.size();
+    for (const WorkerSlot& slot : slots_) {
+      out_.dispatch.worker_busy_seconds.push_back(slot.busy_seconds);
+      accumulate_cache(slot.cache_stats);
+      if (slot.cache_enabled) out_.cache_enabled = true;
+    }
+    out_.cache = cache_total_;
+    api::detail::aggregate_points(out_, metrics_by_job_);
+    if (options_.jsonl != nullptr && !options_.jsonl->flush().good()) {
+      out_.jsonl_failed = true;
+    }
+    out_.elapsed_seconds = seconds_since(suite_start);
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::string> build_worker_argv() const {
+    std::vector<std::string> argv;
+    argv.push_back(options_.dispatch.worker_exe.empty()
+                       ? "/proc/self/exe"
+                       : options_.dispatch.worker_exe);
+    argv.push_back("--worker");
+    if (options_.dispatch.heartbeat_ms > 0) {
+      argv.push_back("--worker-heartbeat-ms");
+      argv.push_back(std::to_string(options_.dispatch.heartbeat_ms));
+    }
+    for (const std::string& arg : options_.dispatch.extra_worker_args) {
+      argv.push_back(arg);
+    }
+    return argv;
+  }
+
+  bool spawn(std::size_t s) {
+    WorkerSlot& slot = slots_[s];
+    int down[2];  // dispatcher -> worker stdin
+    int up[2];    // worker stdout -> dispatcher
+    if (::pipe2(down, O_CLOEXEC) != 0) return false;
+    if (::pipe2(up, O_CLOEXEC) != 0) {
+      ::close(down[0]);
+      ::close(down[1]);
+      return false;
+    }
+    // argv built pre-fork: no allocation between fork and exec.
+    std::vector<char*> argv;
+    argv.reserve(worker_argv_.size() + 1);
+    for (const std::string& arg : worker_argv_) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(down[0]);
+      ::close(down[1]);
+      ::close(up[0]);
+      ::close(up[1]);
+      return false;
+    }
+    if (pid == 0) {
+      ::dup2(down[0], STDIN_FILENO);
+      ::dup2(up[1], STDOUT_FILENO);  // stderr stays on the terminal
+      ::execv(argv[0], argv.data());
+      _exit(127);  // surfaces as a pre-Hello death -> slot abandonment
+    }
+    ::close(down[0]);
+    ::close(up[1]);
+    ::fcntl(up[0], F_SETFL, O_NONBLOCK);
+    slot.pid = pid;
+    slot.read_fd = up[0];
+    slot.write_fd = down[1];
+    slot.decoder = FrameDecoder{};
+    slot.alive = true;
+    slot.hello_seen = false;
+    slot.current_job = -1;
+    slot.last_frame = Clock::now();
+    slot.cache_stats = api::CacheStats{};
+    slot.cache_enabled = false;
+    if (options_.dispatch.on_worker_spawn) {
+      options_.dispatch.on_worker_spawn(s, static_cast<long>(pid));
+    }
+    return true;
+  }
+
+  bool send_frame(WorkerSlot& slot, const Frame& frame) {
+    const std::string bytes = encode_frame(frame);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n =
+          ::write(slot.write_fd, bytes.data() + off, bytes.size() - off);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EPIPE and friends: the worker is gone
+    }
+    return true;
+  }
+
+  void read_available(std::size_t s) {
+    WorkerSlot& slot = slots_[s];
+    char buf[64 * 1024];
+    while (slot.alive) {
+      const ssize_t n = ::read(slot.read_fd, buf, sizeof(buf));
+      if (n > 0) {
+        slot.decoder.feed(buf, static_cast<std::size_t>(n));
+        drain_frames(s);
+        if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n == 0) {
+        handle_death(s, "exited");
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      handle_death(s, "read error");
+      break;
+    }
+  }
+
+  void drain_frames(std::size_t s) {
+    WorkerSlot& slot = slots_[s];
+    while (slot.alive) {
+      Frame frame;
+      std::string error;
+      const FrameDecoder::Status status = slot.decoder.next(&frame, &error);
+      if (status == FrameDecoder::Status::NeedMore) break;
+      if (status == FrameDecoder::Status::Corrupt) {
+        handle_death(s, "sent a corrupt frame (" + error + ")");
+        break;
+      }
+      slot.last_frame = Clock::now();
+      ++out_.dispatch.frames_received;
+      switch (frame.type) {
+        case FrameType::Hello:
+          slot.hello_seen = true;
+          assign_next(s);
+          break;
+        case FrameType::Heartbeat:
+          break;  // any frame refreshes last_frame; nothing else to do
+        case FrameType::Result:
+          handle_result(s, frame);
+          break;
+        default:
+          handle_death(s, std::string("sent an unexpected ") +
+                              frame_type_name(frame.type) + " frame");
+          break;
+      }
+    }
+  }
+
+  void handle_result(std::size_t s, const Frame& frame) {
+    WorkerSlot& slot = slots_[s];
+    if (slot.current_job < 0) {
+      handle_death(s, "sent a result with no job in flight");
+      return;
+    }
+    const std::size_t idx = static_cast<std::size_t>(slot.current_job);
+
+    // Validate everything before committing: a malformed report is a
+    // protocol violation, handled exactly like a death (kill + reassign),
+    // so jobs_[idx] stays intact for the retry.
+    api::JobOutcome outcome;
+    std::vector<std::pair<std::string, double>> metrics;
+    std::string body;
+    try {
+      const std::size_t split = frame.payload.find('\n');
+      if (split == std::string::npos) {
+        throw api::SpecError("missing header/body separator");
+      }
+      const Json header = Json::parse(frame.payload.substr(0, split));
+      if (header.at("job").as_size() != idx) {
+        throw api::SpecError("result for the wrong job");
+      }
+      body = frame.payload.substr(split + 1);
+      outcome.ok = header.at("ok").as_bool();
+      outcome.elapsed_seconds = header.get_or("elapsed_seconds", 0.0);
+      outcome.cached = header.get_or("cached", false);
+      if (outcome.ok) {
+        metrics = api::detail::metrics_from_json(header.at("metrics"));
+        if (need_parse_) {
+          outcome.result = api::ExperimentResult::from_json(Json::parse(body));
+          outcome.result.elapsed_seconds = outcome.elapsed_seconds;
+        }
+      } else {
+        outcome.error = header.get_or("error", std::string("unknown error"));
+      }
+      if (header.contains("cache")) {
+        slot.cache_stats = cache_stats_from_json(header.at("cache"));
+        slot.cache_enabled = true;
+      }
+    } catch (const std::exception& e) {
+      handle_death(s, std::string("sent an invalid result (") + e.what() +
+                          ")");
+      return;
+    }
+
+    slot.busy_seconds += seconds_since(slot.job_start);
+    slot.current_job = -1;
+    outcome.job = std::move(jobs_[idx]);
+    metrics_by_job_[idx] = std::move(metrics);
+    if (outcome.ok) raw_bodies_[idx] = std::move(body);
+    out_.jobs[idx] = std::move(outcome);
+    done_[idx] = 1;
+    ++completed_;
+
+    // Assignment before flush: the worker starts its next job while this
+    // process does sink I/O, and a worker killed during that I/O still
+    // has an in-flight job to reassign.
+    assign_next(s);
+    flush_prefix();
+  }
+
+  void assign_next(std::size_t s) {
+    WorkerSlot& slot = slots_[s];
+    if (!slot.alive || !slot.hello_seen || slot.current_job >= 0) return;
+    if (pending_.empty()) return;
+    const std::size_t idx = pending_.front();
+    pending_.pop_front();
+    ++attempts_[idx];
+    ++out_.dispatch.jobs_dispatched;
+    if (attempts_[idx] > 1) ++out_.dispatch.jobs_retried;
+    Frame job;
+    job.type = FrameType::Job;
+    job.payload = Json::object()
+                      .set("job", Json::number(idx))
+                      .set("spec", jobs_[idx].spec.to_json())
+                      .dump();
+    slot.current_job = static_cast<long>(idx);
+    slot.job_start = Clock::now();
+    if (!send_frame(slot, job)) {
+      handle_death(s, "rejected a job (broken pipe)");
+    }
+  }
+
+  void handle_death(std::size_t s, const std::string& reason) {
+    WorkerSlot& slot = slots_[s];
+    if (!slot.alive) return;
+    slot.alive = false;
+    const pid_t pid = slot.pid;
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(pid, &wstatus, 0);
+    }
+    if (slot.read_fd >= 0) ::close(slot.read_fd);
+    if (slot.write_fd >= 0) ::close(slot.write_fd);
+    slot.read_fd = slot.write_fd = -1;
+    slot.pid = -1;
+    // Fold this incarnation's cache accounting in before it is reset; a
+    // killed worker's hits/stores still happened.
+    accumulate_cache(slot.cache_stats);
+    if (slot.cache_enabled) out_.cache_enabled = true;
+    slot.cache_stats = api::CacheStats{};
+
+    if (slot.current_job >= 0) {
+      const std::size_t idx = static_cast<std::size_t>(slot.current_job);
+      slot.busy_seconds += seconds_since(slot.job_start);
+      slot.current_job = -1;
+      ++out_.dispatch.jobs_reassigned;
+      if (attempts_[idx] > options_.dispatch.max_retries) {
+        record_failure(idx, "dispatch: worker (pid " + std::to_string(pid) +
+                                ") " + reason + " while executing this job; "
+                                "retry budget exhausted after " +
+                                std::to_string(attempts_[idx]) +
+                                " dispatch(es)");
+      } else {
+        pending_.push_front(idx);
+      }
+    }
+
+    if (!slot.hello_seen) {
+      // Died before completing the handshake: the worker binary cannot
+      // start (bad exe, exec failure, garbage on stdout). Respawning
+      // would loop, so the slot is abandoned.
+      slot.abandoned = true;
+    } else if (completed_ < jobs_.size()) {
+      if (out_.dispatch.worker_restarts < restart_budget_ && spawn(s)) {
+        ++out_.dispatch.worker_restarts;
+      } else {
+        slot.abandoned = true;
+      }
+    }
+    flush_prefix();  // a budget-exhausted failure may extend the prefix
+  }
+
+  void check_timeouts() {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+      WorkerSlot& slot = slots_[s];
+      if (!slot.alive) continue;
+      const double silent_ms =
+          std::chrono::duration<double, std::milli>(now - slot.last_frame)
+              .count();
+      if (!slot.hello_seen) {
+        // Handshake deadline: even with hang detection off, a worker that
+        // never says Hello must not park the dispatcher forever.
+        const double limit =
+            timeout_ms_ > 0 ? static_cast<double>(timeout_ms_) : 30000.0;
+        if (silent_ms > limit) handle_death(s, "never completed handshake");
+        continue;
+      }
+      // Hang detection applies to busy workers only (an idle worker owes
+      // no frames when heartbeats are off), and only when a timeout is
+      // configured or derivable -- a legitimately long job with
+      // heartbeats disabled is never killed by default.
+      if (timeout_ms_ > 0 && slot.current_job >= 0 &&
+          silent_ms > static_cast<double>(timeout_ms_)) {
+        handle_death(s, "went silent (heartbeat timeout)");
+      }
+    }
+  }
+
+  void record_failure(std::size_t idx, const std::string& error) {
+    if (done_[idx]) return;
+    api::JobOutcome outcome;
+    outcome.job = std::move(jobs_[idx]);
+    outcome.ok = false;
+    outcome.error = error;
+    out_.jobs[idx] = std::move(outcome);
+    done_[idx] = 1;
+    ++completed_;
+  }
+
+  void fail_remaining(const std::string& reason) {
+    pending_.clear();
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (!done_[i]) {
+        record_failure(i, "dispatch: " + reason +
+                              "; job was never completed");
+      }
+    }
+    flush_prefix();
+  }
+
+  void flush_prefix() {
+    while (flushed_ < out_.jobs.size() && done_[flushed_]) {
+      api::JobOutcome& outcome = out_.jobs[flushed_];
+      if (options_.jsonl != nullptr) {
+        const std::string* raw = outcome.ok && !raw_bodies_[flushed_].empty()
+                                     ? &raw_bodies_[flushed_]
+                                     : nullptr;
+        *options_.jsonl
+            << api::detail::jsonl_line(outcome, options_.jsonl_timing, raw)
+                   .dump()
+            << '\n';
+        if (!options_.jsonl->good()) out_.jsonl_failed = true;
+      }
+      if (options_.on_result) options_.on_result(outcome);
+      if (!options_.store_results) outcome.result = api::ExperimentResult{};
+      raw_bodies_[flushed_].clear();
+      raw_bodies_[flushed_].shrink_to_fit();
+      ++flushed_;
+    }
+  }
+
+  void shutdown_workers() {
+    Frame shutdown;
+    shutdown.type = FrameType::Shutdown;
+    for (WorkerSlot& slot : slots_) {
+      if (!slot.alive) continue;
+      send_frame(slot, shutdown);  // best-effort; EOF follows either way
+      ::close(slot.write_fd);
+      slot.write_fd = -1;
+    }
+    // Grace period for clean exits, then SIGKILL stragglers. Frames they
+    // emit while draining are irrelevant now -- every job is accounted.
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(2000);
+    for (WorkerSlot& slot : slots_) {
+      if (!slot.alive) continue;
+      int wstatus = 0;
+      pid_t reaped = 0;
+      while ((reaped = ::waitpid(slot.pid, &wstatus, WNOHANG)) == 0 &&
+             Clock::now() < deadline) {
+        struct timespec ts = {0, 20 * 1000 * 1000};  // 20ms
+        ::nanosleep(&ts, nullptr);
+      }
+      if (reaped == 0) {
+        ::kill(slot.pid, SIGKILL);
+        ::waitpid(slot.pid, &wstatus, 0);
+      }
+      if (slot.read_fd >= 0) ::close(slot.read_fd);
+      slot.read_fd = -1;
+      slot.pid = -1;
+      slot.alive = false;
+    }
+  }
+
+  void accumulate_cache(const api::CacheStats& stats) {
+    cache_total_.hits += stats.hits;
+    cache_total_.misses += stats.misses;
+    cache_total_.corrupt += stats.corrupt;
+    cache_total_.stores += stats.stores;
+    cache_total_.skipped += stats.skipped;
+  }
+
+  std::vector<api::SweepJob> jobs_;
+  const api::SuiteOptions& options_;
+  api::SweepResult out_;
+  std::vector<WorkerSlot> slots_;
+  std::vector<std::string> worker_argv_;
+  std::deque<std::size_t> pending_;
+  std::vector<int> attempts_;
+  std::vector<char> done_;
+  std::vector<std::vector<std::pair<std::string, double>>> metrics_by_job_;
+  std::vector<std::string> raw_bodies_;
+  api::CacheStats cache_total_;
+  std::size_t completed_ = 0;
+  std::size_t flushed_ = 0;
+  std::size_t restart_budget_ = 0;
+  bool need_parse_ = false;
+  int timeout_ms_ = 0;
+};
+
+}  // namespace
+
+api::SweepResult run_dispatched(std::vector<api::SweepJob> jobs,
+                                const std::string& suite_name,
+                                const api::SuiteOptions& options) {
+  SigpipeGuard sigpipe;
+  return Dispatcher(std::move(jobs), suite_name, options).run();
+}
+
+}  // namespace deproto::dist

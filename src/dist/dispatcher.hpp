@@ -1,0 +1,41 @@
+#pragma once
+
+// The dispatcher half of the cluster sweep engine: forks N worker
+// processes (api::DispatchOptions), shards a SweepJob list across them
+// with pull scheduling -- each worker gets its next job the moment it
+// reports the previous one -- and merges completions back into the same
+// strictly job-index-ordered sinks the in-process thread pool feeds.
+// JSONL output and SweepResult::to_json(false) are byte-identical to a
+// --threads 1 run of the same sweep: result bodies travel as canonical
+// dumps and are spliced into the merge verbatim (api::Json::raw), never
+// re-serialized, and per-job metrics ride in result headers so the
+// dispatcher aggregates without parsing bodies.
+//
+// Fault tolerance: a worker that exits, breaks its pipe, emits a corrupt
+// frame, or goes silent past the heartbeat timeout is SIGKILLed and
+// reaped; its in-flight job returns to the queue (up to max_retries
+// re-dispatches, then the job is recorded as failed with the worker's
+// fate in the error) and a replacement worker is spawned. Workers that
+// die before completing the Hello handshake are abandoned instead of
+// respawned -- a binary that cannot start must not restart-loop -- and if
+// every slot is lost the remaining jobs are marked failed rather than
+// hanging the dispatcher.
+
+#include <string>
+#include <vector>
+
+#include "api/suite_runner.hpp"
+#include "api/sweep.hpp"
+
+namespace deproto::dist {
+
+/// Execute `jobs` across options.dispatch.workers worker processes.
+/// Called by SuiteRunner::run_jobs when dispatch is enabled; same
+/// contract (ordering, sinks, point-contiguity, SweepResult shape), plus
+/// SweepResult::dispatch carries the execution counters and
+/// SweepResult::cache the summed per-worker cache deltas.
+[[nodiscard]] api::SweepResult run_dispatched(std::vector<api::SweepJob> jobs,
+                                              const std::string& suite_name,
+                                              const api::SuiteOptions& options);
+
+}  // namespace deproto::dist

@@ -1,0 +1,51 @@
+#pragma once
+
+// The worker half of the cluster dispatcher: a process entered via
+// `deproto-run --worker` that reads Job frames on stdin, executes each
+// through the regular api::Experiment pipeline, and writes Result frames
+// on stdout, until a Shutdown frame or end-of-stream.
+//
+// A Result frame's payload is two parts: a compact header JSON line --
+//   {"job":N,"ok":true,"elapsed_seconds":...,"cached":false,
+//    "metrics":{...},"cache":{...}}                      -- then '\n',
+// then the raw canonical result dump (to_json(false).dump(); absent when
+// ok is false). The worker pre-extracts the metric vector and serializes
+// the series straight into columnar text while the simulation streams
+// (ExperimentRun::stream_series), so neither end of the pipe ever holds a
+// 10^6-period run as a JSON tree: the worker's RSS stays O(states x
+// periods counts + dump text), and the dispatcher splices the dump bytes
+// into its sinks verbatim. "cache" is the worker's cumulative CacheStats
+// (present only when it has a cache); the dispatcher diffs/merges these
+// into the suite-level accounting.
+
+#include <cstddef>
+#include <functional>
+
+#include "api/result_cache.hpp"
+
+namespace deproto::dist {
+
+struct WorkerOptions {
+  int read_fd = 0;   ///< job frames in (stdin under the dispatcher)
+  int write_fd = 1;  ///< result frames out (stdout under the dispatcher)
+  /// Heartbeat interval; > 0 starts a thread that emits a Heartbeat frame
+  /// every interval (carrying the in-flight job index, -1 when idle) so
+  /// the dispatcher can tell "slow job" from "hung worker". 0 disables.
+  int heartbeat_ms = 0;
+  /// Shared memoization directory, opened by the CLI from the --cache
+  /// argv the dispatcher forwarded. Non-owning; may be null.
+  api::ResultCache* cache = nullptr;
+  /// Test hook, called with the job index before each execution --
+  /// integration tests inject crashes/hangs/stdout noise here to exercise
+  /// the dispatcher's fault handling.
+  std::function<void(std::size_t job_index)> before_job;
+};
+
+/// Run the worker loop until Shutdown, end-of-stream, or a protocol
+/// error. Returns the process exit code: 0 on clean shutdown (including
+/// the dispatcher simply closing the pipe), nonzero on corrupt input or a
+/// dead output pipe. Never throws for per-job failures -- those are
+/// reported in Result frames with ok == false.
+int run_worker(const WorkerOptions& options);
+
+}  // namespace deproto::dist

@@ -126,6 +126,24 @@ TEST(SweepSpecTest, ReplicateSeedsAreSplitDerivedAndStable) {
   EXPECT_EQ(jobs[1].spec.seed, replicate_seed(sweep.base.seed, 1));
 }
 
+TEST(SweepSpecTest, ReplicateSeedsSurviveSpecJsonRoundTrips) {
+  // Derived seeds must stay within JSON double exactness (<= 2^53): job
+  // specs travel as JSON to cache keys and dispatch workers, and a seed
+  // that rounds in transit would make an out-of-process worker simulate a
+  // different replicate than the in-process engine.
+  for (std::uint64_t base : {std::uint64_t{0}, std::uint64_t{2004},
+                             std::uint64_t{0xdeadbeefcafeULL}}) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      const std::uint64_t seed = replicate_seed(base, r);
+      EXPECT_LE(seed, std::uint64_t{1} << 53) << base << " r" << r;
+      ScenarioSpec spec = small_base();
+      spec.seed = seed;
+      EXPECT_EQ(ScenarioSpec::from_json(spec.to_json()).seed, seed)
+          << base << " r" << r;
+    }
+  }
+}
+
 TEST(SweepSpecTest, NAxisRescalesInitialCounts) {
   SweepSpec sweep;
   sweep.base = small_base();  // 400 processes, counts {399, 1}

@@ -1,5 +1,5 @@
 // Build-integrity test: includes ONLY the umbrella header and exercises one
-// symbol from each of the six layers. If a header drops out of deproto.hpp
+// symbol from each of the seven layers. If a header drops out of deproto.hpp
 // (or deproto.hpp stops compiling standalone), this fails to build.
 
 #include "deproto.hpp"
@@ -49,6 +49,18 @@ TEST(UmbrellaHeaderTest, ApiLayerIsReachable) {
   EXPECT_FALSE(deproto::api::registry_names().empty());
   EXPECT_EQ(deproto::api::backend_name(deproto::api::Backend::Sync),
             std::string("sync"));
+}
+
+TEST(UmbrellaHeaderTest, DistLayerIsReachable) {
+  deproto::dist::Frame frame;
+  frame.type = deproto::dist::FrameType::Heartbeat;
+  frame.payload = "{}";
+  const std::string bytes = deproto::dist::encode_frame(frame);
+  deproto::dist::FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  deproto::dist::Frame decoded;
+  EXPECT_EQ(decoder.next(&decoded), deproto::dist::FrameDecoder::Status::Frame);
+  EXPECT_EQ(decoded, frame);
 }
 
 }  // namespace

@@ -1,0 +1,387 @@
+// End-to-end dispatcher tests. This binary is its own worker: main()
+// re-enters dist::run_worker when spawned with --worker (the dispatcher
+// execs /proc/self/exe by default), and fault-injection flags forwarded
+// via DispatchOptions::extra_worker_args make a worker SIGKILL itself,
+// SIGSTOP (go silent), or spray garbage on stdout -- once, gated by a
+// marker file, so the respawned replacement behaves. The contracts under
+// test: --dispatch output is byte-identical to --threads 1, every fault
+// ends in reassignment (not a hang or a crash of the dispatcher), retry
+// budgets produce structured per-job failures, and per-worker cache
+// stats merge into the suite totals.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/experiment.hpp"
+#include "api/json.hpp"
+#include "api/registry.hpp"
+#include "api/result_cache.hpp"
+#include "api/suite_runner.hpp"
+#include "api/sweep.hpp"
+#include "dist/worker.hpp"
+
+namespace deproto::dist {
+namespace {
+
+namespace fs = std::filesystem;
+using api::Json;
+using api::JobOutcome;
+using api::ScenarioSpec;
+using api::SuiteOptions;
+using api::SuiteRunner;
+using api::SweepJob;
+using api::SweepResult;
+
+/// True exactly once per marker path across all worker incarnations: the
+/// first worker to claim the marker misbehaves, its replacement runs
+/// clean. O_EXCL makes the claim atomic between racing workers.
+bool claim_marker(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+std::vector<SweepJob> make_jobs(std::size_t count) {
+  std::vector<SweepJob> jobs;
+  for (std::size_t i = 0; i < count; ++i) {
+    ScenarioSpec spec = api::registry_get("epidemic").scaled_to(150);
+    spec.periods = 4;
+    spec.seed = 100 + i;
+    spec.name = "job-" + std::to_string(i);
+    SweepJob job;
+    job.index = i;
+    job.point = i;
+    job.coords.emplace_back("seed", Json::number(spec.seed));
+    job.spec = std::move(spec);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+struct RunOutput {
+  SweepResult result;
+  std::string json;   // to_json(false).dump(2)
+  std::string jsonl;
+};
+
+RunOutput run_jobs_with(SuiteOptions options, std::size_t count) {
+  std::ostringstream jsonl;
+  options.jsonl = &jsonl;
+  RunOutput out;
+  out.result = SuiteRunner(options).run_jobs(make_jobs(count), "dist-test");
+  out.json = out.result.to_json(false).dump(2);
+  out.jsonl = jsonl.str();
+  return out;
+}
+
+SuiteOptions dispatch_options(std::size_t workers,
+                              std::vector<std::string> extra_args = {}) {
+  SuiteOptions options;
+  options.dispatch.workers = workers;
+  options.dispatch.heartbeat_ms = 25;
+  options.dispatch.extra_worker_args = std::move(extra_args);
+  return options;
+}
+
+fs::path fresh_dir() {
+  const auto* info = testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir =
+      fs::path(testing::TempDir()) / "deproto-dispatcher-test" /
+      (std::string(info->test_suite_name()) + "." + info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(DispatcherTest, MatchesSingleThreadedRunByteForByte) {
+  SuiteOptions threaded;
+  threaded.threads = 1;
+  const RunOutput reference = run_jobs_with(threaded, 8);
+  ASSERT_EQ(reference.result.jobs_failed, 0U);
+
+  const RunOutput dispatched = run_jobs_with(dispatch_options(4), 8);
+  EXPECT_EQ(dispatched.result.jobs_failed, 0U);
+  EXPECT_TRUE(dispatched.result.dispatch_enabled);
+  EXPECT_EQ(dispatched.result.dispatch.workers, 4U);
+  EXPECT_EQ(dispatched.result.dispatch.jobs_dispatched, 8U);
+  EXPECT_EQ(dispatched.result.dispatch.worker_restarts, 0U);
+  // The deterministic merge contract: same JSON document, same JSONL
+  // bytes, no matter which worker finished which job when.
+  EXPECT_EQ(dispatched.json, reference.json);
+  EXPECT_EQ(dispatched.jsonl, reference.jsonl);
+}
+
+TEST(DispatcherTest, StoreResultsParsesBodiesBackIntoOutcomes) {
+  SuiteOptions options = dispatch_options(2);
+  options.store_results = true;
+  std::size_t on_result_calls = 0;
+  options.on_result = [&on_result_calls](const JobOutcome& outcome) {
+    EXPECT_TRUE(outcome.ok);
+    ++on_result_calls;
+  };
+  const RunOutput out = run_jobs_with(options, 4);
+  EXPECT_EQ(on_result_calls, 4U);
+  ASSERT_EQ(out.result.jobs.size(), 4U);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const JobOutcome& outcome = out.result.jobs[i];
+    EXPECT_EQ(outcome.job.index, i);
+    EXPECT_TRUE(outcome.ok);
+    // The parsed-back body matches a direct in-process execution.
+    const api::ExperimentResult direct =
+        api::Experiment(outcome.job.spec).run();
+    EXPECT_EQ(outcome.result.to_json(false).dump(),
+              direct.to_json(false).dump());
+  }
+}
+
+TEST(DispatcherTest, SigkilledWorkerIsReplacedAndOutputIsIdentical) {
+  SuiteOptions threaded;
+  threaded.threads = 1;
+  const RunOutput reference = run_jobs_with(threaded, 8);
+
+  // The first worker to pick up a job SIGKILLs itself mid-execution --
+  // the hard-landing version of "a cluster node died".
+  const std::string marker = (fresh_dir() / "crashed").string();
+  const RunOutput dispatched =
+      run_jobs_with(dispatch_options(3, {"--test-crash-once", marker}), 8);
+
+  EXPECT_EQ(dispatched.result.jobs_failed, 0U);
+  EXPECT_GE(dispatched.result.dispatch.worker_restarts, 1U);
+  EXPECT_GE(dispatched.result.dispatch.jobs_reassigned, 1U);
+  EXPECT_GE(dispatched.result.dispatch.jobs_retried, 1U);
+  EXPECT_EQ(dispatched.json, reference.json);
+  EXPECT_EQ(dispatched.jsonl, reference.jsonl);
+}
+
+TEST(DispatcherTest, StdoutNoiseCorruptsTheStreamAndJobIsReassigned) {
+  SuiteOptions threaded;
+  threaded.threads = 1;
+  const RunOutput reference = run_jobs_with(threaded, 6);
+
+  // One worker printf-s over its frame channel; framing is lost, the
+  // dispatcher must kill it and reassign, never crash or hang.
+  const std::string marker = (fresh_dir() / "noised").string();
+  const RunOutput dispatched =
+      run_jobs_with(dispatch_options(2, {"--test-noise-once", marker}), 6);
+
+  EXPECT_EQ(dispatched.result.jobs_failed, 0U);
+  EXPECT_GE(dispatched.result.dispatch.worker_restarts, 1U);
+  EXPECT_GE(dispatched.result.dispatch.jobs_reassigned, 1U);
+  EXPECT_EQ(dispatched.json, reference.json);
+  EXPECT_EQ(dispatched.jsonl, reference.jsonl);
+}
+
+TEST(DispatcherTest, SilentWorkerTripsHeartbeatTimeout) {
+  SuiteOptions threaded;
+  threaded.threads = 1;
+  const RunOutput reference = run_jobs_with(threaded, 6);
+
+  // SIGSTOP freezes the whole worker -- job loop and heartbeat thread --
+  // which is indistinguishable from a hung process. Only the heartbeat
+  // timeout can catch it.
+  const std::string marker = (fresh_dir() / "stopped").string();
+  SuiteOptions options =
+      dispatch_options(2, {"--test-hang-once", marker});
+  options.dispatch.heartbeat_ms = 20;
+  options.dispatch.heartbeat_timeout_ms = 300;
+  const RunOutput dispatched = run_jobs_with(options, 6);
+
+  EXPECT_EQ(dispatched.result.jobs_failed, 0U);
+  EXPECT_GE(dispatched.result.dispatch.worker_restarts, 1U);
+  EXPECT_GE(dispatched.result.dispatch.jobs_reassigned, 1U);
+  EXPECT_EQ(dispatched.json, reference.json);
+  EXPECT_EQ(dispatched.jsonl, reference.jsonl);
+}
+
+TEST(DispatcherTest, RetryBudgetExhaustionRecordsStructuredFailure) {
+  // Job 2 kills every worker that touches it, forever (no marker): after
+  // max_retries + 1 dispatches the job is recorded as failed with the
+  // worker's fate in the error, and the other jobs still complete.
+  SuiteOptions options =
+      dispatch_options(2, {"--test-crash-job", "2"});
+  options.dispatch.max_retries = 1;
+  const RunOutput out = run_jobs_with(options, 5);
+
+  EXPECT_EQ(out.result.jobs_failed, 1U);
+  ASSERT_EQ(out.result.jobs.size(), 5U);
+  const JobOutcome& failed = out.result.jobs[2];
+  EXPECT_FALSE(failed.ok);
+  EXPECT_NE(failed.error.find("retry budget exhausted"), std::string::npos)
+      << failed.error;
+  EXPECT_NE(failed.error.find("dispatch: worker"), std::string::npos);
+  for (const std::size_t i : {0U, 1U, 3U, 4U}) {
+    EXPECT_TRUE(out.result.jobs[i].ok) << i;
+  }
+  EXPECT_GE(out.result.dispatch.jobs_retried, 1U);
+}
+
+TEST(DispatcherTest, UnstartableWorkerBinaryFailsFastWithoutRestartLoop) {
+  SuiteOptions options = dispatch_options(2);
+  options.dispatch.worker_exe = "/nonexistent/deproto-worker";
+  options.dispatch.heartbeat_timeout_ms = 300;  // handshake deadline
+  const RunOutput out = run_jobs_with(options, 3);
+
+  // exec fails -> pre-Hello death -> slots abandoned, jobs failed; a
+  // binary that cannot start must not be respawned in a loop.
+  EXPECT_EQ(out.result.jobs_failed, 3U);
+  EXPECT_EQ(out.result.dispatch.worker_restarts, 0U);
+  for (const JobOutcome& outcome : out.result.jobs) {
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_NE(outcome.error.find("never completed"), std::string::npos)
+        << outcome.error;
+  }
+}
+
+TEST(DispatcherTest, MergesPerWorkerCacheStatsAcrossProcesses) {
+  const fs::path dir = fresh_dir();
+  // Cold: every job misses and stores in some worker; the suite totals
+  // must see the union of all workers' deltas, not one worker's view.
+  const RunOutput cold = run_jobs_with(
+      dispatch_options(3, {"--cache", dir.string()}), 6);
+  EXPECT_EQ(cold.result.jobs_failed, 0U);
+  EXPECT_TRUE(cold.result.cache_enabled);
+  EXPECT_EQ(cold.result.cache.hits, 0U);
+  EXPECT_EQ(cold.result.cache.misses, 6U);
+  EXPECT_EQ(cold.result.cache.stores, 6U);
+
+  // Warm: replayed from the shared directory, byte-identical output.
+  const RunOutput warm = run_jobs_with(
+      dispatch_options(3, {"--cache", dir.string()}), 6);
+  EXPECT_EQ(warm.result.cache.hits, 6U);
+  EXPECT_EQ(warm.result.cache.misses, 0U);
+  EXPECT_EQ(warm.result.cache.stores, 0U);
+  EXPECT_EQ(warm.json, cold.json);
+  EXPECT_EQ(warm.jsonl, cold.jsonl);
+
+  // And the cache composes across engines: an in-process --threads run
+  // over the same directory is all hits and byte-identical too.
+  api::ResultCache shared(dir);
+  SuiteOptions threaded;
+  threaded.threads = 1;
+  threaded.cache = &shared;
+  const RunOutput local = run_jobs_with(threaded, 6);
+  EXPECT_EQ(local.result.cache.hits, 6U);
+  EXPECT_EQ(local.json, cold.json);
+  EXPECT_EQ(local.jsonl, cold.jsonl);
+}
+
+TEST(DispatcherTest, DispatchCountersLiveInTimingJsonOnly) {
+  const RunOutput out = run_jobs_with(dispatch_options(2), 4);
+  // Deterministic form: no execution-environment accounting, or a
+  // dispatched artifact could never equal a threaded one.
+  EXPECT_EQ(out.json.find("\"dispatch\""), std::string::npos);
+
+  const Json timing = out.result.to_json(true);
+  ASSERT_TRUE(timing.contains("dispatch"));
+  const Json& dispatch = timing.at("dispatch");
+  EXPECT_EQ(dispatch.at("workers").as_size(), 2U);
+  EXPECT_EQ(dispatch.at("jobs_dispatched").as_size(), 4U);
+  EXPECT_EQ(dispatch.at("worker_busy_seconds").elements().size(), 2U);
+
+  // The timing form round-trips the counters.
+  const SweepResult restored = SweepResult::from_json(timing);
+  EXPECT_TRUE(restored.dispatch_enabled);
+  EXPECT_EQ(restored.dispatch, out.result.dispatch);
+}
+
+TEST(DispatcherTest, CacheOptionAndDispatchAreMutuallyExclusive) {
+  const fs::path dir = fresh_dir();
+  api::ResultCache cache(dir);
+  SuiteOptions options = dispatch_options(2);
+  options.cache = &cache;  // in-process handle + worker processes: no
+  EXPECT_THROW((void)SuiteRunner(options).run_jobs(make_jobs(2), "bad"),
+               api::SpecError);
+}
+
+TEST(DispatcherTest, ZeroJobsCompletesWithoutSpawningWorkers) {
+  SuiteOptions options = dispatch_options(4);
+  std::ostringstream jsonl;
+  options.jsonl = &jsonl;
+  const SweepResult result =
+      SuiteRunner(options).run_jobs({}, "empty");
+  EXPECT_EQ(result.jobs_total, 0U);
+  EXPECT_EQ(result.dispatch.workers, 0U);
+  EXPECT_EQ(result.dispatch.jobs_dispatched, 0U);
+  EXPECT_TRUE(jsonl.str().empty());
+}
+
+}  // namespace
+}  // namespace deproto::dist
+
+/// Worker re-entry + fault injection. The dispatcher spawns
+/// `/proc/self/exe --worker [--worker-heartbeat-ms N] <extra args>`; in
+/// a test binary that path is this binary, so main() routes --worker
+/// into dist::run_worker before gtest ever initializes.
+int main(int argc, char** argv) {
+  bool worker = false;
+  int heartbeat_ms = 0;
+  std::string cache_dir;
+  std::string crash_once, noise_once, hang_once;
+  long crash_job = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    if (arg == "--worker") {
+      worker = true;
+    } else if (arg == "--worker-heartbeat-ms") {
+      heartbeat_ms = std::atoi(next().c_str());
+    } else if (arg == "--cache") {
+      cache_dir = next();
+    } else if (arg == "--test-crash-once") {
+      crash_once = next();
+    } else if (arg == "--test-noise-once") {
+      noise_once = next();
+    } else if (arg == "--test-hang-once") {
+      hang_once = next();
+    } else if (arg == "--test-crash-job") {
+      crash_job = std::atol(next().c_str());
+    }
+  }
+
+  if (worker) {
+    std::unique_ptr<deproto::api::ResultCache> cache;
+    if (!cache_dir.empty()) {
+      cache = std::make_unique<deproto::api::ResultCache>(cache_dir);
+    }
+    deproto::dist::WorkerOptions options;
+    options.heartbeat_ms = heartbeat_ms;
+    options.cache = cache.get();
+    options.before_job = [&](std::size_t job_index) {
+      if (!crash_once.empty() && deproto::dist::claim_marker(crash_once)) {
+        ::kill(::getpid(), SIGKILL);
+      }
+      if (crash_job >= 0 &&
+          job_index == static_cast<std::size_t>(crash_job)) {
+        ::kill(::getpid(), SIGKILL);
+      }
+      if (!hang_once.empty() && deproto::dist::claim_marker(hang_once)) {
+        ::kill(::getpid(), SIGSTOP);  // frozen until the dispatcher
+                                      // SIGKILLs us
+      }
+      if (!noise_once.empty() && deproto::dist::claim_marker(noise_once)) {
+        const char noise[] = "stray printf over the frame channel\n";
+        (void)!::write(STDOUT_FILENO, noise, sizeof(noise) - 1);
+      }
+    };
+    return deproto::dist::run_worker(options);
+  }
+
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

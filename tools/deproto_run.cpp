@@ -15,6 +15,18 @@
 //                      (sync | event | count | auto; auto picks count at
 //                      N >= 100000, sync below)
 //   --threads <T>      sweep/smoke worker threads (0 = all cores)
+//   --dispatch <W>     sweep/smoke: execute jobs across W worker
+//                      *processes* (fork/exec of this binary with
+//                      --worker) instead of in-process threads; output
+//                      is byte-identical to --threads 1, and workers
+//                      that crash or hang are replaced with their jobs
+//                      reassigned
+//   --worker           internal: run the worker loop (job frames on
+//                      stdin, result frames on stdout); spawned by
+//                      --dispatch, exposed for tests and debugging
+//   --worker-heartbeat-ms <ms>  dispatch: how often workers report
+//                      liveness (default 500; 0 disables heartbeats
+//                      and hang detection)
 //   --repeat <k>       replicates: lifts a scenario into a sweep, or
 //                      overrides a sweep's replicate count
 //   --json <file>      single run: the ExperimentResult as JSON;
@@ -63,6 +75,7 @@
 #include "api/sweep.hpp"
 #include "cli_util.hpp"
 #include "core/synthesis.hpp"
+#include "dist/worker.hpp"
 #include "ode/parser.hpp"
 
 namespace {
@@ -90,6 +103,9 @@ struct CliOptions {
   std::optional<std::uint64_t> seed;
   std::optional<deproto::api::Backend> backend;
   std::size_t threads = 0;  // 0 = all cores
+  std::size_t dispatch = 0;  // 0 = in-process pool; N = worker processes
+  bool worker = false;
+  int worker_heartbeat_ms = -1;  // -1 = flag not given
   std::optional<std::size_t> repeat;
   std::string json_out;
   std::string jsonl_out;
@@ -102,9 +118,10 @@ struct CliOptions {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --list | --smoke | (<scenario> | --spec f.json | "
-               "--sweep preset|f.json) [--n N] [--periods k] [--seed s] "
-               "[--backend sync|event|count|auto] [--threads T] [--repeat k] "
+               "usage: %s --list | --smoke | --worker | (<scenario> | "
+               "--spec f.json | --sweep preset|f.json) [--n N] [--periods k] "
+               "[--seed s] [--backend sync|event|count|auto] [--threads T] "
+               "[--dispatch W] [--worker-heartbeat-ms ms] [--repeat k] "
                "[--json out.json] [--jsonl out.jsonl] [--cache dir] "
                "[--no-cache] [--cache-gc] [--cache-max-bytes b] "
                "[--spec-out out.json] [--quiet]\n",
@@ -162,6 +179,24 @@ bool parse_args(int argc, char** argv, CliOptions* options) {
                                          value);
       }
       options->threads = threads;
+    } else if (arg == "--dispatch") {
+      std::size_t workers = 0;
+      if (!next("--dispatch", &value)) return false;
+      if (!deproto::cli::parse_size(value, &workers) || workers == 0) {
+        return deproto::cli::value_error("--dispatch",
+                                         "invalid worker count", value);
+      }
+      options->dispatch = workers;
+    } else if (arg == "--worker") {
+      options->worker = true;
+    } else if (arg == "--worker-heartbeat-ms") {
+      std::uint64_t ms = 0;
+      if (!next("--worker-heartbeat-ms", &value)) return false;
+      if (!deproto::cli::parse_u64(value, &ms) || ms > 3600 * 1000) {
+        return deproto::cli::value_error("--worker-heartbeat-ms",
+                                         "invalid interval", value);
+      }
+      options->worker_heartbeat_ms = static_cast<int>(ms);
     } else if (arg == "--repeat") {
       std::size_t repeat = 0;
       if (!next("--repeat", &value)) return false;
@@ -368,11 +403,63 @@ std::unique_ptr<ResultCache> open_cache(const CliOptions& options) {
     }
     return nullptr;
   }
-  auto cache = std::make_unique<ResultCache>(dir);
-  if (options.cache_max_bytes.has_value()) {
-    cache->set_max_bytes(*options.cache_max_bytes);
+  return std::make_unique<ResultCache>(dir);
+}
+
+/// Wire the execution engine (in-process pool vs --dispatch worker
+/// processes) plus the cache into `suite`, returning the parent-side
+/// cache handle. In dispatch mode SuiteOptions::cache stays null -- each
+/// worker opens the same directory itself via a forwarded --cache flag,
+/// and the LRU bound is enforced worker-side too -- so the parent handle
+/// only resolves/creates the directory and prints the summary line.
+std::unique_ptr<ResultCache> configure_execution(const CliOptions& options,
+                                                 SuiteOptions* suite) {
+  std::unique_ptr<ResultCache> cache = open_cache(options);
+  if (options.dispatch == 0) {
+    suite->threads = options.threads;
+    suite->cache = cache.get();
+    if (cache != nullptr && options.cache_max_bytes.has_value()) {
+      cache->set_max_bytes(*options.cache_max_bytes);
+    }
+    return cache;
+  }
+  if (options.threads != 0) {
+    throw deproto::api::SpecError(
+        "--dispatch shards jobs across worker processes; it cannot be "
+        "combined with --threads");
+  }
+  if (options.cache_gc) {
+    throw deproto::api::SpecError(
+        "--cache-gc tracks entry touches in-process and cannot see "
+        "worker-process touches; run it without --dispatch");
+  }
+  suite->dispatch.workers = options.dispatch;
+  if (options.worker_heartbeat_ms >= 0) {
+    suite->dispatch.heartbeat_ms = options.worker_heartbeat_ms;
+  }
+  if (cache != nullptr) {
+    suite->dispatch.extra_worker_args = {"--cache", cache->dir().string()};
+    if (options.cache_max_bytes.has_value()) {
+      suite->dispatch.extra_worker_args.push_back("--cache-max-bytes");
+      suite->dispatch.extra_worker_args.push_back(
+          std::to_string(*options.cache_max_bytes));
+    }
+  } else {
+    // Keep an ambient $DEPROTO_CACHE_DIR from resurfacing in workers.
+    suite->dispatch.extra_worker_args = {"--no-cache"};
   }
   return cache;
+}
+
+/// The per-run dispatcher counter line (mirrors the "cache:" summary).
+void print_dispatch(const SweepResult& result) {
+  if (!result.dispatch_enabled) return;
+  std::printf(
+      "dispatch: %zu workers, %zu jobs dispatched (%zu retried, %zu "
+      "reassigned), %zu worker restarts, %zu frames\n",
+      result.dispatch.workers, result.dispatch.jobs_dispatched,
+      result.dispatch.jobs_retried, result.dispatch.jobs_reassigned,
+      result.dispatch.worker_restarts, result.dispatch.frames_received);
 }
 
 /// The hit/miss line after a cached run ("cache: 12/12 hits, ..."), plus
@@ -411,13 +498,12 @@ int run_sweep(SweepSpec sweep, const CliOptions& options) {
 
   std::ofstream jsonl;
   SuiteOptions suite;
-  suite.threads = options.threads;
   // Aggregates + sinks are the product here; each job's per-period
   // series is dropped as soon as it flushes, so long sweeps never hold
   // more than the out-of-order window in memory.
   suite.store_results = false;
-  const std::unique_ptr<ResultCache> cache = open_cache(options);
-  suite.cache = cache.get();
+  const std::unique_ptr<ResultCache> cache =
+      configure_execution(options, &suite);
   if (!options.jsonl_out.empty()) {
     jsonl.open(options.jsonl_out);
     if (!jsonl) {
@@ -464,6 +550,7 @@ int run_sweep(SweepSpec sweep, const CliOptions& options) {
               result.jobs_total, result.jobs_failed, result.elapsed_seconds,
               result.jobs_per_second(), result.threads,
               result.threads == 1 ? "" : "s");
+  print_dispatch(result);
   finish_cache(result, cache.get(), options.cache_gc);
 
   for (const JobOutcome& outcome : result.jobs) {
@@ -519,9 +606,8 @@ int run_smoke(const CliOptions& options) {
   }
 
   SuiteOptions suite;
-  suite.threads = options.threads;
-  const std::unique_ptr<ResultCache> cache = open_cache(options);
-  suite.cache = cache.get();
+  const std::unique_ptr<ResultCache> cache =
+      configure_execution(options, &suite);
   std::ofstream jsonl;
   if (!options.jsonl_out.empty()) {
     jsonl.open(options.jsonl_out);
@@ -547,6 +633,7 @@ int run_smoke(const CliOptions& options) {
                  options.jsonl_out.c_str());
     return 1;
   }
+  print_dispatch(result);
   finish_cache(result, cache.get(), options.cache_gc);
   if (!options.json_out.empty() &&
       !write_file(options.json_out,
@@ -584,6 +671,27 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, &options)) return usage(argv[0]);
 
   try {
+    if (options.worker) {
+      // Worker mode owns stdin/stdout as the frame channel; it composes
+      // with --cache/--no-cache/--cache-max-bytes (forwarded by the
+      // dispatcher) and nothing else.
+      if (options.list || options.smoke || !options.scenario.empty() ||
+          !options.spec_file.empty() || !options.sweep.empty() ||
+          options.dispatch != 0) {
+        std::fprintf(
+            stderr,
+            "error: --worker is a standalone mode (frames on stdin/stdout)\n");
+        return 2;
+      }
+      const std::unique_ptr<ResultCache> cache = open_cache(options);
+      if (cache != nullptr && options.cache_max_bytes.has_value()) {
+        cache->set_max_bytes(*options.cache_max_bytes);
+      }
+      deproto::dist::WorkerOptions worker;
+      worker.heartbeat_ms = std::max(0, options.worker_heartbeat_ms);
+      worker.cache = cache.get();
+      return deproto::dist::run_worker(worker);
+    }
     if (options.smoke) return run_smoke(options);
     if (options.list) {
       list_registry();
@@ -644,10 +752,10 @@ int main(int argc, char** argv) {
     // beats silently never creating the file (or cache) the caller asked
     // for. An ambient $DEPROTO_CACHE_DIR is simply unused here.
     if (!options.jsonl_out.empty() || options.threads != 0 ||
-        !options.cache_dir.empty() || options.cache_gc ||
-        options.cache_max_bytes.has_value()) {
+        options.dispatch != 0 || !options.cache_dir.empty() ||
+        options.cache_gc || options.cache_max_bytes.has_value()) {
       std::fprintf(stderr,
-                   "error: --jsonl/--threads/--cache/--cache-gc/"
+                   "error: --jsonl/--threads/--dispatch/--cache/--cache-gc/"
                    "--cache-max-bytes apply to --sweep, --smoke, or "
                    "--repeat runs only\n");
       return 1;

@@ -1,0 +1,82 @@
+# Dispatch-sweep smoke: the multi-process dispatcher's determinism
+# contract end to end, from the CLI. One sweep preset runs three ways --
+# cold through `--dispatch 3` workers sharing a cache directory, then
+# single-threaded in-process over that same (worker-written) cache, then
+# single-threaded with no cache at all -- and every --json/--jsonl
+# artifact must be byte-identical: sharding across processes, replaying
+# worker-stored cache entries, and plain in-process execution are
+# indistinguishable to every sink. Runnable as one command from CTest and
+# the CI jobs:
+#
+#   cmake -DDEPROTO_RUN=<path/to/deproto-run> -P tools/dispatch_sweep_smoke.cmake
+#
+# Scratch space lives next to the binary under test (the build tree, never
+# the source checkout) and is recreated from empty on every invocation.
+
+if(NOT DEFINED DEPROTO_RUN)
+  message(FATAL_ERROR "pass -DDEPROTO_RUN=<path to deproto-run>")
+endif()
+
+get_filename_component(bin_dir "${DEPROTO_RUN}" DIRECTORY)
+set(work "${bin_dir}/dispatch-sweep-smoke")
+file(REMOVE_RECURSE "${work}")
+file(MAKE_DIRECTORY "${work}")
+
+set(sweep_args --sweep fig11-convergence-vs-n --backend count --quiet)
+
+set(dispatch_exec_args --dispatch 3 --cache "${work}/cache")
+set(warm_exec_args --threads 1 --cache "${work}/cache")
+set(plain_exec_args --threads 1 --no-cache)
+
+foreach(pass dispatch warm plain)
+  execute_process(
+    COMMAND "${DEPROTO_RUN}" ${sweep_args} ${${pass}_exec_args}
+            --json "${work}/${pass}.json" --jsonl "${work}/${pass}.jsonl"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "${pass} sweep failed (exit ${rc}):\n${stdout}\n${stderr}")
+  endif()
+  set(${pass}_stdout "${stdout}")
+endforeach()
+
+# The dispatch run shards all 12 jobs across 3 healthy workers and stores
+# every result into the shared cache; the warm in-process run must replay
+# all of them (cross-process cache reuse).
+if(NOT dispatch_stdout MATCHES "dispatch: 3 workers, 12 jobs dispatched")
+  message(FATAL_ERROR
+    "dispatch run did not report 3 workers / 12 jobs:\n${dispatch_stdout}")
+endif()
+if(NOT dispatch_stdout MATCHES "0 worker restarts")
+  message(FATAL_ERROR
+    "dispatch run restarted workers on a healthy sweep:\n${dispatch_stdout}")
+endif()
+if(NOT dispatch_stdout MATCHES "cache: 0/12 hits, 12 misses \\(0 corrupt\\), 12 stored")
+  message(FATAL_ERROR
+    "dispatch run did not miss+store all 12 jobs:\n${dispatch_stdout}")
+endif()
+if(NOT warm_stdout MATCHES "cache: 12/12 hits, 0 misses \\(0 corrupt\\), 0 stored")
+  message(FATAL_ERROR
+    "warm run did not replay the worker-written cache:\n${warm_stdout}")
+endif()
+
+# Byte-identical artifacts across all three execution modes.
+foreach(pass warm plain)
+  foreach(artifact json jsonl)
+    execute_process(
+      COMMAND "${CMAKE_COMMAND}" -E compare_files
+              "${work}/dispatch.${artifact}" "${work}/${pass}.${artifact}"
+      RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+      message(FATAL_ERROR
+        "${pass} .${artifact} differs from dispatch (multi-process sharding "
+        "broke determinism)")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS
+  "dispatch sweep smoke: 3-worker run byte-identical to in-process, "
+  "cache shared across processes")
