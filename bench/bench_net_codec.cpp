@@ -1,0 +1,108 @@
+// Net backend hot path: every protocol interaction on the real-network
+// backend pays encode + sendto + recvfrom + decode per datagram, so the
+// codec and the loopback syscall pair bound how far period_ms can shrink
+// before the wall clock, not the protocol, dominates. Encode/decode are
+// pure compute (tens of ns); the loopback round trip is the syscall
+// floor that the measured RTTs sit on.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_util.hpp"
+#include "net/packet.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+using namespace deproto;
+
+net::Packet sample_packet() {
+  net::Packet p;
+  p.type = net::PacketType::Push;
+  p.state = 2;
+  p.sender = 17;
+  p.seq = 123456789;
+  p.tag = 42;
+  p.arg0 = 1;
+  p.arg1 = 2;
+  p.arg2 = net::coin_to_q32(0.375);
+  return p;
+}
+
+void BM_EncodePacket(benchmark::State& state) {
+  const net::Packet p = sample_packet();
+  for (auto _ : state) {
+    const std::string bytes = net::encode_packet(p);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_EncodePacket);
+
+void BM_DecodePacket(benchmark::State& state) {
+  const std::string bytes = net::encode_packet(sample_packet());
+  for (auto _ : state) {
+    net::Packet out;
+    const net::DecodeStatus status =
+        net::decode_packet(bytes.data(), bytes.size(), &out);
+    benchmark::DoNotOptimize(status);
+    benchmark::DoNotOptimize(out.seq);
+  }
+}
+BENCHMARK(BM_DecodePacket);
+
+void BM_SequenceTrackerObserve(benchmark::State& state) {
+  // In-order stream from a rotating set of peers: the per-datagram
+  // bookkeeping cost in its common (no reorder) case.
+  net::SequenceTracker tracker;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    ++seq;
+    benchmark::DoNotOptimize(
+        tracker.observe(static_cast<std::uint32_t>(seq % 64), seq));
+  }
+}
+BENCHMARK(BM_SequenceTrackerObserve);
+
+void BM_LoopbackDatagramRoundTrip(benchmark::State& state) {
+  // encode -> sendto -> recvfrom -> decode between two bound loopback
+  // sockets: the kernel round trip the net backend's measured RTTs
+  // cannot go below.
+  net::UdpSocket a = net::UdpSocket::bind_loopback();
+  net::UdpSocket b = net::UdpSocket::bind_loopback();
+  const sockaddr_in to_b = net::loopback_endpoint(b.port());
+  const net::Packet p = sample_packet();
+  char buf[64];
+  for (auto _ : state) {
+    const std::string bytes = net::encode_packet(p);
+    a.send_to(to_b, bytes.data(), bytes.size());
+    long n;
+    while ((n = b.recv_from(buf, sizeof(buf))) < 0) {
+      // Non-blocking socket: spin until the kernel delivers.
+    }
+    net::Packet out;
+    benchmark::DoNotOptimize(
+        net::decode_packet(buf, static_cast<std::size_t>(n), &out));
+  }
+}
+BENCHMARK(BM_LoopbackDatagramRoundTrip);
+
+void BM_PrintNetCodecReport(benchmark::State& state) {
+  static bench_util::PrintOnce once;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::kPacketSize);
+  }
+  if (once()) {
+    bench_util::banner("Net backend codec + loopback floor");
+    bench_util::note(
+        "encode/decode are fixed-size little-endian packing (no "
+        "allocation beyond the 40-byte string) and should sit in the "
+        "tens of ns; BM_LoopbackDatagramRoundTrip is the sendto+recvfrom "
+        "syscall pair and bounds the measured RTT floor of --backend net");
+  }
+}
+BENCHMARK(BM_PrintNetCodecReport)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

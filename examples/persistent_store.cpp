@@ -1,132 +1,255 @@
-// Persistent distributed file store (the Section 4.1 application): each
-// file is kept alive by its own endemic-replication instance. The demo
-// inserts three files into a 5,000-host group, subjects the system to
-// Overnet-style churn and a targeted attack on one file's replica set, and
-// shows that every file survives with bounded per-host bandwidth.
+// Persistent distributed file store (the Section 4.1 application), now as
+// a real networked service: a server process keeps one file alive with the
+// endemic-replication protocol running over actual UDP loopback sockets
+// (net::NetSimulator -- one socket per host), and answers store queries on
+// a separate client-facing UDP port woven into the same event loop. Real
+// client processes query the store concurrently while replica hosts are
+// SIGKILL-style destroyed mid-run; the file must survive both the attack
+// and a client being killed without warning.
 //
-// Each file is one api::ScenarioSpec -- the synthesized Figure-1 machine
-// (endemic system with the push-pull optimization, b = beta/2 = 4) plus a
-// churn attachment in the fault plan -- launched through api::Experiment.
-// The targeted attack needs mid-run access to one file's group, so the
-// demo steps the launched runs by hand, hour by hour.
+// Modes:
+//   ./examples/persistent_store                 self-demo: forks a server
+//       and three concurrent clients, SIGKILLs one client mid-run, and
+//       verifies the file survived and the surviving clients were served
+//   ./examples/persistent_store --serve         run a server (prints
+//       "PORT <p>" on stdout; speak the text protocol below to it)
+//   ./examples/persistent_store --client <port> run one query client
 //
-// Build & run:  ./examples/persistent_store
+// Query protocol (one text command per datagram):
+//   GET <name>  ->  OK <name> replicas=<r> alive=<a>
+//   STATS       ->  STATS datagrams=<d> rtt_ms_mean=<m> observed_loss=<l>
+//   SHUTDOWN    ->  BYE   (server finishes its minimum horizon and exits)
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
-#include <deque>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
-#include "api/experiment.hpp"
+#include "core/synthesis.hpp"
+#include "net/net_sim.hpp"
+#include "net/socket.hpp"
+#include "ode/catalog.hpp"
 #include "protocols/analysis.hpp"
 
 namespace {
 
-struct File {
-  std::string name;
-  deproto::api::Experiment experiment;
-  deproto::api::ExperimentRun run;
+using namespace deproto;
 
-  File(std::string file_name, deproto::api::ScenarioSpec spec)
-      : name(std::move(file_name)),
-        experiment(std::move(spec)),
-        run(experiment.launch()) {}
-};
+constexpr std::size_t kHosts = 64;
+constexpr std::size_t kStash = 1;  // machine state y = stashing the file
+constexpr const char* kFileName = "alpha.dat";
+// b = 4 contacts per period -> beta = 2b in the ODE parameterization.
+constexpr proto::EndemicParams kParams{.b = 4, .gamma = 0.1, .alpha = 0.02};
+
+/// The store server: endemic replication over kHosts real UDP sockets,
+/// plus one more socket for client queries. Announces "PORT <p>\n" on
+/// `announce_fd`, runs at least 60 protocol periods (so the mid-run
+/// attack and the recovery after it are both visible), at most 120.
+int run_server(int announce_fd) {
+  const auto expected = proto::endemic_expectation(kHosts, kParams);
+  const auto synth = core::synthesize(ode::catalog::endemic(
+      2.0 * kParams.b, kParams.gamma, kParams.alpha));
+
+  net::NetSimOptions options;
+  options.period_ms = 25.0;
+  net::NetSimulator store(kHosts, synth.machine, /*seed=*/101, options);
+  // Insert: the uploader pushes the file to 8 hosts -- a single initial
+  // replica would escape the saddle only w.p. ~ 1 - gamma/(beta*x).
+  store.seed_states({kHosts - 8, 8, 0});
+
+  net::UdpSocket query = net::UdpSocket::bind_loopback();
+  bool shutdown_requested = false;
+  std::uint64_t queries_served = 0;
+  store.watch_fd(query.fd(), [&] {
+    char buf[256];
+    sockaddr_in from{};
+    long n;
+    while ((n = query.recv_from(buf, sizeof(buf) - 1, &from)) > 0) {
+      buf[n] = '\0';
+      std::string reply;
+      if (std::strncmp(buf, "GET", 3) == 0) {
+        reply = std::string("OK ") + kFileName +
+                " replicas=" + std::to_string(store.group().count(kStash)) +
+                " alive=" + std::to_string(store.total_alive()) + "\n";
+      } else if (std::strncmp(buf, "STATS", 5) == 0) {
+        const net::NetStats s = store.net_stats();
+        reply = "STATS datagrams=" + std::to_string(s.datagrams_sent) +
+                " rtt_ms_mean=" + std::to_string(s.rtt_ms_mean()) +
+                " observed_loss=" + std::to_string(s.observed_loss()) + "\n";
+      } else if (std::strncmp(buf, "SHUTDOWN", 8) == 0) {
+        shutdown_requested = true;
+        reply = "BYE\n";
+      } else {
+        reply = "ERR unknown command\n";
+      }
+      query.send_to(from, reply.data(), reply.size());
+      ++queries_served;
+    }
+  });
+
+  const std::string hello = "PORT " + std::to_string(query.port()) + "\n";
+  if (write(announce_fd, hello.data(), hello.size()) < 0) return 1;
+
+  std::printf("server: %s on %zu UDP hosts, query port %u\n"
+              "server: analytic equilibrium: %.0f receptive, %.0f "
+              "stashers, %.0f averse\n",
+              kFileName, kHosts, query.port(), expected.receptives,
+              expected.stashers, expected.averse);
+
+  bool attacked = false;
+  for (int period = 1;
+       period <= 120 && !(shutdown_requested && period >= 60); ++period) {
+    store.run_for(1.0);
+    if (!attacked && period >= 40) {
+      // Targeted attack: snapshot the replica set and SIGKILL six of its
+      // hosts -- sockets close with no goodbye, peers see silence.
+      attacked = true;
+      std::size_t killed = 0;
+      for (const sim::ProcessId pid : store.group().members(kStash)) {
+        if (killed == 6) break;
+        store.kill_node(pid);
+        ++killed;
+      }
+      std::printf("server: attack destroyed %zu replica hosts "
+                  "(replicas now %zu, alive %zu)\n",
+                  killed, store.group().count(kStash), store.total_alive());
+    }
+  }
+
+  const std::size_t replicas = store.group().count(kStash);
+  const net::NetStats stats = store.net_stats();
+  const auto rc = proto::reality_check(kHosts, kParams, 6.0, 88.2);
+  std::printf("server: %s %s with %zu replicas on %zu alive hosts\n"
+              "server: %llu datagrams, rtt mean %.3f ms, %llu client "
+              "queries served\n"
+              "server: per-host bandwidth at equilibrium: %.2e bps "
+              "(6-minute periods, 88.2 KB files)\n",
+              kFileName, replicas > 0 ? "survives" : "LOST", replicas,
+              store.total_alive(),
+              static_cast<unsigned long long>(stats.datagrams_sent),
+              stats.rtt_ms_mean(),
+              static_cast<unsigned long long>(queries_served),
+              rc.bandwidth_bps);
+  return replicas > 0 && queries_served > 0 ? 0 : 1;
+}
+
+/// One query client: fires GET (and an occasional STATS) at the store,
+/// waits up to 500 ms per reply. Succeeds when most queries are answered
+/// and the file was seen replicated.
+int run_client(std::uint16_t port, int id, std::size_t num_queries) {
+  net::UdpSocket sock = net::UdpSocket::bind_loopback();
+  const sockaddr_in server = net::loopback_endpoint(port);
+  std::size_t answered = 0;
+  bool saw_replicas = false;
+  for (std::size_t i = 0; i < num_queries; ++i) {
+    const std::string cmd =
+        i % 8 == 7 ? "STATS" : std::string("GET ") + kFileName;
+    sock.send_to(server, cmd.data(), cmd.size());
+    std::vector<pollfd> fds = {{sock.fd(), POLLIN, 0}};
+    if (net::poll_sockets(fds, 500) > 0) {
+      char buf[256];
+      const long n = sock.recv_from(buf, sizeof(buf) - 1);
+      if (n > 0) {
+        buf[n] = '\0';
+        ++answered;
+        const char* r = std::strstr(buf, "replicas=");
+        if (r != nullptr && std::atoi(r + 9) > 0) saw_replicas = true;
+      }
+    }
+    usleep(20000);  // ~20 ms between queries
+  }
+  std::printf("client %d: %zu/%zu queries answered, file %s\n", id,
+              answered, num_queries,
+              saw_replicas ? "replicated" : "NOT SEEN");
+  return answered >= num_queries / 2 && saw_replicas ? 0 : 1;
+}
+
+/// Self-demo: server + three concurrent client processes, one of which is
+/// SIGKILLed mid-run (the store must not care).
+int run_demo(const char* self) {
+  int port_pipe[2];
+  if (pipe(port_pipe) != 0) return 1;
+
+  std::fflush(stdout);  // children inherit the buffer; keep it empty
+  const pid_t server_pid = fork();
+  if (server_pid == 0) {
+    close(port_pipe[0]);
+    const int rc = run_server(port_pipe[1]);
+    std::fflush(stdout);  // _exit skips stdio flushing
+    _exit(rc);
+  }
+  close(port_pipe[1]);
+
+  char line[64] = {};
+  std::size_t got = 0;
+  while (got < sizeof(line) - 1) {
+    const ssize_t n = read(port_pipe[0], line + got, sizeof(line) - 1 - got);
+    if (n <= 0) break;
+    got += static_cast<std::size_t>(n);
+    if (std::strchr(line, '\n') != nullptr) break;
+  }
+  close(port_pipe[0]);
+  unsigned port = 0;
+  if (std::sscanf(line, "PORT %u", &port) != 1 || port == 0) {
+    std::fprintf(stderr, "%s: server failed to announce a port\n", self);
+    kill(server_pid, SIGKILL);
+    return 1;
+  }
+  std::printf("demo: store is serving on UDP port %u\n", port);
+  std::fflush(stdout);
+
+  pid_t clients[3];
+  for (int id = 0; id < 3; ++id) {
+    clients[id] = fork();
+    if (clients[id] == 0) {
+      const int rc = run_client(static_cast<std::uint16_t>(port), id, 24);
+      std::fflush(stdout);
+      _exit(rc);
+    }
+  }
+
+  // The crash drill: client 2 dies without warning a quarter second in.
+  usleep(250000);
+  kill(clients[2], SIGKILL);
+  std::printf("demo: SIGKILLed client 2 mid-run\n");
+
+  bool ok = true;
+  for (int id = 0; id < 2; ++id) {
+    int status = 0;
+    waitpid(clients[id], &status, 0);
+    ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+  waitpid(clients[2], nullptr, 0);  // killed; exit status irrelevant
+
+  // Ask the server to wind down, then collect its verdict.
+  {
+    net::UdpSocket sock = net::UdpSocket::bind_loopback();
+    const char kBye[] = "SHUTDOWN";
+    sock.send_to(net::loopback_endpoint(static_cast<std::uint16_t>(port)),
+                 kBye, sizeof(kBye) - 1);
+  }
+  int status = 0;
+  waitpid(server_pid, &status, 0);
+  ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+
+  std::printf("demo: %s\n", ok ? "file served and survived" : "FAILED");
+  return ok ? 0 : 1;
+}
 
 }  // namespace
 
-int main() {
-  using namespace deproto;
-  constexpr std::size_t kHosts = 5000;
-  // b = 4 contacts per period with the push action enabled -> beta = 2b.
-  const proto::EndemicParams params{.b = 4, .gamma = 0.1, .alpha = 0.02};
-  const auto expected = proto::endemic_expectation(kHosts, params);
-  std::printf(
-      "endemic file store: %zu hosts, b=%u, gamma=%.2f, alpha=%.2f\n"
-      "analytic equilibrium per file: %.0f receptive, %.0f stashers, "
-      "%.0f averse\n\n",
-      kHosts, params.b, params.gamma, params.alpha, expected.receptives,
-      expected.stashers, expected.averse);
-
-  // One scenario instance per file (the paper: "each file has a
-  // responsibility migration protocol running on its behalf"). All files
-  // see the same churn process (same churn seed); only the simulation
-  // seed differs. Insert: the uploader pushes the file to 8 hosts -- a
-  // single initial replica would escape the saddle only w.p.
-  // ~ 1 - gamma/(beta*x), so 8 make the insertion loss negligible.
-  api::ScenarioSpec base;
-  base.source.catalog = "endemic";
-  base.source.params = {2.0 * params.b, params.gamma, params.alpha};
-  base.synthesis.push_pull.push_back(core::PushPullSpec{"x", "y"});
-  base.n = kHosts;
-  base.periods = 600;  // 60 hours at 10 periods per hour
-  base.initial_counts = {kHosts - 8, 8, 0};
-  base.faults.churn.enabled = true;
-  base.faults.churn.hours = 60.0;
-  base.faults.churn.min_rate = 0.05;
-  base.faults.churn.max_rate = 0.15;
-  base.faults.churn.mean_downtime_hours = 0.5;
-  base.faults.churn.seed = 7;
-  base.faults.churn.periods_per_hour = 10.0;
-
-  // deque, not vector: each File's ExperimentRun points back at its
-  // Experiment, so Files must never relocate as the store grows.
-  std::deque<File> files;
-  const std::uint64_t seeds[] = {101, 202, 303};
-  const char* names[] = {"alpha.dat", "beta.dat", "gamma.dat"};
-  for (std::size_t i = 0; i < 3; ++i) {
-    api::ScenarioSpec spec = base;
-    spec.name = names[i];
-    spec.seed = seeds[i];
-    files.emplace_back(names[i], std::move(spec));
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+    return run_server(/*announce_fd=*/1);
   }
-
-  constexpr std::size_t kStash = 1;  // machine state y
-
-  // beta.dat additionally suffers a targeted attack at hour 30: the
-  // attacker snapshots its replica set and destroys those hosts 1 hour
-  // (10 periods) later.
-  std::printf("%6s  %14s  %14s  %14s\n", "hour", files[0].name.c_str(),
-              files[1].name.c_str(), files[2].name.c_str());
-  std::vector<sim::ProcessId> attack_snapshot;
-  for (int hour = 0; hour <= 60; ++hour) {
-    if (hour == 30) {
-      attack_snapshot = files[1].run.group().members(kStash);
-    }
-    if (hour == 31) {
-      std::size_t killed = 0;
-      for (sim::ProcessId pid : attack_snapshot) {
-        if (files[1].run.group().alive(pid)) {
-          files[1].run.group().crash(pid);
-          ++killed;
-        }
-      }
-      std::printf("  -- targeted attack on %s: destroyed %zu of the %zu "
-                  "snapshotted replica hosts --\n",
-                  files[1].name.c_str(), killed, attack_snapshot.size());
-    }
-    if (hour % 5 == 0) {
-      std::printf("%6d  %14zu  %14zu  %14zu\n", hour,
-                  files[0].run.group().count(kStash),
-                  files[1].run.group().count(kStash),
-                  files[2].run.group().count(kStash));
-    }
-    for (File& f : files) f.run.advance(10);  // 10 periods per hour
+  if (argc >= 3 && std::strcmp(argv[1], "--client") == 0) {
+    return run_client(static_cast<std::uint16_t>(std::atoi(argv[2])),
+                      /*id=*/0, /*num_queries=*/24);
   }
-
-  std::printf("\nsurvival: ");
-  bool all = true;
-  for (File& f : files) {
-    const bool alive = f.run.group().count(kStash) > 0;
-    all = all && alive;
-    std::printf("%s=%s  ", f.name.c_str(), alive ? "alive" : "LOST");
-  }
-  const auto rc = proto::reality_check(kHosts, params, 6.0, 88.2);
-  std::printf("\nper-file per-host bandwidth at equilibrium: %.2e bps "
-              "(6-minute periods, 88.2 KB files)\n",
-              rc.bandwidth_bps);
-  std::printf("fairness: each host is responsible %.2f%% of the time, in "
-              "spells of ~%.0f periods\n",
-              100.0 * rc.stash_fraction, rc.spell_periods);
-  return all ? 0 : 1;
+  return run_demo(argv[0]);
 }

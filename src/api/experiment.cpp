@@ -142,6 +142,26 @@ Json ExperimentResult::to_json(bool include_timing) const {
   j.set("probes_total", Json::number(probes_total));
   j.set("messages_sent", Json::number(messages_sent));
   j.set("messages_dropped", Json::number(messages_dropped));
+  if (net_stats.has_value()) {
+    const net::NetStats& s = *net_stats;
+    j.set("net",
+          Json::object()
+              .set("datagrams_sent", Json::number(s.datagrams_sent))
+              .set("datagrams_received", Json::number(s.datagrams_received))
+              .set("emulated_drops", Json::number(s.emulated_drops))
+              .set("probes_sent", Json::number(s.probes_sent))
+              .set("probe_timeouts", Json::number(s.probe_timeouts))
+              .set("observed_loss", Json::number(s.observed_loss()))
+              .set("reordered", Json::number(s.reordered))
+              .set("duplicates", Json::number(s.duplicates))
+              .set("decode_errors", Json::number(s.decode_errors))
+              .set("joins", Json::number(s.joins))
+              .set("leaves", Json::number(s.leaves))
+              .set("rtt_samples", Json::number(s.rtt_samples))
+              .set("rtt_ms_min", Json::number(s.rtt_ms_min))
+              .set("rtt_ms_max", Json::number(s.rtt_ms_max))
+              .set("rtt_ms_mean", Json::number(s.rtt_ms_mean())));
+  }
   j.set("convergence",
         Json::object()
             .set("dominant_state", Json::number(convergence.dominant_state))
@@ -207,6 +227,31 @@ ExperimentResult ExperimentResult::from_json(const Json& j) {
   }
   if (j.contains("messages_dropped")) {
     r.messages_dropped = j.at("messages_dropped").as_u64();
+  }
+  if (j.contains("net")) {
+    const Json& s = j.at("net");
+    const auto u64 = [&s](const char* key) -> std::uint64_t {
+      return s.contains(key) ? s.at(key).as_u64() : 0;
+    };
+    net::NetStats stats;
+    stats.datagrams_sent = u64("datagrams_sent");
+    stats.datagrams_received = u64("datagrams_received");
+    stats.emulated_drops = u64("emulated_drops");
+    stats.probes_sent = u64("probes_sent");
+    stats.probe_timeouts = u64("probe_timeouts");
+    stats.reordered = u64("reordered");
+    stats.duplicates = u64("duplicates");
+    stats.decode_errors = u64("decode_errors");
+    stats.joins = u64("joins");
+    stats.leaves = u64("leaves");
+    stats.rtt_samples = u64("rtt_samples");
+    stats.rtt_ms_min = s.get_or("rtt_ms_min", 0.0);
+    stats.rtt_ms_max = s.get_or("rtt_ms_max", 0.0);
+    // The document carries the mean; the sum reconstructs so a reloaded
+    // result reports the same rtt_ms_mean().
+    stats.rtt_ms_sum =
+        s.get_or("rtt_ms_mean", 0.0) * static_cast<double>(stats.rtt_samples);
+    r.net_stats = stats;
   }
   r.elapsed_seconds = j.get_or("elapsed_seconds", 0.0);
   if (j.contains("convergence")) {
@@ -294,12 +339,32 @@ ExperimentRun Experiment::launch_impl() {
   } else if (backend == Backend::Event) {
     sim::EventSimOptions options;
     options.network.loss = spec_.runtime.message_loss;
+    options.network.latency_min = spec_.network.latency_min;
+    options.network.latency_max = spec_.network.latency_max;
     options.clock_drift = spec_.clock_drift;
     options.tokens = spec_.runtime.tokens;
     auto event = std::make_unique<sim::EventSimulator>(
         spec_.n, machine, spec_.seed, options);
     run.event_ = event.get();
     run.simulator_ = std::move(event);
+  } else if (backend == Backend::Net) {
+    if (spec_.n > net::NetSimulator::kMaxNodes) {
+      throw SpecError(
+          "backend net binds one real UDP socket per node: n = " +
+          std::to_string(spec_.n) + " exceeds the ceiling of " +
+          std::to_string(net::NetSimulator::kMaxNodes) +
+          "; gigascale populations need backend count (or auto)");
+    }
+    net::NetSimOptions options;
+    options.period_ms = spec_.network.period_ms;
+    options.probe_timeout = spec_.network.probe_timeout;
+    options.message_loss = spec_.runtime.message_loss;
+    options.clock_drift = spec_.clock_drift;
+    options.tokens = spec_.runtime.tokens;
+    auto net = std::make_unique<net::NetSimulator>(spec_.n, machine,
+                                                   spec_.seed, options);
+    run.net_ = net.get();
+    run.simulator_ = std::move(net);
   } else {
     sim::CountSimOptions options;
     options.message_loss = spec_.runtime.message_loss;
@@ -354,11 +419,12 @@ void ExperimentRun::stream_series(
   streaming_ = true;
   stream_times_.clear();
   stream_counts_.assign(simulator_->num_states(), {});
-  // The event simulator additionally samples at t = 0; that point
+  // The event and net simulators additionally sample at t = 0; that point
   // duplicates initial_counts and is skipped, exactly as finish() skips it
   // in the retained path.
   simulator_->metrics().set_sample_sink(
-      [this, sink = std::move(sink), skip_first = event_ != nullptr](
+      [this, sink = std::move(sink),
+       skip_first = event_ != nullptr || net_ != nullptr](
           const sim::PeriodSample& sample) mutable {
         if (skip_first) {
           skip_first = false;
@@ -390,15 +456,15 @@ ExperimentResult ExperimentRun::finish() {
   result.machine_text = art.synthesis.machine.to_string();
   result.initial_counts = initial_counts_;
 
-  // One series point per period on every backend. The event simulator
-  // additionally samples at t = 0; that point duplicates initial_counts,
-  // so it is skipped here. In streaming mode every point already went to
-  // the sink, so result.series stays empty by design.
+  // One series point per period on every backend. The event and net
+  // simulators additionally sample at t = 0; that point duplicates
+  // initial_counts, so it is skipped here. In streaming mode every point
+  // already went to the sink, so result.series stays empty by design.
   if (!streaming_) {
     const std::vector<sim::PeriodSample>& samples =
         simulator_->metrics().samples();
-    for (std::size_t i = (event_ != nullptr ? 1 : 0); i < samples.size();
-         ++i) {
+    for (std::size_t i = (event_ != nullptr || net_ != nullptr ? 1 : 0);
+         i < samples.size(); ++i) {
       const sim::PeriodSample& sample = samples[i];
       result.series.push_back(PeriodPoint{sample.time, sample.alive_in_state,
                                           sample.total_alive});
@@ -416,6 +482,18 @@ ExperimentResult ExperimentRun::finish() {
   } else if (count_ != nullptr) {
     result.tokens = count_->token_stats();
     result.probes_total = count_->probes_total();
+  } else if (net_ != nullptr) {
+    const net::NetStats stats = net_->net_stats();
+    result.tokens = net_->token_stats();
+    result.probes_total = stats.probes_sent;
+    // The shared message columns carry the measured equivalents of the
+    // event backend's synthetic counters (datagrams that reached the
+    // kernel; probes whose reply never arrived), so a sweep can put
+    // simulated and real loss side by side. The full measured detail
+    // rides in result.net_stats.
+    result.messages_sent = stats.datagrams_sent;
+    result.messages_dropped = stats.probe_timeouts;
+    result.net_stats = stats;
   } else {
     result.messages_sent = event_->network().sent();
     result.messages_dropped = event_->network().dropped();

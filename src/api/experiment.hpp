@@ -26,6 +26,7 @@
 
 #include "api/spec.hpp"
 #include "core/synthesis.hpp"
+#include "net/net_sim.hpp"
 #include "ode/taxonomy.hpp"
 #include "sim/count_sim.hpp"
 #include "sim/event_sim.hpp"
@@ -73,8 +74,14 @@ struct ExperimentResult {
 
   sim::TokenStats tokens;           // sync backend
   std::uint64_t probes_total = 0;   // sync backend
-  std::uint64_t messages_sent = 0;     // event backend
-  std::uint64_t messages_dropped = 0;  // event backend
+  std::uint64_t messages_sent = 0;     // event + net backends
+  std::uint64_t messages_dropped = 0;  // event (synthetic) / net (measured)
+
+  /// Net backend only: the measured network behavior (RTT, observed
+  /// loss, reordering, duplicates). Absent on the simulated backends, so
+  /// their result JSON is byte-identical to what it was before the net
+  /// layer existed.
+  std::optional<net::NetStats> net_stats;
 
   ConvergenceSummary convergence;
 
@@ -154,6 +161,7 @@ class ExperimentRun {
   std::unique_ptr<sim::MachineExecutor> executor_;  // sync backend only
   sim::EventSimulator* event_ = nullptr;            // event backend only
   sim::CountSimulator* count_ = nullptr;            // count backend only
+  net::NetSimulator* net_ = nullptr;                // net backend only
 };
 
 class Experiment {

@@ -23,6 +23,21 @@ std::vector<std::pair<std::string, double>> result_metrics(
   m.emplace_back("messages_sent", static_cast<double>(r.messages_sent));
   m.emplace_back("messages_dropped",
                  static_cast<double>(r.messages_dropped));
+  // Dropped / sent: the event backend's synthetic loss rate and the net
+  // backend's measured one land in the same column, so a sweep can put a
+  // simulated network next to the real loopback one.
+  m.emplace_back("loss_rate",
+                 r.messages_sent == 0
+                     ? 0.0
+                     : static_cast<double>(r.messages_dropped) /
+                           static_cast<double>(r.messages_sent));
+  if (r.net_stats.has_value()) {
+    m.emplace_back("observed_loss", r.net_stats->observed_loss());
+    m.emplace_back("rtt_ms_mean", r.net_stats->rtt_ms_mean());
+    m.emplace_back("reordered", static_cast<double>(r.net_stats->reordered));
+    m.emplace_back("duplicates",
+                   static_cast<double>(r.net_stats->duplicates));
+  }
   return m;
 }
 

@@ -89,6 +89,24 @@ std::vector<ScenarioSpec> build_registry() {
 
   {
     ScenarioSpec spec = epidemic_base();
+    spec.name = "epidemic-net";
+    spec.description =
+        "Pull epidemic over real UDP sockets on loopback: 128 nodes, one "
+        "socket each, probes as datagrams, loss/RTT measured not simulated";
+    spec.backend = Backend::Net;
+    spec.n = 128;
+    spec.periods = 24;
+    spec.seed = 7;
+    spec.initial_counts = {127, 1};
+    spec.network.period_ms = 10.0;  // ~0.25 s of wall clock per run
+    // Short periods shrink the probe deadline to a few ms; on a loaded CI
+    // host that reads as loss. Two periods of grace keeps the run honest.
+    spec.network.probe_timeout = 2.0;
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = epidemic_base();
     spec.name = "epidemic-count";
     spec.description =
         "The pull epidemic at N = 10^6 on the count backend: one infective "
@@ -111,6 +129,22 @@ std::vector<ScenarioSpec> build_registry() {
     spec.backend = Backend::Count;
     spec.n = 1000000;
     spec.initial_counts = {600000, 400000, 0};
+    specs.push_back(std::move(spec));
+  }
+
+  {
+    ScenarioSpec spec = lv_base();
+    spec.name = "lv-majority-net";
+    spec.description =
+        "LV majority vote over real loopback UDP: a 60/40 split of 128 "
+        "gossiping sockets converges to the initial majority";
+    spec.backend = Backend::Net;
+    spec.n = 128;
+    spec.periods = 150;
+    spec.seed = 1234;
+    spec.initial_counts = {77, 51, 0};
+    spec.network.period_ms = 5.0;  // ~0.75 s of wall clock per run
+    spec.network.probe_timeout = 2.0;
     specs.push_back(std::move(spec));
   }
 
@@ -141,6 +175,22 @@ std::vector<ScenarioSpec> build_registry() {
   }
 
   specs.push_back(endemic_base());
+
+  {
+    ScenarioSpec spec = endemic_base();
+    spec.name = "endemic-net";
+    spec.description =
+        "Endemic replication over real loopback UDP: push-pull datagrams "
+        "hold the stash population at the eq. (2) equilibrium";
+    spec.backend = Backend::Net;
+    spec.n = 128;
+    spec.periods = 150;
+    spec.seed = 21;
+    spec.initial_counts = {7, 24, 97};
+    spec.network.period_ms = 5.0;  // ~0.75 s of wall clock per run
+    spec.network.probe_timeout = 2.0;
+    specs.push_back(std::move(spec));
+  }
 
   {
     ScenarioSpec spec = endemic_base();

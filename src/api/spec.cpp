@@ -79,6 +79,13 @@ sim::RuntimeOptions runtime_from_json(const Json& j) {
   sim::RuntimeOptions o;
   o.message_loss = finite(j.get_or("message_loss", o.message_loss),
                           "runtime.message_loss");
+  // Probabilities are validated here, at parse time, so a bad sweep axis
+  // value fails before any backend is stood up (the backends' own checks
+  // would catch it later, but mid-launch and with a vaguer message).
+  if (o.message_loss < 0.0 || o.message_loss > 1.0) {
+    throw SpecError("runtime.message_loss: must lie in [0, 1], got " +
+                    std::to_string(o.message_loss));
+  }
   const std::string mode = j.get_or("token_mode", std::string("directory"));
   if (mode == "directory") {
     o.tokens.mode = sim::TokenRouting::Mode::Directory;
@@ -94,6 +101,45 @@ sim::RuntimeOptions runtime_from_json(const Json& j) {
   }
   o.simultaneous_updates =
       j.get_or("simultaneous_updates", o.simultaneous_updates);
+  return o;
+}
+
+Json network_to_json(const NetworkSpec& o) {
+  Json j = Json::object();
+  j.set("latency_min", Json::number(o.latency_min));
+  j.set("latency_max", Json::number(o.latency_max));
+  j.set("period_ms", Json::number(o.period_ms));
+  j.set("probe_timeout", Json::number(o.probe_timeout));
+  return j;
+}
+
+NetworkSpec network_from_json(const Json& j) {
+  NetworkSpec o;
+  o.latency_min =
+      finite(j.get_or("latency_min", o.latency_min), "network.latency_min");
+  o.latency_max =
+      finite(j.get_or("latency_max", o.latency_max), "network.latency_max");
+  o.period_ms =
+      finite(j.get_or("period_ms", o.period_ms), "network.period_ms");
+  o.probe_timeout = finite(j.get_or("probe_timeout", o.probe_timeout),
+                           "network.probe_timeout");
+  if (o.latency_min < 0.0) {
+    throw SpecError("network.latency_min: must be >= 0, got " +
+                    std::to_string(o.latency_min));
+  }
+  if (o.latency_min > o.latency_max) {
+    throw SpecError("network.latency_min (" + std::to_string(o.latency_min) +
+                    ") must not exceed latency_max (" +
+                    std::to_string(o.latency_max) + ")");
+  }
+  if (o.period_ms <= 0.0) {
+    throw SpecError("network.period_ms: must be positive, got " +
+                    std::to_string(o.period_ms));
+  }
+  if (o.probe_timeout <= 0.0) {
+    throw SpecError("network.probe_timeout: must be positive, got " +
+                    std::to_string(o.probe_timeout));
+  }
   return o;
 }
 
@@ -180,6 +226,8 @@ const char* backend_name(Backend backend) {
       return "event";
     case Backend::Count:
       return "count";
+    case Backend::Net:
+      return "net";
     case Backend::Auto:
       return "auto";
   }
@@ -190,9 +238,10 @@ Backend backend_from_name(const std::string& name) {
   if (name == "sync") return Backend::Sync;
   if (name == "event") return Backend::Event;
   if (name == "count") return Backend::Count;
+  if (name == "net") return Backend::Net;
   if (name == "auto") return Backend::Auto;
   throw SpecError("unknown backend: " + name +
-                  " (want sync | event | count | auto)");
+                  " (want sync | event | count | net | auto)");
 }
 
 Backend resolve_backend(Backend backend, std::size_t n) {
@@ -299,9 +348,10 @@ Json ScenarioSpec::to_json() const {
   j.set("synthesis", synthesis_to_json(synthesis));
   j.set("runtime", runtime_to_json(runtime));
   j.set("backend", Json::string(backend_name(backend)));
-  if (backend == Backend::Event) {
+  if (backend == Backend::Event || backend == Backend::Net) {
     j.set("clock_drift", Json::number(clock_drift));
   }
+  if (network != NetworkSpec{}) j.set("network", network_to_json(network));
   j.set("n", Json::number(n));
   j.set("periods", Json::number(periods));
   j.set("seed", Json::number(seed));
@@ -336,6 +386,9 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
       backend_from_name(j.get_or("backend", std::string("sync")));
   spec.clock_drift =
       finite(j.get_or("clock_drift", spec.clock_drift), "clock_drift");
+  if (j.contains("network")) {
+    spec.network = network_from_json(j.at("network"));
+  }
   if (j.contains("n")) spec.n = j.at("n").as_size();
   if (j.contains("periods")) spec.periods = j.at("periods").as_size();
   if (j.contains("seed")) spec.seed = j.at("seed").as_u64();

@@ -80,10 +80,11 @@ struct FaultPlan {
 };
 
 /// Execution backend: per-node round-synchronous (Sync), per-node fully
-/// asynchronous (Event), count-based O(states)-per-period (Count), or
-/// Auto, which resolves at launch to Count when n >=
-/// kAutoBackendCrossoverN and to Sync below it.
-enum class Backend { Sync, Event, Count, Auto };
+/// asynchronous (Event), count-based O(states)-per-period (Count),
+/// real UDP sockets on loopback (Net, one socket per node -- capped at
+/// net::NetSimulator::kMaxNodes), or Auto, which resolves at launch to
+/// Count when n >= kAutoBackendCrossoverN and to Sync below it.
+enum class Backend { Sync, Event, Count, Net, Auto };
 
 /// Auto crossover: below this N the per-node sync backend is cheap and
 /// exact; at or above it the count backend's O(states) periods win and
@@ -97,6 +98,20 @@ inline constexpr std::size_t kAutoBackendCrossoverN = 100000;
 /// backends pass through unchanged.
 [[nodiscard]] Backend resolve_backend(Backend backend, std::size_t n);
 
+/// Network model knobs, validated at spec-parse time. The latency band
+/// feeds the event backend's synthetic sim::Network; period_ms and
+/// probe_timeout pace the net backend's real-socket runtime. Serialized
+/// as a "network" object only when it differs from the defaults, so
+/// existing spec JSON (and cache keys) are untouched.
+struct NetworkSpec {
+  double latency_min = 0.02;   // event backend, in periods
+  double latency_max = 0.10;   // event backend, in periods
+  double period_ms = 20.0;     // net backend: wall-clock ms per period
+  double probe_timeout = 0.5;  // net backend: loss deadline, in periods
+
+  friend bool operator==(const NetworkSpec&, const NetworkSpec&) = default;
+};
+
 struct ScenarioSpec {
   std::string name;
   std::string description;
@@ -104,8 +119,10 @@ struct ScenarioSpec {
   core::SynthesisOptions synthesis;
   sim::RuntimeOptions runtime;
   Backend backend = Backend::Sync;
-  /// Event backend only: per-process clock drift (EventSimOptions).
+  /// Event and net backends: per-process clock drift.
   double clock_drift = 0.05;
+  /// Event and net backends: latency band / real-socket pacing.
+  NetworkSpec network;
   std::size_t n = 1000;
   std::size_t periods = 100;
   std::uint64_t seed = 1;

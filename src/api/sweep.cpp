@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/experiment.hpp"
 #include "sim/rng.hpp"
 
 namespace deproto::api {
@@ -320,6 +321,55 @@ SweepSpec SweepSpec::from_json(const Json& j) {
     sweep.replicates = j.at("replicates").as_size();
   }
   return sweep;
+}
+
+BisectResult bisect_axis(const std::function<bool(double)>& holds,
+                         const BisectOptions& options) {
+  if (!std::isfinite(options.lo) || !std::isfinite(options.hi) ||
+      options.lo > options.hi) {
+    throw SpecError("bisect_axis: want finite lo <= hi");
+  }
+  BisectResult result;
+  result.lo = options.lo;
+  result.hi = options.hi;
+  const bool held_lo = holds(options.lo);
+  ++result.evaluations;
+  const bool held_hi = holds(options.hi);
+  ++result.evaluations;
+  if (!held_lo || held_hi) {
+    // One-sided: no flip inside [lo, hi]. Report the surviving endpoint
+    // (hi when the predicate never failed, lo when it never held).
+    result.threshold = held_hi ? options.hi : options.lo;
+    return result;
+  }
+  result.bracketed = true;
+  for (std::size_t i = 0; i < options.max_iterations; ++i) {
+    if (result.hi - result.lo <= options.tolerance) break;
+    const double mid = result.lo + (result.hi - result.lo) / 2.0;
+    if (mid <= result.lo || mid >= result.hi) break;  // float resolution
+    if (holds(mid)) {
+      result.lo = mid;
+    } else {
+      result.hi = mid;
+    }
+    ++result.evaluations;
+  }
+  result.threshold = result.lo + (result.hi - result.lo) / 2.0;
+  return result;
+}
+
+BisectResult bisect_axis_threshold(
+    const ScenarioSpec& base, const std::string& field,
+    const std::function<bool(const ExperimentResult&)>& predicate,
+    const BisectOptions& options) {
+  return bisect_axis(
+      [&](double value) {
+        ScenarioSpec spec = base;
+        apply_axis_value(spec, field, Json::number(value));
+        Experiment experiment(std::move(spec));
+        return predicate(experiment.run());
+      },
+      options);
 }
 
 }  // namespace deproto::api

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,8 @@
 #include "api/spec.hpp"
 
 namespace deproto::api {
+
+struct ExperimentResult;  // api/experiment.hpp
 
 /// How the axes combine into sweep points. Grid takes the cartesian
 /// product (first axis outermost / slowest-varying); Zip walks all axes in
@@ -104,5 +107,45 @@ void apply_axis_value(ScenarioSpec& spec, const std::string& field,
 /// streams are decorrelated but fully determined by (base_seed, r).
 [[nodiscard]] std::uint64_t replicate_seed(std::uint64_t base_seed,
                                            std::size_t replicate);
+
+/// Adaptive sweep starter: where a fixed SweepAxis samples a value list,
+/// bisection *finds* the value where a verdict flips -- e.g. the churn
+/// rate beyond which the convergence verdict fails -- to a chosen
+/// resolution in O(log(range / tolerance)) runs instead of a dense grid.
+struct BisectOptions {
+  double lo = 0.0;  // predicate is expected to hold here
+  double hi = 1.0;  // ... and to fail here
+  /// Midpoint evaluations after the two endpoint checks.
+  std::size_t max_iterations = 20;
+  /// Stop early once hi - lo <= tolerance (0 = iterate to max_iterations).
+  double tolerance = 0.0;
+};
+
+struct BisectResult {
+  double lo = 0.0;         // largest value where the predicate held
+  double hi = 0.0;         // smallest value where it failed
+  double threshold = 0.0;  // midpoint of the final [lo, hi] bracket
+  std::size_t evaluations = 0;  // predicate calls, endpoints included
+  /// True when the endpoints bracketed a flip (held at lo, failed at hi);
+  /// false means the predicate is one-sided over [lo, hi] and threshold
+  /// just reports the surviving endpoint.
+  bool bracketed = false;
+};
+
+/// Bisect `holds` (assumed monotone: true on [lo, threshold), false on
+/// (threshold, hi]) down to the options' resolution. Throws SpecError
+/// when options.lo > options.hi or either bound is non-finite.
+[[nodiscard]] BisectResult bisect_axis(
+    const std::function<bool(double)>& holds, const BisectOptions& options);
+
+/// Experiment-driven bisection: applies each candidate value to `field`
+/// of `base` (apply_axis_value), runs the experiment, and feeds the
+/// result to `predicate`. Axis values ride through apply_axis_value, so
+/// any numeric sweep_axis_fields() entry works ("n" included -- values
+/// round through the Json number path).
+[[nodiscard]] BisectResult bisect_axis_threshold(
+    const ScenarioSpec& base, const std::string& field,
+    const std::function<bool(const ExperimentResult&)>& predicate,
+    const BisectOptions& options);
 
 }  // namespace deproto::api

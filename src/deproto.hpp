@@ -58,6 +58,11 @@
 #include "sim/count_sim.hpp"
 #include "sim/runtime.hpp"
 
+// net: the real-network runtime -- protocols over UDP loopback sockets
+#include "net/packet.hpp"
+#include "net/socket.hpp"
+#include "net/net_sim.hpp"
+
 // api: the declarative experiment facade over the whole pipeline
 #include "api/json.hpp"
 #include "api/spec.hpp"

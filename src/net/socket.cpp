@@ -1,0 +1,108 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+namespace deproto::net {
+
+sockaddr_in loopback_endpoint(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+UdpSocket UdpSocket::bind_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "UdpSocket: socket()");
+  }
+  UdpSocket sock;
+  sock.fd_ = fd;  // owned from here; close on any failure below
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int saved = errno;
+    throw std::system_error(saved, std::generic_category(),
+                            "UdpSocket: fcntl(O_NONBLOCK)");
+  }
+  sockaddr_in addr = loopback_endpoint(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    throw std::system_error(saved, std::generic_category(),
+                            "UdpSocket: bind(127.0.0.1:" +
+                                std::to_string(port) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    throw std::system_error(saved, std::generic_category(),
+                            "UdpSocket: getsockname()");
+  }
+  sock.port_ = ntohs(bound.sin_port);
+  return sock;
+}
+
+void UdpSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    port_ = 0;
+  }
+}
+
+bool UdpSocket::send_to(const sockaddr_in& dest, const char* data,
+                        std::size_t n) {
+  if (fd_ < 0) return false;
+  const auto sent =
+      ::sendto(fd_, data, n, 0, reinterpret_cast<const sockaddr*>(&dest),
+               sizeof(dest));
+  return sent == static_cast<long>(n);
+}
+
+long UdpSocket::recv_from(char* buf, std::size_t n, sockaddr_in* from) {
+  if (fd_ < 0) return -1;
+  sockaddr_in src{};
+  socklen_t len = sizeof(src);
+  const auto got = ::recvfrom(fd_, buf, n, 0,
+                              reinterpret_cast<sockaddr*>(&src), &len);
+  if (got < 0) return -1;
+  if (from != nullptr) *from = src;
+  return got;
+}
+
+int poll_sockets(std::vector<pollfd>& fds, int timeout_ms) {
+  for (;;) {
+    const int ready =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready >= 0) return ready;
+    if (errno != EINTR) return 0;
+  }
+}
+
+}  // namespace deproto::net

@@ -1,0 +1,64 @@
+#pragma once
+
+// Thin RAII wrapper over a non-blocking IPv4 UDP socket bound to the
+// loopback interface, plus the poll() helper the NetSimulator's event
+// loop drives all node sockets with. Nothing protocol-specific lives
+// here: packet.hpp owns the bytes, net_sim.hpp owns the behavior.
+
+#include <netinet/in.h>
+#include <poll.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deproto::net {
+
+/// 127.0.0.1:port as a ready-to-use sendto() destination.
+[[nodiscard]] sockaddr_in loopback_endpoint(std::uint16_t port);
+
+/// Move-only owner of one bound UDP socket fd. A default-constructed
+/// socket is closed; bind_loopback() produces an open one.
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Bind a fresh non-blocking socket to 127.0.0.1:`port` (0 = let the
+  /// kernel pick an ephemeral port). Throws std::system_error on any
+  /// socket/bind failure -- fd exhaustion or a taken port, typically.
+  [[nodiscard]] static UdpSocket bind_loopback(std::uint16_t port = 0);
+
+  [[nodiscard]] bool open() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// The bound port (0 when closed).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  void close() noexcept;
+
+  /// One datagram to `dest`. True when the kernel accepted it; false on
+  /// any send error (including a transient full buffer -- UDP loses it,
+  /// exactly like the wire would).
+  bool send_to(const sockaddr_in& dest, const char* data, std::size_t n);
+
+  /// One datagram into `buf`; returns its length, or -1 when nothing is
+  /// pending (EAGAIN) or the socket is closed. `from`, when non-null,
+  /// receives the source address.
+  long recv_from(char* buf, std::size_t n, sockaddr_in* from = nullptr);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// poll(2) over `fds` with a millisecond timeout (>= 0). Returns the
+/// number of ready entries (revents filled in), 0 on timeout; EINTR is
+/// retried internally, other errors surface as 0.
+int poll_sockets(std::vector<pollfd>& fds, int timeout_ms);
+
+}  // namespace deproto::net

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 #include <vector>
@@ -23,6 +24,13 @@ class EventQueue {
   void schedule_in(double delay, Handler fn) { schedule(now_ + delay, fn); }
 
   [[nodiscard]] double now() const noexcept { return now_; }
+  /// Timestamp of the earliest pending event; +infinity when empty (so
+  /// callers pacing the queue against an external clock -- the net
+  /// backend's wall-clock loop -- can min() it against their horizon).
+  [[nodiscard]] double next_time() const noexcept {
+    return heap_.empty() ? std::numeric_limits<double>::infinity()
+                         : heap_.top().time;
+  }
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }

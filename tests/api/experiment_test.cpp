@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "api/experiment.hpp"
+#include "api/job_metrics.hpp"
 #include "api/registry.hpp"
 #include "core/synthesis.hpp"
 #include "ode/catalog.hpp"
@@ -149,6 +150,62 @@ TEST(ExperimentTest, EventBackendMatchesLegacyEventWiring) {
   EXPECT_EQ(result.final_counts[1], simulator.group().count(1));
   EXPECT_EQ(result.messages_sent, simulator.network().sent());
   EXPECT_EQ(result.messages_dropped, simulator.network().dropped());
+}
+
+TEST(ExperimentTest, EventLossCountersFeedTheSharedLossRateMetric) {
+  // The event backend's synthetic message counters are live in the
+  // result, and loss_rate = dropped / sent lands in the job-metric
+  // vector -- the same column the net backend fills with measured loss.
+  ScenarioSpec spec = registry_get("epidemic-event").scaled_to(500);
+  spec.periods = 20;
+  spec.runtime.message_loss = 0.2;
+  const ExperimentResult result = Experiment(std::move(spec)).run();
+  EXPECT_GT(result.messages_sent, 0U);
+  EXPECT_GT(result.messages_dropped, 0U);
+  EXPECT_FALSE(result.net_stats.has_value());  // simulated, not measured
+
+  const auto metrics = detail::result_metrics(result);
+  double loss_rate = -1.0;
+  bool has_measured_columns = false;
+  for (const auto& [name, value] : metrics) {
+    if (name == "loss_rate") loss_rate = value;
+    if (name == "observed_loss" || name == "rtt_ms_mean") {
+      has_measured_columns = true;
+    }
+  }
+  EXPECT_DOUBLE_EQ(loss_rate,
+                   static_cast<double>(result.messages_dropped) /
+                       static_cast<double>(result.messages_sent));
+  EXPECT_NEAR(loss_rate, 0.2, 0.05);  // synthetic loss at its configured rate
+  EXPECT_FALSE(has_measured_columns);  // measured columns are net-only
+}
+
+TEST(ExperimentTest, NetBackendMeasuresItsNetworkAndRoundTripsResults) {
+  ScenarioSpec spec = registry_get("epidemic-net");
+  const ExperimentResult result = Experiment(spec).run();
+  EXPECT_TRUE(result.convergence.absorbed);
+  ASSERT_TRUE(result.net_stats.has_value());
+  EXPECT_GT(result.net_stats->rtt_samples, 0U);
+  EXPECT_GT(result.net_stats->rtt_ms_mean(), 0.0);
+  EXPECT_EQ(result.messages_sent, result.net_stats->datagrams_sent);
+
+  // Measured columns join the job-metric vector.
+  const auto metrics = detail::result_metrics(result);
+  double rtt_ms_mean = 0.0;
+  for (const auto& [name, value] : metrics) {
+    if (name == "rtt_ms_mean") rtt_ms_mean = value;
+  }
+  EXPECT_GT(rtt_ms_mean, 0.0);
+
+  // The "net" block survives the result JSON round trip.
+  const ExperimentResult back =
+      ExperimentResult::from_json(Json::parse(result.to_json().dump()));
+  ASSERT_TRUE(back.net_stats.has_value());
+  EXPECT_EQ(back.net_stats->datagrams_sent, result.net_stats->datagrams_sent);
+  EXPECT_EQ(back.net_stats->rtt_samples, result.net_stats->rtt_samples);
+  EXPECT_NEAR(back.net_stats->rtt_ms_mean(), result.net_stats->rtt_ms_mean(),
+              1e-9);
+  EXPECT_DOUBLE_EQ(back.net_stats->rtt_ms_max, result.net_stats->rtt_ms_max);
 }
 
 TEST(ExperimentTest, SimulatorValidationSurfacesAsSpecError) {

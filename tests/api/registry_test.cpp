@@ -19,12 +19,15 @@ TEST(RegistryTest, ListsExactlyTheRegisteredScenarios) {
       "epidemic",
       "epidemic-lossy",
       "epidemic-event",
+      "epidemic-net",
       "epidemic-count",
       "lv-majority",
       "lv-majority-count",
+      "lv-majority-net",
       "lv-majority-failure",
       "lv-majority-failure-event",
       "endemic",
+      "endemic-net",
       "endemic-massive-failure",
       "endemic-massive-failure-event",
       "endemic-massive-failure-count",

@@ -72,6 +72,67 @@ TEST(SpecJsonTest, EventBackendSpecRoundTrips) {
   EXPECT_EQ(back, spec);
 }
 
+TEST(SpecJsonTest, NetBackendSpecRoundTrips) {
+  ScenarioSpec spec;
+  spec.source.catalog = "epidemic";
+  spec.backend = Backend::Net;
+  spec.clock_drift = 0.08;
+  spec.network.latency_min = 0.01;
+  spec.network.latency_max = 0.2;
+  spec.network.period_ms = 5.0;
+  spec.network.probe_timeout = 0.75;
+  const Json j = spec.to_json();
+  // clock_drift applies to the net backend (drifting wall-clock timers),
+  // so it serializes just as it does for event.
+  EXPECT_TRUE(j.contains("clock_drift"));
+  EXPECT_TRUE(j.contains("network"));
+  EXPECT_EQ(ScenarioSpec::from_json(Json::parse(j.dump())), spec);
+  EXPECT_STREQ(backend_name(Backend::Net), "net");
+  EXPECT_EQ(backend_from_name("net"), Backend::Net);
+}
+
+TEST(SpecJsonTest, DefaultNetworkSpecStaysOffTheWire) {
+  // Pre-net specs never carried a "network" key; a default NetworkSpec
+  // must keep it that way so existing spec JSON (and the cache keys
+  // derived from it) stay byte-identical.
+  ScenarioSpec spec;
+  spec.source.catalog = "epidemic";
+  EXPECT_FALSE(spec.to_json().contains("network"));
+  spec.backend = Backend::Event;
+  spec.clock_drift = 0.12;
+  EXPECT_FALSE(spec.to_json().contains("network"));
+}
+
+TEST(SpecJsonTest, RuntimeAndNetworkOptionsValidateAtParseTime) {
+  // Bad physical-layer numbers are configuration errors, rejected when
+  // the spec is parsed -- not hours later when a simulator constructor
+  // finally sees them.
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"runtime":{"message_loss":-0.1}})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"runtime":{"message_loss":1.5}})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"network":{"latency_min":0.5,"latency_max":0.1}})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(Json::parse(
+                   R"({"network":{"latency_min":-0.01}})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(
+                   Json::parse(R"({"network":{"period_ms":0}})")),
+               SpecError);
+  EXPECT_THROW((void)ScenarioSpec::from_json(
+                   Json::parse(R"({"network":{"probe_timeout":-1}})")),
+               SpecError);
+  // The boundary cases are legal: loss of 0 and 1 - epsilon, a
+  // degenerate latency band.
+  const ScenarioSpec ok = ScenarioSpec::from_json(Json::parse(
+      R"({"runtime":{"message_loss":0.0},
+          "network":{"latency_min":0.05,"latency_max":0.05}})"));
+  EXPECT_DOUBLE_EQ(ok.network.latency_min, ok.network.latency_max);
+}
+
 TEST(SpecJsonTest, CountAndAutoBackendsRoundTrip) {
   for (const Backend backend : {Backend::Count, Backend::Auto}) {
     ScenarioSpec spec;

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <limits>
 
+#include "api/experiment.hpp"
 #include "api/registry.hpp"
 #include "api/sweep.hpp"
 
@@ -300,6 +301,95 @@ TEST(SweepSpecTest, AxisFieldCatalogIsNonEmptyAndStable) {
   EXPECT_NE(std::find(fields.begin(), fields.end(),
                       "faults.churn.max_rate"),
             fields.end());
+}
+
+TEST(BisectAxisTest, FindsAMonotoneFlipToTolerance) {
+  // Synthetic monotone predicate with a known flip at 0.37: bisection
+  // must land within the requested tolerance of it.
+  const double kFlip = 0.37;
+  std::size_t calls = 0;
+  const auto holds = [&](double v) {
+    ++calls;
+    return v < kFlip;
+  };
+  BisectOptions options;
+  options.lo = 0.0;
+  options.hi = 1.0;
+  options.tolerance = 1e-4;
+  const BisectResult result = bisect_axis(holds, options);
+  EXPECT_TRUE(result.bracketed);
+  EXPECT_NEAR(result.threshold, kFlip, 1e-4);
+  // The final bracket straddles the flip; the reported threshold is its
+  // midpoint (so it may sit within tolerance on either side of kFlip).
+  EXPECT_LT(result.lo, kFlip);
+  EXPECT_GE(result.hi, kFlip);
+  EXPECT_LE(result.lo, result.threshold);
+  EXPECT_GE(result.hi, result.threshold);
+  EXPECT_EQ(result.evaluations, calls);
+  // log2(1 / 1e-4) ~ 14 midpoints + 2 endpoint checks.
+  EXPECT_LE(result.evaluations, 2U + 14U);
+}
+
+TEST(BisectAxisTest, OneSidedPredicatesReportTheSurvivingEndpoint) {
+  const auto always = [](double) { return true; };
+  const auto never = [](double) { return false; };
+  BisectOptions options;
+  options.lo = 2.0;
+  options.hi = 5.0;
+  const BisectResult held = bisect_axis(always, options);
+  EXPECT_FALSE(held.bracketed);
+  EXPECT_DOUBLE_EQ(held.threshold, 5.0);
+  EXPECT_EQ(held.evaluations, 2U);
+  const BisectResult failed = bisect_axis(never, options);
+  EXPECT_FALSE(failed.bracketed);
+  EXPECT_DOUBLE_EQ(failed.threshold, 2.0);
+  EXPECT_EQ(failed.evaluations, 2U);
+}
+
+TEST(BisectAxisTest, MaxIterationsCapsTheSearch) {
+  BisectOptions options;
+  options.lo = 0.0;
+  options.hi = 1.0;
+  options.max_iterations = 3;
+  const BisectResult result =
+      bisect_axis([](double v) { return v < 0.37; }, options);
+  EXPECT_TRUE(result.bracketed);
+  EXPECT_EQ(result.evaluations, 2U + 3U);
+  // Three halvings of [0, 1]: bracket width 1/8.
+  EXPECT_DOUBLE_EQ(result.hi - result.lo, 0.125);
+  EXPECT_NEAR(result.threshold, 0.37, 0.125);
+}
+
+TEST(BisectAxisTest, RejectsBadBounds) {
+  const auto holds = [](double) { return true; };
+  BisectOptions options;
+  options.lo = 1.0;
+  options.hi = 0.0;
+  EXPECT_THROW((void)bisect_axis(holds, options), SpecError);
+  options.lo = 0.0;
+  options.hi = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)bisect_axis(holds, options), SpecError);
+}
+
+TEST(BisectAxisTest, ThresholdVariantDrivesRealExperiments) {
+  // Bisect the message-loss axis for "does the epidemic still absorb in
+  // 8 periods": loss 0 converges, loss ~1 cannot. The exact flip value
+  // is noisy but the machinery -- axis application, experiment runs,
+  // predicate evaluation -- must produce a bracketed answer in (0, 1).
+  ScenarioSpec base = small_base();
+  base.periods = 30;  // loss 0 must comfortably absorb at N = 400
+  BisectOptions options;
+  options.lo = 0.0;
+  options.hi = 0.99;
+  options.max_iterations = 4;
+  const BisectResult result = bisect_axis_threshold(
+      base, "runtime.message_loss",
+      [](const ExperimentResult& r) { return r.convergence.absorbed; },
+      options);
+  EXPECT_TRUE(result.bracketed);
+  EXPECT_GT(result.threshold, 0.0);
+  EXPECT_LT(result.threshold, 0.99);
+  EXPECT_EQ(result.evaluations, 2U + 4U);
 }
 
 }  // namespace

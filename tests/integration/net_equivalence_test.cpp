@@ -1,0 +1,155 @@
+// Loopback equivalence: the net backend executes the same synthesized
+// machines as sync/event, but over real UDP datagrams paced by the wall
+// clock -- so its steady states must agree with the simulated backends
+// and the mean-field recursion within the same finite-size tolerances
+// backend_equivalence_test uses. This is the acceptance gate for the
+// theory-to-systems jump: if the ODE-derived protocol only converged
+// under the simulators' uniform-mixing scheduler, the paper's
+// deployability claim would not survive a real network stack.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "core/mean_field.hpp"
+
+namespace deproto {
+namespace {
+
+/// Alive-normalized state fractions averaged over the last `window`
+/// series points (same smoothing as backend_equivalence_test).
+std::vector<double> tail_fractions(const api::ExperimentResult& result,
+                                   std::size_t window) {
+  const std::size_t m = result.state_names.size();
+  std::vector<double> fractions(m, 0.0);
+  const std::size_t first =
+      result.series.size() > window ? result.series.size() - window : 0;
+  std::size_t used = 0;
+  for (std::size_t i = first; i < result.series.size(); ++i) {
+    const api::PeriodPoint& point = result.series[i];
+    if (point.total_alive == 0) continue;
+    for (std::size_t s = 0; s < m; ++s) {
+      fractions[s] += static_cast<double>(point.counts[s]) /
+                      static_cast<double>(point.total_alive);
+    }
+    ++used;
+  }
+  if (used > 0) {
+    for (double& f : fractions) f /= static_cast<double>(used);
+  }
+  return fractions;
+}
+
+double max_gap(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    worst = std::max(worst, std::abs(a[s] - b[s]));
+  }
+  return worst;
+}
+
+std::vector<double> mean_field_endpoint(api::Experiment& experiment) {
+  const core::ProtocolStateMachine& machine =
+      experiment.artifacts().synthesis.machine;
+  const api::ScenarioSpec& spec = experiment.spec();
+  const std::size_t m = machine.num_states();
+  num::Vec x(m, 0.0);
+  for (std::size_t s = 0; s < spec.initial_counts.size(); ++s) {
+    x[s] = static_cast<double>(spec.initial_counts[s]) /
+           static_cast<double>(spec.n);
+  }
+  double assigned = 0.0;
+  for (double v : x) assigned += v;
+  x[0] += 1.0 - assigned;
+  for (std::size_t t = 0; t < spec.periods; ++t) {
+    const num::Vec drift = core::exact_drift(machine, x);
+    for (std::size_t s = 0; s < m; ++s) x[s] += drift[s];
+  }
+  return {x.begin(), x.end()};
+}
+
+TEST(NetEquivalenceTest, EpidemicAbsorbsIdenticallyOnRealSockets) {
+  // The absorbing case: every backend, real sockets included, must end
+  // with the whole population infected -- the same steady-state fraction
+  // (1.0) to the digit, not just within tolerance.
+  const api::ScenarioSpec net_spec = api::registry_get("epidemic-net");
+  for (const api::Backend backend :
+       {api::Backend::Net, api::Backend::Sync, api::Backend::Event}) {
+    api::ScenarioSpec spec = net_spec;
+    spec.backend = backend;
+    spec.periods = 30;  // margin over the ~24-period absorption
+    api::Experiment experiment(spec);
+    const api::ExperimentResult result = experiment.run();
+    const char* label = api::backend_name(backend);
+    EXPECT_TRUE(result.convergence.absorbed) << label;
+    EXPECT_EQ(result.convergence.dominant_state, 1U) << label;
+    EXPECT_DOUBLE_EQ(result.convergence.dominant_fraction, 1.0) << label;
+    EXPECT_EQ(result.series.size(), spec.periods) << label;
+  }
+}
+
+TEST(NetEquivalenceTest, EndemicEquilibriumMatchesSimulatedBackends) {
+  // The interior-equilibrium case: endemic replication self-stabilizes at
+  // eq. (2) rather than absorbing, so the comparison is a real two-sided
+  // tolerance check, with the same bounds backend_equivalence_test grants
+  // the simulated backends at this population size.
+  const api::ScenarioSpec base = api::registry_get("endemic-net");
+
+  api::ScenarioSpec net_spec = base;
+  api::ScenarioSpec sync_spec = base;
+  sync_spec.backend = api::Backend::Sync;
+  api::ScenarioSpec event_spec = base;
+  event_spec.backend = api::Backend::Event;
+
+  api::Experiment net_exp(net_spec);
+  api::Experiment sync_exp(sync_spec);
+  api::Experiment event_exp(event_spec);
+  const api::ExperimentResult net_result = net_exp.run();
+  const api::ExperimentResult sync_result = sync_exp.run();
+  const api::ExperimentResult event_result = event_exp.run();
+
+  const std::size_t window = 20;
+  const std::vector<double> net_tail = tail_fractions(net_result, window);
+  const std::vector<double> sync_tail = tail_fractions(sync_result, window);
+  const std::vector<double> event_tail =
+      tail_fractions(event_result, window);
+
+  // Backend agreement at N = 128: finite-size noise plus the real
+  // network's timing jitter.
+  EXPECT_LT(max_gap(net_tail, sync_tail), 0.10);
+  EXPECT_LT(max_gap(net_tail, event_tail), 0.10);
+
+  // Mean-field agreement, looser (sequencing bias + O(1/N) fluctuations).
+  const std::vector<double> mean_field = mean_field_endpoint(sync_exp);
+  EXPECT_LT(max_gap(net_tail, mean_field), 0.17);
+
+  // The run really went over the wire: measured RTT samples exist and
+  // every datagram decoded.
+  ASSERT_TRUE(net_result.net_stats.has_value());
+  EXPECT_GT(net_result.net_stats->rtt_samples, 0U);
+  EXPECT_GT(net_result.net_stats->rtt_ms_mean(), 0.0);
+  EXPECT_EQ(net_result.net_stats->decode_errors, 0U);
+  EXPECT_FALSE(sync_result.net_stats.has_value());
+}
+
+TEST(NetEquivalenceTest, GigascalePopulationsAreRejectedWithClearError) {
+  api::ScenarioSpec spec = api::registry_get("epidemic-net");
+  spec.n = 1000000;
+  spec.initial_counts = {999999, 1};
+  api::Experiment experiment(spec);
+  try {
+    (void)experiment.launch();
+    FAIL() << "expected SpecError for gigascale net backend";
+  } catch (const api::SpecError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("socket"), std::string::npos) << message;
+    EXPECT_NE(message.find("count"), std::string::npos) << message;
+  }
+}
+
+}  // namespace
+}  // namespace deproto

@@ -1,0 +1,138 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace deproto::net {
+namespace {
+
+Packet sample_packet() {
+  Packet p;
+  p.type = PacketType::Push;
+  p.state = 3;
+  p.sender = 42;
+  p.seq = 0x0102030405060708ULL;
+  p.tag = 99;
+  p.arg0 = 7;
+  p.arg1 = 2;
+  p.arg2 = coin_to_q32(0.25);
+  return p;
+}
+
+TEST(PacketTest, EncodeDecodeRoundTripsEveryField) {
+  const Packet p = sample_packet();
+  const std::string bytes = encode_packet(p);
+  ASSERT_EQ(bytes.size(), kPacketSize);
+  Packet out;
+  ASSERT_EQ(decode_packet(bytes.data(), bytes.size(), &out),
+            DecodeStatus::Ok);
+  EXPECT_EQ(out, p);
+}
+
+TEST(PacketTest, EncodedLayoutIsLittleEndianWithMagicFirst) {
+  const std::string bytes = encode_packet(sample_packet());
+  EXPECT_EQ(std::memcmp(bytes.data(), kPacketMagic, 4), 0);
+  // u16 version at offset 4, LE.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), kPacketVersion & 0xFF);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[5]), kPacketVersion >> 8);
+  // u32 sender at offset 8, LE.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[8]), 42);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[9]), 0);
+  // u64 seq at offset 12: LSB first.
+  EXPECT_EQ(static_cast<unsigned char>(bytes[12]), 0x08);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[19]), 0x01);
+}
+
+TEST(PacketTest, DecodeFailsClosedPerCorruption) {
+  const std::string good = encode_packet(sample_packet());
+  Packet out;
+
+  EXPECT_EQ(decode_packet(good.data(), 10, &out), DecodeStatus::Truncated);
+  EXPECT_EQ(decode_packet(good.data(), 0, &out), DecodeStatus::Truncated);
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(decode_packet(bad_magic.data(), bad_magic.size(), &out),
+            DecodeStatus::BadMagic);
+
+  std::string bad_version = good;
+  bad_version[4] = 0x7F;
+  EXPECT_EQ(decode_packet(bad_version.data(), bad_version.size(), &out),
+            DecodeStatus::BadVersion);
+
+  std::string bad_type = good;
+  bad_type[6] = 0;  // below the first PacketType
+  EXPECT_EQ(decode_packet(bad_type.data(), bad_type.size(), &out),
+            DecodeStatus::BadType);
+  bad_type[6] = 77;  // above the last
+  EXPECT_EQ(decode_packet(bad_type.data(), bad_type.size(), &out),
+            DecodeStatus::BadType);
+
+  const std::string long_datagram = good + "tail";
+  EXPECT_EQ(decode_packet(long_datagram.data(), long_datagram.size(), &out),
+            DecodeStatus::BadLength);
+}
+
+TEST(PacketTest, EveryKnownTypeHasANameAndSurvivesDecode) {
+  for (const PacketType type :
+       {PacketType::Probe, PacketType::ProbeReply, PacketType::Push,
+        PacketType::Token, PacketType::Join, PacketType::JoinAck,
+        PacketType::Leave}) {
+    EXPECT_TRUE(packet_type_known(static_cast<std::uint8_t>(type)));
+    EXPECT_STRNE(packet_type_name(type), "unknown");
+    Packet p;
+    p.type = type;
+    const std::string bytes = encode_packet(p);
+    Packet out;
+    EXPECT_EQ(decode_packet(bytes.data(), bytes.size(), &out),
+              DecodeStatus::Ok);
+    EXPECT_EQ(out.type, type);
+  }
+}
+
+TEST(PacketTest, CoinBiasSurvivesQ32RoundTrip) {
+  for (const double bias : {0.0, 0.1, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(q32_to_coin(coin_to_q32(bias)), bias, 1e-9) << bias;
+  }
+  // Out-of-range biases clamp instead of wrapping.
+  EXPECT_EQ(coin_to_q32(-0.5), 0U);
+  EXPECT_EQ(q32_to_coin(coin_to_q32(2.0)), q32_to_coin(coin_to_q32(1.0)));
+}
+
+TEST(SequenceTrackerTest, InOrderStreamCountsCleanly) {
+  SequenceTracker tracker;
+  for (std::uint64_t seq = 1; seq <= 100; ++seq) {
+    EXPECT_EQ(tracker.observe(7, seq), SequenceTracker::Arrival::InOrder);
+  }
+  EXPECT_EQ(tracker.received(), 100U);
+  EXPECT_EQ(tracker.reordered(), 0U);
+  EXPECT_EQ(tracker.duplicates(), 0U);
+}
+
+TEST(SequenceTrackerTest, DetectsReorderingDuplicatesAndStaleness) {
+  SequenceTracker tracker;
+  EXPECT_EQ(tracker.observe(1, 1), SequenceTracker::Arrival::InOrder);
+  EXPECT_EQ(tracker.observe(1, 3), SequenceTracker::Arrival::InOrder);
+  // 2 arrives after 3: late but fresh.
+  EXPECT_EQ(tracker.observe(1, 2), SequenceTracker::Arrival::Reordered);
+  // 3 again: duplicate.
+  EXPECT_EQ(tracker.observe(1, 3), SequenceTracker::Arrival::Duplicate);
+  // Jump far ahead, then present something older than the window.
+  EXPECT_EQ(tracker.observe(1, 200), SequenceTracker::Arrival::InOrder);
+  EXPECT_EQ(tracker.observe(1, 100), SequenceTracker::Arrival::Stale);
+  EXPECT_EQ(tracker.reordered(), 2U);  // the late 2 and the stale 100
+  EXPECT_EQ(tracker.duplicates(), 1U);
+}
+
+TEST(SequenceTrackerTest, PeersTrackIndependently) {
+  SequenceTracker tracker;
+  EXPECT_EQ(tracker.observe(1, 5), SequenceTracker::Arrival::InOrder);
+  // Same seq from another sender is not a duplicate.
+  EXPECT_EQ(tracker.observe(2, 5), SequenceTracker::Arrival::InOrder);
+  EXPECT_EQ(tracker.duplicates(), 0U);
+}
+
+}  // namespace
+}  // namespace deproto::net

@@ -1,0 +1,109 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace deproto::sim {
+namespace {
+
+TEST(NetworkTest, RejectsInvalidOptions) {
+  EventQueue queue;
+  Rng rng(1);
+  EXPECT_THROW(Network(queue, rng, {.loss = -0.1}), std::invalid_argument);
+  EXPECT_THROW(Network(queue, rng, {.loss = 1.0}), std::invalid_argument);
+  // Extra parens: the brace initializer's comma would otherwise split the
+  // macro arguments.
+  EXPECT_THROW(
+      (Network(queue, rng, {.latency_min = 0.5, .latency_max = 0.1})),
+      std::invalid_argument);
+  EXPECT_THROW(Network(queue, rng, {.latency_min = -0.01}),
+               std::invalid_argument);
+}
+
+TEST(NetworkTest, OnLostFiresAtTheWouldBeDeliveryTime) {
+  // A degenerate latency band pins every arrival -- delivered or lost --
+  // to exactly send_time + L: the timeout surrogate must not fire early
+  // (a receiver cannot know about a loss before the silence is
+  // distinguishable from latency).
+  EventQueue queue;
+  Rng rng(7);
+  const double kLatency = 0.25;
+  Network network(
+      queue, rng,
+      {.loss = 0.5, .latency_min = kLatency, .latency_max = kLatency});
+  std::vector<double> delivered_at;
+  std::vector<double> lost_at;
+  for (int k = 0; k < 64; ++k) {
+    const double sent_at = queue.now();
+    network.send(
+        [&, sent_at] { delivered_at.push_back(queue.now() - sent_at); },
+        [&, sent_at] { lost_at.push_back(queue.now() - sent_at); });
+    queue.run_until(queue.now() + 0.01);  // stagger send times
+  }
+  queue.run_all();
+  ASSERT_FALSE(delivered_at.empty());
+  ASSERT_FALSE(lost_at.empty());
+  for (const double dt : delivered_at) EXPECT_DOUBLE_EQ(dt, kLatency);
+  for (const double dt : lost_at) EXPECT_DOUBLE_EQ(dt, kLatency);
+}
+
+TEST(NetworkTest, CountersAreMonotoneAndConsistent) {
+  EventQueue queue;
+  Rng rng(11);
+  Network network(queue, rng, {.loss = 0.3});
+  std::uint64_t last_sent = 0;
+  std::uint64_t last_dropped = 0;
+  for (int k = 0; k < 500; ++k) {
+    network.send([] {}, [] {});
+    EXPECT_EQ(network.sent(), last_sent + 1);  // exactly one per send
+    EXPECT_GE(network.dropped(), last_dropped);
+    EXPECT_LE(network.dropped() - last_dropped, 1U);
+    last_sent = network.sent();
+    last_dropped = network.dropped();
+  }
+  EXPECT_EQ(network.sent(), 500U);
+  EXPECT_GT(network.dropped(), 0U);
+  EXPECT_LT(network.dropped(), 500U);
+  // Delivered + lost callbacks account for every message once drained.
+  queue.run_all();
+}
+
+TEST(NetworkTest, ZeroLatencyBandDeliversAtSendTime) {
+  EventQueue queue;
+  Rng rng(3);
+  Network network(queue, rng,
+                  {.loss = 0.0, .latency_min = 0.0, .latency_max = 0.0});
+  int delivered = 0;
+  double delivered_time = -1.0;
+  queue.schedule(1.5, [&] {
+    network.send([&] {
+      ++delivered;
+      delivered_time = queue.now();
+    });
+  });
+  queue.run_all();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_DOUBLE_EQ(delivered_time, 1.5);  // no artificial minimum delay
+  EXPECT_EQ(network.sent(), 1U);
+  EXPECT_EQ(network.dropped(), 0U);
+}
+
+TEST(NetworkTest, LossySendsWithoutLostHandlerStillCount) {
+  EventQueue queue;
+  Rng rng(5);
+  Network network(queue, rng, {.loss = 0.5});
+  int delivered = 0;
+  for (int k = 0; k < 200; ++k) network.send([&] { ++delivered; });
+  queue.run_all();
+  EXPECT_EQ(network.sent(), 200U);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered),
+            network.sent() - network.dropped());
+}
+
+}  // namespace
+}  // namespace deproto::sim

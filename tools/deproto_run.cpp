@@ -12,8 +12,9 @@
 //   --periods <k>      override the simulation length
 //   --seed <s>         override the simulation seed
 //   --backend <b>      override the execution backend
-//                      (sync | event | count | auto; auto picks count at
-//                      N >= 100000, sync below)
+//                      (sync | event | count | net | auto; auto picks count
+//                      at N >= 100000, sync below; net runs real UDP
+//                      sockets on loopback, N <= 1024)
 //   --threads <T>      sweep/smoke worker threads (0 = all cores)
 //   --dispatch <W>     sweep/smoke: execute jobs across W worker
 //                      *processes* (fork/exec of this binary with
@@ -120,7 +121,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --list | --smoke | --worker | (<scenario> | "
                "--spec f.json | --sweep preset|f.json) [--n N] [--periods k] "
-               "[--seed s] [--backend sync|event|count|auto] [--threads T] "
+               "[--seed s] [--backend sync|event|count|net|auto] [--threads T] "
                "[--dispatch W] [--worker-heartbeat-ms ms] [--repeat k] "
                "[--json out.json] [--jsonl out.jsonl] [--cache dir] "
                "[--no-cache] [--cache-gc] [--cache-max-bytes b] "

@@ -1,0 +1,54 @@
+# Net-backend smoke: run the epidemic over real UDP loopback sockets via
+# the registry's epidemic-net scenario and assert (a) the run converges
+# (absorbed, dominant state = infected) and (b) the network metrics were
+# actually measured -- nonzero RTT samples with a positive mean, zero
+# decode errors. A sandbox that forbids socket(2) or a broken loopback
+# path fails this in seconds rather than silently degrading the backend.
+#
+#   cmake -DDEPROTO_RUN=<path/to/deproto-run> -P tools/net_smoke.cmake
+#
+# Scratch space lives next to the binary under test (the build tree, never
+# the source checkout) and is recreated from empty on every invocation.
+
+if(NOT DEFINED DEPROTO_RUN)
+  message(FATAL_ERROR "pass -DDEPROTO_RUN=<path to deproto-run>")
+endif()
+
+get_filename_component(bin_dir "${DEPROTO_RUN}" DIRECTORY)
+set(work "${bin_dir}/net-smoke")
+file(REMOVE_RECURSE "${work}")
+file(MAKE_DIRECTORY "${work}")
+
+execute_process(
+  COMMAND "${DEPROTO_RUN}" epidemic-net --json "${work}/result.json"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "epidemic-net run failed (exit ${rc}):\n${stdout}\n${stderr}")
+endif()
+
+file(READ "${work}/result.json" result)
+
+# Convergence verdict: the epidemic absorbed into the infected state.
+if(NOT result MATCHES "\"absorbed\": *true")
+  message(FATAL_ERROR "epidemic-net did not absorb:\n${result}")
+endif()
+if(NOT result MATCHES "\"dominant_state\": *1")
+  message(FATAL_ERROR "epidemic-net absorbed into the wrong state:\n${result}")
+endif()
+
+# Measured network metrics: the run went over real sockets.
+if(NOT result MATCHES "\"rtt_samples\": *[1-9]")
+  message(FATAL_ERROR "no RTT samples were measured:\n${result}")
+endif()
+if(NOT result MATCHES "\"rtt_ms_mean\": *0*\\.?[0-9]*[1-9]")
+  message(FATAL_ERROR "measured mean RTT is not positive:\n${result}")
+endif()
+if(NOT result MATCHES "\"decode_errors\": *0[,}]")
+  message(FATAL_ERROR "datagrams failed to decode:\n${result}")
+endif()
+
+message(STATUS
+  "net smoke: epidemic-net converged over UDP loopback with measured RTTs")
