@@ -1,0 +1,98 @@
+#include "analysis/report.hpp"
+
+#include <utility>
+
+namespace deproto::analysis {
+
+using api::Json;
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Info:
+      return "info";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "info";  // unreachable
+}
+
+Severity severity_from_name(const std::string& name) {
+  if (name == "info") return Severity::Info;
+  if (name == "warning") return Severity::Warning;
+  if (name == "error") return Severity::Error;
+  throw api::JsonError("unknown finding severity: " + name);
+}
+
+std::size_t Report::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::vector<const Finding*> Report::by_rule(const std::string& rule) const {
+  std::vector<const Finding*> matched;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) matched.push_back(&f);
+  }
+  return matched;
+}
+
+Json Report::to_json() const {
+  Json j = Json::object();
+  if (!scenario.empty()) j.set("scenario", Json::string(scenario));
+  j.set("ok", Json::boolean(ok()));
+  j.set("errors", Json::number(errors()));
+  j.set("warnings", Json::number(warnings()));
+  j.set("suppressed", Json::number(suppressed));
+  Json arr = Json::array();
+  for (const Finding& f : findings) {
+    Json item = Json::object()
+                    .set("severity", Json::string(severity_name(f.severity)))
+                    .set("rule", Json::string(f.rule))
+                    .set("location", Json::string(f.location))
+                    .set("message", Json::string(f.message));
+    if (f.value != 0.0) item.set("value", Json::number(f.value));
+    arr.push(std::move(item));
+  }
+  j.set("findings", std::move(arr));
+  return j;
+}
+
+Report Report::from_json(const Json& j) {
+  Report report;
+  report.scenario = j.get_or("scenario", report.scenario);
+  report.suppressed = j.contains("suppressed")
+                          ? j.at("suppressed").as_size()
+                          : report.suppressed;
+  if (j.contains("findings")) {
+    for (const Json& e : j.at("findings").elements()) {
+      Finding f;
+      f.severity = severity_from_name(e.at("severity").as_string());
+      f.rule = e.at("rule").as_string();
+      f.location = e.get_or("location", f.location);
+      f.message = e.get_or("message", f.message);
+      f.value = e.get_or("value", f.value);
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+std::string to_string(const Finding& finding) {
+  std::string line = severity_name(finding.severity);
+  line += "  ";
+  line += finding.rule;
+  if (!finding.location.empty()) {
+    line += "  ";
+    line += finding.location;
+  }
+  line += ": ";
+  line += finding.message;
+  return line;
+}
+
+}  // namespace deproto::analysis

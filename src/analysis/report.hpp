@@ -1,0 +1,73 @@
+#pragma once
+
+// The structured output of the static protocol verifier (the ninth layer):
+// a flat list of findings, each tagged with a severity, a stable rule id
+// from the catalog in analysis/machine_checks.hpp / analysis/verifier.hpp,
+// and a human-readable location ("state y", "action 2", "network.
+// probe_timeout"). Reports serialize through api/json so deproto-lint
+// --json, the Experiment pre-flight, and future CEGAR loops all read one
+// format.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/json.hpp"
+
+namespace deproto::analysis {
+
+enum class Severity {
+  Info,     ///< a fact worth surfacing (fixed points, absorbing states)
+  Warning,  ///< suspicious but runnable; deproto-lint exits 0 unless --strict
+  Error,    ///< the machine or spec is broken; deproto-lint exits nonzero
+};
+
+[[nodiscard]] const char* severity_name(Severity severity);
+[[nodiscard]] Severity severity_from_name(const std::string& name);
+
+/// One verifier result. `rule` ids are stable API (tests and suppressions
+/// key on them); `value` carries the measured quantity where one exists
+/// (a mass excess, an ODE residual) so downstream tooling can rank or
+/// threshold findings without parsing messages.
+struct Finding {
+  Severity severity = Severity::Info;
+  std::string rule;      // e.g. "mass.action-bias", "reach.unreachable"
+  std::string location;  // e.g. "state y", "action 3", "faults.churn"
+  std::string message;
+  double value = 0.0;  // measured quantity; 0 when the rule has none
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// The verifier's verdict over one machine/spec: every finding that was
+/// not suppressed, plus the count of suppressed ones (so a clean report
+/// still shows that rules were muted, and a suppression that stops
+/// matching anything is visible as suppressed == 0).
+struct Report {
+  std::string scenario;  // spec name; empty for bare-machine analysis
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;
+
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::Error); }
+  [[nodiscard]] std::size_t warnings() const {
+    return count(Severity::Warning);
+  }
+  /// Clean enough to run: no error-severity findings.
+  [[nodiscard]] bool ok() const { return errors() == 0; }
+
+  /// Findings matching `rule` exactly, in report order.
+  [[nodiscard]] std::vector<const Finding*> by_rule(
+      const std::string& rule) const;
+
+  [[nodiscard]] api::Json to_json() const;
+  static Report from_json(const api::Json& j);
+
+  friend bool operator==(const Report&, const Report&) = default;
+};
+
+/// One human-readable line per finding ("error  mass.action-bias  action 0:
+/// coin bias 1.5 outside [0, 1]"), the rendering deproto-lint prints.
+[[nodiscard]] std::string to_string(const Finding& finding);
+
+}  // namespace deproto::analysis

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/verifier.hpp"
 #include "core/mean_field.hpp"
 #include "sim/churn.hpp"
 #include "sim/metrics.hpp"
@@ -311,6 +312,21 @@ ExperimentRun Experiment::launch() {
 }
 
 ExperimentRun Experiment::launch_impl() {
+  if (spec_.runtime.verify_static) {
+    // Opt-in pre-flight: refuse to stand up a backend for a machine or
+    // spec the static verifier rejects. Warnings and infos pass; they are
+    // deproto-lint's concern, not a launch blocker.
+    const analysis::Report lint = analysis::analyze_spec(spec_);
+    if (!lint.ok()) {
+      std::string msg = "static verification failed";
+      if (!spec_.name.empty()) msg += " for " + spec_.name;
+      for (const analysis::Finding& f : lint.findings) {
+        if (f.severity != analysis::Severity::Error) continue;
+        msg += "; " + f.rule + " (" + f.location + "): " + f.message;
+      }
+      throw SpecError(msg);
+    }
+  }
   const Artifacts& art = artifacts();
   const core::ProtocolStateMachine& machine = art.synthesis.machine;
   const std::size_t m = machine.num_states();

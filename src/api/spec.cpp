@@ -72,6 +72,9 @@ Json runtime_to_json(const sim::RuntimeOptions& o) {
                          : "random_walk_ttl"));
   j.set("token_ttl", Json::number(static_cast<double>(o.tokens.ttl)));
   j.set("simultaneous_updates", Json::boolean(o.simultaneous_updates));
+  // Only serialized when enabled, keeping the cache keys of every spec
+  // that predates the static verifier byte-stable.
+  if (o.verify_static) j.set("verify_static", Json::boolean(true));
   return j;
 }
 
@@ -101,6 +104,7 @@ sim::RuntimeOptions runtime_from_json(const Json& j) {
   }
   o.simultaneous_updates =
       j.get_or("simultaneous_updates", o.simultaneous_updates);
+  o.verify_static = j.get_or("verify_static", o.verify_static);
   return o;
 }
 
@@ -359,6 +363,13 @@ Json ScenarioSpec::to_json() const {
     j.set("initial_counts", json_from_counts(initial_counts));
   }
   if (faults.any()) j.set("faults", faults_to_json(faults));
+  if (!lint_suppress.empty()) {
+    Json arr = Json::array();
+    for (const std::string& rule : lint_suppress) {
+      arr.push(Json::string(rule));
+    }
+    j.set("lint_suppress", std::move(arr));
+  }
   return j;
 }
 
@@ -396,6 +407,11 @@ ScenarioSpec ScenarioSpec::from_json(const Json& j) {
     spec.initial_counts = counts_from_json(j.at("initial_counts"));
   }
   if (j.contains("faults")) spec.faults = faults_from_json(j.at("faults"));
+  if (j.contains("lint_suppress")) {
+    for (const Json& e : j.at("lint_suppress").elements()) {
+      spec.lint_suppress.push_back(e.as_string());
+    }
+  }
   return spec;
 }
 

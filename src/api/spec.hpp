@@ -130,6 +130,12 @@ struct ScenarioSpec {
   /// spread of n / num_states per state (remainder in state 0).
   std::vector<std::size_t> initial_counts;
   FaultPlan faults;
+  /// Rule ids (exact match, e.g. "spec.count-anonymous-faults") whose
+  /// warning/info findings the static verifier drops for this scenario.
+  /// Error-severity findings are never suppressible: a suppression mutes
+  /// a judgement call, not a broken machine. Serialized only when
+  /// non-empty so cache keys of untouched specs stay byte-stable.
+  std::vector<std::string> lint_suppress;
 
   /// Build the source equation system (catalog lookup or text parse).
   /// Throws SpecError / ode::ParseError.

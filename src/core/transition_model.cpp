@@ -1,5 +1,6 @@
 #include "core/transition_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <variant>
@@ -7,6 +8,16 @@
 #include "core/action.hpp"
 
 namespace deproto::core {
+
+namespace {
+
+void require_state(std::vector<std::size_t>& states, std::size_t s) {
+  if (std::find(states.begin(), states.end(), s) == states.end()) {
+    states.push_back(s);
+  }
+}
+
+}  // namespace
 
 std::vector<TransitionChannel> transition_channels(
     const ProtocolStateMachine& machine, const num::Vec& x,
@@ -85,6 +96,76 @@ std::vector<TransitionChannel> transition_channels(
     channels.push_back(ch);
   }
   return channels;
+}
+
+std::vector<ChannelShape> channel_shapes(const ProtocolStateMachine& machine) {
+  std::vector<ChannelShape> shapes;
+  shapes.reserve(machine.actions().size());
+
+  for (std::size_t i = 0; i < machine.actions().size(); ++i) {
+    ChannelShape sh;
+    sh.action = i;
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, FlippingAction>) {
+            sh.executor = a.from_state;
+            sh.from = a.from_state;
+            sh.to = a.to_state;
+            sh.coin_bias = a.coin_bias;
+            sh.max_fire_prob = a.coin_bias;
+            sh.moves_executor = true;
+            require_state(sh.requires_occupied, a.from_state);
+          } else if constexpr (std::is_same_v<T, SamplingAction>) {
+            sh.executor = a.from_state;
+            sh.from = a.from_state;
+            sh.to = a.to_state;
+            sh.coin_bias = a.coin_bias;
+            // Every occupancy factor (same-state samples and targets) is
+            // at most 1, so the coin bias bounds the firing probability.
+            sh.max_fire_prob = a.coin_bias;
+            sh.moves_executor = true;
+            require_state(sh.requires_occupied, a.from_state);
+            for (const std::size_t s : a.target_states) {
+              require_state(sh.requires_occupied, s);
+            }
+          } else if constexpr (std::is_same_v<T, TokenizingAction>) {
+            sh.executor = a.executor_state;
+            sh.from = a.token_state;
+            sh.to = a.to_state;
+            sh.coin_bias = a.coin_bias;
+            sh.max_fire_prob = a.coin_bias;
+            sh.moves_executor = false;
+            require_state(sh.requires_occupied, a.executor_state);
+            require_state(sh.requires_occupied, a.token_state);
+            for (const std::size_t s : a.target_states) {
+              require_state(sh.requires_occupied, s);
+            }
+          } else if constexpr (std::is_same_v<T, PushAction>) {
+            sh.executor = a.executor_state;
+            sh.from = a.target_state;
+            sh.to = a.to_state;
+            sh.coin_bias = a.coin_bias;
+            sh.max_fire_prob = static_cast<double>(a.fanout) * a.coin_bias;
+            sh.moves_executor = false;
+            require_state(sh.requires_occupied, a.executor_state);
+            require_state(sh.requires_occupied, a.target_state);
+          } else if constexpr (std::is_same_v<T, AnyOfSamplingAction>) {
+            sh.executor = a.from_state;
+            sh.from = a.from_state;
+            sh.to = a.to_state;
+            sh.coin_bias = a.coin_bias;
+            // 1 - (1 - hit)^fanout <= 1, so the coin bias is the bound.
+            sh.max_fire_prob = a.coin_bias;
+            sh.moves_executor = true;
+            require_state(sh.requires_occupied, a.from_state);
+            require_state(sh.requires_occupied, a.match_state);
+          }
+        },
+        machine.actions()[i]);
+    shapes.push_back(std::move(sh));
+  }
+  return shapes;
 }
 
 }  // namespace deproto::core

@@ -45,4 +45,32 @@ struct TransitionChannel {
     const ProtocolStateMachine& machine, const num::Vec& x,
     double message_loss = 0.0);
 
+/// Point-free structure of one action's channel: who must be occupied for
+/// the action to fire, where mass moves, and the worst-case per-executor
+/// firing probability over the whole simplex (every occupancy factor at
+/// its maximum 1). This is the static view the analysis layer checks
+/// without running a period: `max_fire_prob` bounds `fire_prob` of
+/// transition_channels at every feasible x, and `requires_occupied` lists
+/// the states whose emptiness gates the channel (executor, sampling
+/// targets, and the token state for Tokenizing).
+///
+/// For PushAction, `max_fire_prob` is the expected conversions per
+/// executor (fanout * coin), which legitimately exceeds 1 at fanout > 1:
+/// it is a rate bound, not a probability, mirroring TransitionChannel.
+struct ChannelShape {
+  std::size_t action = 0;    ///< index into machine.actions()
+  std::size_t executor = 0;  ///< state whose members attempt the action
+  std::size_t from = 0;      ///< state mass leaves when the action fires
+  std::size_t to = 0;        ///< state mass enters when the action fires
+  double coin_bias = 0.0;    ///< the action's raw coin bias
+  double max_fire_prob = 0.0;   ///< sup over the simplex of fire_prob
+  bool moves_executor = false;  ///< from == executor (self-transition)
+  std::vector<std::size_t> requires_occupied;  ///< gating states, deduped
+};
+
+/// The structural channel per action, in machine.actions() order (so
+/// shapes[i] corresponds to actions()[i], like transition_channels).
+[[nodiscard]] std::vector<ChannelShape> channel_shapes(
+    const ProtocolStateMachine& machine);
+
 }  // namespace deproto::core

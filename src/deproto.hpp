@@ -73,6 +73,12 @@
 #include "api/suite_runner.hpp"
 #include "api/registry.hpp"
 
+// analysis: the static protocol verifier -- lint machines and specs
+// without running a period
+#include "analysis/report.hpp"
+#include "analysis/machine_checks.hpp"
+#include "analysis/verifier.hpp"
+
 // dist: multi-process cluster sweep dispatch over the api engine
 #include "dist/wire.hpp"
 #include "dist/worker.hpp"

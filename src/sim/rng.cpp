@@ -1,6 +1,7 @@
 #include "sim/rng.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -15,6 +16,139 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+// The binomial sampler is hand-rolled rather than delegated to
+// std::binomial_distribution for two load-bearing reasons:
+//
+//  * Thread safety. libstdc++'s implementation calls std::lgamma() both
+//    when a distribution is (re)parameterized and inside its rejection
+//    loop, and glibc's lgamma writes the process-global `signgam` --
+//    concurrent SuiteRunner workers race on it (flagged by TSan). The
+//    sampler below touches no shared state.
+//  * Determinism. The engine -> variate mapping of the standard
+//    distributions is implementation-defined, so cached sweep results
+//    would silently change across standard libraries. This mapping is
+//    ours and therefore stable.
+//
+// Small n*p uses the exact waiting-time (geometric-gap) inversion; large
+// n*p uses the BTPE rejection scheme of Kachitvichyanukul & Schmeiser,
+// "Binomial random variate generation" (CACM 31(2), 1988), which samples
+// from a piecewise triangle/parallelogram/exponential hat over the scaled
+// pmf. Both paths require p <= 1/2; the caller flips larger p.
+
+/// Exact inversion for small n*p: successes are counted by summing
+/// geometric(p) gaps until the n trials are exhausted. Expected cost is
+/// n*p + 1 uniforms. Requires 0 < p <= 1/2.
+std::uint64_t binomial_inversion(std::uint64_t n, double p, Rng& rng) {
+  const double log_q = std::log1p(-p);  // < 0
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+  for (;;) {
+    const double u = 1.0 - rng.uniform01();  // (0, 1]: keep log() finite
+    // Gap to the next success is 1 + floor(log(u)/log(1-p)) trials.
+    const double gap = std::floor(std::log(u) / log_q);
+    if (gap >= static_cast<double>(n - trials)) return successes;
+    trials += static_cast<std::uint64_t>(gap) + 1;
+    ++successes;
+  }
+}
+
+/// One Stirling-series tail term of log(Gamma(x)): the published BTPE
+/// acceptance test assembles the log pmf ratio from four of these.
+double btpe_stirling_tail(double x) {
+  const double x2 = x * x;
+  return (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / x2) / x2) / x2) / x2) /
+         x / 166320.0;
+}
+
+/// BTPE rejection sampler. Requires n*p >= 30 and 0 < p <= 1/2 (the
+/// hat-function constants below are only valid there). Step numbering in
+/// the comments follows the 1988 paper.
+std::uint64_t binomial_btpe(std::uint64_t n_int, double p, Rng& rng) {
+  const double n = static_cast<double>(n_int);
+  const double r = p;
+  const double q = 1.0 - r;
+  const double fm = n * r + r;
+  const double m = std::floor(fm);  // mode of the pmf
+  const double nrq = n * r * q;
+  // Step 0: the hat -- a triangle over the mode flanked by a
+  // parallelogram, with exponential tails beyond [xl, xr].
+  const double p1 = std::floor(2.195 * std::sqrt(nrq) - 4.6 * q) + 0.5;
+  const double xm = m + 0.5;
+  const double xl = xm - p1;
+  const double xr = xm + p1;
+  const double c = 0.134 + 20.5 / (15.3 + m);
+  double a = (fm - xl) / (fm - xl * r);
+  const double lambda_l = a * (1.0 + 0.5 * a);
+  a = (xr - fm) / (xr * q);
+  const double lambda_r = a * (1.0 + 0.5 * a);
+  const double p2 = p1 * (1.0 + 2.0 * c);
+  const double p3 = p2 + c / lambda_l;
+  const double p4 = p3 + c / lambda_r;
+
+  for (;;) {
+    // Step 1: pick a hat region by u, a vertical coordinate by v.
+    const double u = rng.uniform01() * p4;
+    double v = rng.uniform01();
+    double y;
+    if (u <= p1) {
+      // Triangular core: accept immediately.
+      y = std::floor(xm - p1 * v + u);
+      return static_cast<std::uint64_t>(y);
+    }
+    if (u <= p2) {
+      // Step 2: parallelogram beside the triangle.
+      const double x = xl + (u - p1) / c;
+      v = v * c + 1.0 - std::fabs(m - x + 0.5) / p1;
+      if (v > 1.0) continue;
+      y = std::floor(x);
+    } else if (u <= p3) {
+      // Step 3: left exponential tail. v == 0 would send floor() to
+      // -infinity; reject it (measure zero).
+      y = std::floor(xl + std::log(v) / lambda_l);
+      if (y < 0.0 || v == 0.0) continue;
+      v = v * (u - p2) * lambda_l;
+    } else {
+      // Step 4: right exponential tail.
+      y = std::floor(xr - std::log(v) / lambda_r);
+      if (y > n || v == 0.0) continue;
+      v = v * (u - p3) * lambda_r;
+    }
+    // Step 5: accept iff v <= f(y)/f(m). Near the mode (or deep in a
+    // tail) the ratio is a short product; otherwise squeeze on a normal
+    // bound first and fall through to the Stirling-series comparison.
+    const double k = std::fabs(y - m);
+    if (k <= 20.0 || k >= nrq / 2.0 - 1.0) {
+      const double s = r / q;
+      const double aa = s * (n + 1.0);
+      double f = 1.0;
+      if (m < y) {
+        for (double i = m + 1.0; i <= y; i += 1.0) f *= (aa / i - s);
+      } else if (m > y) {
+        for (double i = y + 1.0; i <= m; i += 1.0) f /= (aa / i - s);
+      }
+      if (v <= f) return static_cast<std::uint64_t>(y);
+      continue;
+    }
+    const double rho =
+        (k / nrq) * ((k * (k / 3.0 + 0.625) + 1.0 / 6.0) / nrq + 0.5);
+    const double t = -k * k / (2.0 * nrq);
+    const double log_v = std::log(v);
+    if (log_v < t - rho) return static_cast<std::uint64_t>(y);  // accept
+    if (log_v > t + rho) continue;                              // reject
+    // Step 5.3: the exact log pmf ratio via four Stirling tails.
+    const double x1 = y + 1.0;
+    const double f1 = m + 1.0;
+    const double z = n + 1.0 - m;
+    const double w = n - y + 1.0;
+    // The tails carry the sign of their lgamma in log C(n,m) - log C(n,y).
+    const double log_f =
+        xm * std::log(f1 / x1) + (n - m + 0.5) * std::log(z / w) +
+        (y - m) * std::log(w * r / (x1 * q)) + btpe_stirling_tail(f1) +
+        btpe_stirling_tail(z) - btpe_stirling_tail(x1) - btpe_stirling_tail(w);
+    if (log_v <= log_f) return static_cast<std::uint64_t>(y);
+  }
 }
 
 }  // namespace
@@ -51,7 +185,15 @@ bool Rng::bernoulli(double p) {
 std::uint64_t Rng::binomial(std::uint64_t n, double p) {
   if (n == 0 || p <= 0.0) return 0;
   if (p >= 1.0) return n;
-  return std::binomial_distribution<std::uint64_t>(n, p)(engine_);
+  // Both samplers need p <= 1/2; by symmetry the flipped draw counts the
+  // failures instead.
+  if (p > 0.5) return n - binomial_sample(n, 1.0 - p);
+  return binomial_sample(n, p);
+}
+
+std::uint64_t Rng::binomial_sample(std::uint64_t n, double p) {
+  if (static_cast<double>(n) * p < 30.0) return binomial_inversion(n, p, *this);
+  return binomial_btpe(n, p, *this);
 }
 
 double Rng::exponential_mean(double mean) {

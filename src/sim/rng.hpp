@@ -28,7 +28,11 @@ class Rng {
   /// Bernoulli trial with success probability p (clamped to [0, 1]).
   [[nodiscard]] bool bernoulli(double p);
 
-  /// Binomial(n, p) sample.
+  /// Binomial(n, p) sample. Hand-rolled (waiting-time inversion / BTPE
+  /// rejection) rather than std::binomial_distribution: the libstdc++
+  /// implementation races on glibc's global `signgam` via lgamma() when
+  /// sweep workers draw concurrently, and its engine->variate mapping is
+  /// implementation-defined (ours is stable across standard libraries).
   [[nodiscard]] std::uint64_t binomial(std::uint64_t n, double p);
 
   /// Exponential with the given mean (> 0).
@@ -48,6 +52,9 @@ class Rng {
   [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
 
  private:
+  /// binomial() after the p <= 1/2 reduction: picks inversion vs BTPE.
+  [[nodiscard]] std::uint64_t binomial_sample(std::uint64_t n, double p);
+
   std::uint64_t seed_;
   std::mt19937_64 engine_;
 };

@@ -43,6 +43,11 @@ struct RuntimeOptions {
   /// process observes the target's state at probe time; the two agree to
   /// O(rate^2) per period.
   bool simultaneous_updates = false;
+  /// Opt-in pre-flight: run the static protocol verifier (analysis layer)
+  /// before launching and refuse to run a machine with error-severity
+  /// findings. Consumed by api::Experiment, ignored by the executor; off
+  /// by default so existing specs, cache keys, and runs are untouched.
+  bool verify_static = false;
 
   friend bool operator==(const RuntimeOptions&,
                          const RuntimeOptions&) = default;

@@ -1,0 +1,98 @@
+// analysis::Report: severity vocabulary, counting/query helpers, and the
+// JSON round-trip contract that deproto-lint --json, the Experiment
+// pre-flight, and future CEGAR tooling all read.
+
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "api/json.hpp"
+
+namespace {
+
+using deproto::analysis::Finding;
+using deproto::analysis::Report;
+using deproto::analysis::Severity;
+using deproto::api::Json;
+
+Report sample_report() {
+  Report report;
+  report.scenario = "epidemic";
+  report.suppressed = 2;
+  report.findings = {
+      {Severity::Error, "mass.action-bias", "action 0",
+       "coin bias 1.5 outside [0, 1]", 1.5},
+      {Severity::Warning, "reach.unreachable", "state z",
+       "state is never seeded and not reachable", 2.0},
+      {Severity::Info, "mean-field.residual", "mean field",
+       "residual 0 against p * source", 0.0},
+  };
+  return report;
+}
+
+TEST(ReportTest, SeverityNamesRoundTrip) {
+  for (const Severity s :
+       {Severity::Info, Severity::Warning, Severity::Error}) {
+    EXPECT_EQ(deproto::analysis::severity_from_name(
+                  deproto::analysis::severity_name(s)),
+              s);
+  }
+  EXPECT_THROW((void)deproto::analysis::severity_from_name("fatal"),
+               deproto::api::JsonError);
+}
+
+TEST(ReportTest, CountsAndVerdict) {
+  const Report report = sample_report();
+  EXPECT_EQ(report.errors(), 1U);
+  EXPECT_EQ(report.warnings(), 1U);
+  EXPECT_EQ(report.count(Severity::Info), 1U);
+  EXPECT_FALSE(report.ok());
+
+  Report clean;
+  clean.findings = {{Severity::Warning, "spec.token-ttl", "", "", 0.0}};
+  EXPECT_TRUE(clean.ok()) << "warnings alone must not block a launch";
+}
+
+TEST(ReportTest, ByRuleFindsExactMatchesInOrder) {
+  Report report = sample_report();
+  report.findings.push_back(
+      {Severity::Error, "mass.action-bias", "action 3", "second", 2.0});
+  const auto matched = report.by_rule("mass.action-bias");
+  ASSERT_EQ(matched.size(), 2U);
+  EXPECT_EQ(matched[0]->location, "action 0");
+  EXPECT_EQ(matched[1]->location, "action 3");
+  EXPECT_TRUE(report.by_rule("mass.action").empty())
+      << "rule matching is exact, not prefix";
+}
+
+TEST(ReportTest, JsonRoundTripPreservesEverything) {
+  const Report report = sample_report();
+  const Report back = Report::from_json(report.to_json());
+  EXPECT_EQ(back, report);
+}
+
+TEST(ReportTest, JsonRoundTripSurvivesDumpAndParse) {
+  const Report report = sample_report();
+  const Report back =
+      Report::from_json(Json::parse(report.to_json().dump()));
+  EXPECT_EQ(back, report);
+}
+
+TEST(ReportTest, JsonCarriesVerdictAndCounts) {
+  const Json j = sample_report().to_json();
+  EXPECT_FALSE(j.at("ok").as_bool());
+  EXPECT_EQ(j.at("errors").as_size(), 1U);
+  EXPECT_EQ(j.at("warnings").as_size(), 1U);
+  EXPECT_EQ(j.at("suppressed").as_size(), 2U);
+  EXPECT_EQ(j.at("findings").elements().size(), 3U);
+}
+
+TEST(ReportTest, FindingToStringIsOneReadableLine) {
+  const Finding f = {Severity::Error, "mass.action-bias", "action 0",
+                     "coin bias 1.5 outside [0, 1]", 1.5};
+  EXPECT_EQ(deproto::analysis::to_string(f),
+            "error  mass.action-bias  action 0: coin bias 1.5 outside "
+            "[0, 1]");
+}
+
+}  // namespace

@@ -51,6 +51,14 @@ TEST(UmbrellaHeaderTest, ApiLayerIsReachable) {
             std::string("sync"));
 }
 
+TEST(UmbrellaHeaderTest, AnalysisLayerIsReachable) {
+  deproto::analysis::Report report;
+  report.findings.push_back({deproto::analysis::Severity::Warning,
+                             "spec.token-ttl", "runtime.token_ttl", "", 0.0});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.warnings(), 1U);
+}
+
 TEST(UmbrellaHeaderTest, DistLayerIsReachable) {
   deproto::dist::Frame frame;
   frame.type = deproto::dist::FrameType::Heartbeat;

@@ -330,7 +330,7 @@ TEST(WorkerTest, UnexpectedFrameTypeIsAProtocolError) {
 }
 
 TEST(WorkerTest, LongJobStreamsSeriesWithBoundedMemory) {
-#if defined(__SANITIZE_ADDRESS__)
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
   GTEST_SKIP() << "sanitizer shadow memory distorts VmHWM";
 #elif defined(__has_feature)
 #if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)

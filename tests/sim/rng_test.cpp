@@ -83,6 +83,55 @@ TEST(RngTest, BinomialMeanAndVariance) {
   EXPECT_EQ(rng.binomial(10, 1.0), 10U);
 }
 
+TEST(RngTest, BinomialMatchesExactPmfOnEverySamplerPath) {
+  // Pearson chi-square against the exact pmf, one case per code path of
+  // the hand-rolled sampler: waiting-time inversion (n*p < 30), BTPE
+  // rejection (n*p >= 30), and the p > 1/2 symmetry flip. The seed is
+  // fixed and the bound is ~3x the bin count, so only a genuinely wrong
+  // sampler (mis-picked hat region, shifted mode) trips it.
+  struct Case {
+    std::uint64_t n;
+    double p;
+  };
+  for (const Case c : {Case{200, 0.05}, Case{1000, 0.2}, Case{1000, 0.85}}) {
+    Rng rng(101);
+    const int trials = 20000;
+    std::vector<int> hist(c.n + 1, 0);
+    for (int i = 0; i < trials; ++i) ++hist[rng.binomial(c.n, c.p)];
+    std::vector<double> expected(c.n + 1);
+    for (std::uint64_t k = 0; k <= c.n; ++k) {
+      const double log_pmf =
+          std::lgamma(static_cast<double>(c.n) + 1.0) -
+          std::lgamma(static_cast<double>(k) + 1.0) -
+          std::lgamma(static_cast<double>(c.n - k) + 1.0) +
+          static_cast<double>(k) * std::log(c.p) +
+          static_cast<double>(c.n - k) * std::log1p(-c.p);
+      expected[k] = trials * std::exp(log_pmf);
+    }
+    // Pool k-values with expectation < 5 (the usual chi-square floor)
+    // into one tail bin.
+    double chi2 = 0.0, pooled_obs = 0.0, pooled_exp = 0.0;
+    int bins = 0;
+    for (std::uint64_t k = 0; k <= c.n; ++k) {
+      if (expected[k] < 5.0) {
+        pooled_obs += hist[k];
+        pooled_exp += expected[k];
+        continue;
+      }
+      const double d = hist[k] - expected[k];
+      chi2 += d * d / expected[k];
+      ++bins;
+    }
+    if (pooled_exp > 0.0) {
+      const double d = pooled_obs - pooled_exp;
+      chi2 += d * d / pooled_exp;
+      ++bins;
+    }
+    EXPECT_GT(bins, 10) << "n=" << c.n << " p=" << c.p;
+    EXPECT_LT(chi2, 3.0 * bins) << "n=" << c.n << " p=" << c.p;
+  }
+}
+
 TEST(RngTest, ExponentialMean) {
   Rng rng(17);
   double sum = 0.0;

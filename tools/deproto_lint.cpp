@@ -1,0 +1,174 @@
+// deproto-lint: the static protocol verifier as a CLI. Checks registered
+// scenarios or ScenarioSpec JSON files without running a single period:
+// probability-mass conservation, reachability and absorbing-state
+// structure, mean-field consistency against the source ODE, fixed-point
+// existence and stability, and the spec-level lint rules (see
+// analysis/verifier.hpp for the rule catalog).
+//
+//   deproto-lint <scenario> [<scenario>...]   lint registered scenarios
+//   deproto-lint --registry                   lint every registered scenario
+//   deproto-lint --spec spec.json             lint a ScenarioSpec file
+//
+// Options:
+//   --json         machine-readable reports on stdout (one object with a
+//                  "reports" array of analysis::Report values)
+//   --strict       exit nonzero on warnings too, not just errors
+//   --no-suppress  ignore the specs' lint_suppress lists
+//   --quiet        per-scenario summary lines only, no findings
+//
+// Exit codes: 0 = no blocking findings, 1 = error findings (or warnings
+// under --strict), 2 = usage / unreadable input.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "api/registry.hpp"
+
+namespace {
+
+using deproto::analysis::Finding;
+using deproto::analysis::Report;
+using deproto::analysis::Severity;
+using deproto::api::Json;
+using deproto::api::ScenarioSpec;
+
+struct CliOptions {
+  std::vector<std::string> scenarios;
+  std::vector<std::string> spec_files;
+  bool registry = false;
+  bool json = false;
+  bool strict = false;
+  bool no_suppress = false;
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (<scenario>... | --registry | --spec f.json) "
+               "[--json] [--strict] [--no-suppress] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--registry") {
+      opts->registry = true;
+    } else if (arg == "--spec") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --spec needs a file\n");
+        return false;
+      }
+      opts->spec_files.push_back(argv[++i]);
+    } else if (arg == "--json") {
+      opts->json = true;
+    } else if (arg == "--strict") {
+      opts->strict = true;
+    } else if (arg == "--no-suppress") {
+      opts->no_suppress = true;
+    } else if (arg == "--quiet") {
+      opts->quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return false;
+    } else {
+      opts->scenarios.push_back(arg);
+    }
+  }
+  return opts->registry || !opts->scenarios.empty() ||
+         !opts->spec_files.empty();
+}
+
+bool load_spec_file(const std::string& path, ScenarioSpec* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    *out = ScenarioSpec::from_json(Json::parse(buffer.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  if (out->name.empty()) out->name = path;
+  return true;
+}
+
+void print_report(const Report& report, bool quiet) {
+  if (!quiet) {
+    for (const Finding& f : report.findings) {
+      std::printf("%s\n", deproto::analysis::to_string(f).c_str());
+    }
+  }
+  std::printf("%s: %zu error%s, %zu warning%s, %zu finding%s suppressed\n",
+              report.scenario.empty() ? "(spec)" : report.scenario.c_str(),
+              report.errors(), report.errors() == 1 ? "" : "s",
+              report.warnings(), report.warnings() == 1 ? "" : "s",
+              report.suppressed, report.suppressed == 1 ? "" : "s");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, &opts)) return usage(argv[0]);
+
+  std::vector<ScenarioSpec> specs;
+  if (opts.registry) {
+    for (const std::string& name : deproto::api::registry_names()) {
+      specs.push_back(deproto::api::registry_get(name));
+    }
+  }
+  for (const std::string& name : opts.scenarios) {
+    const ScenarioSpec* spec = deproto::api::registry_find(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "error: unknown scenario '%s' (try --registry)\n",
+                   name.c_str());
+      return 2;
+    }
+    specs.push_back(*spec);
+  }
+  for (const std::string& path : opts.spec_files) {
+    ScenarioSpec spec;
+    if (!load_spec_file(path, &spec)) return 2;
+    specs.push_back(std::move(spec));
+  }
+
+  deproto::analysis::VerifyOptions verify;
+  verify.apply_suppressions = !opts.no_suppress;
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  Json reports = Json::array();
+  for (const ScenarioSpec& spec : specs) {
+    const Report report = deproto::analysis::analyze_spec(spec, verify);
+    errors += report.errors();
+    warnings += report.warnings();
+    if (opts.json) {
+      reports.push(report.to_json());
+    } else {
+      print_report(report, opts.quiet);
+    }
+  }
+
+  const bool failed = errors > 0 || (opts.strict && warnings > 0);
+  if (opts.json) {
+    const Json out = Json::object()
+                         .set("ok", Json::boolean(!failed))
+                         .set("reports", std::move(reports));
+    std::printf("%s\n", out.dump(2).c_str());
+  } else if (specs.size() > 1) {
+    std::printf("linted %zu scenarios: %zu error%s, %zu warning%s\n",
+                specs.size(), errors, errors == 1 ? "" : "s", warnings,
+                warnings == 1 ? "" : "s");
+  }
+  return failed ? 1 : 0;
+}

@@ -30,6 +30,18 @@
 //                      and hang detection)
 //   --repeat <k>       replicates: lifts a scenario into a sweep, or
 //                      overrides a sweep's replicate count
+//   --bisect <field>   adaptive threshold search instead of one run:
+//                      bisect the numeric axis field (any
+//                      sweep_axis_fields() name, e.g. runtime.
+//                      message_loss or faults.churn.max_rate) for the
+//                      value where the convergence verdict flips from
+//                      absorbed to not -- the destabilization threshold
+//   --bisect-lo <v>    bisection bracket (defaults 0 .. 1); the verdict
+//   --bisect-hi <v>    is expected to hold at lo and fail at hi
+//   --bisect-iters <k> midpoint evaluations after the endpoint checks
+//                      (default 12)
+//   --bisect-tol <t>   stop early once hi - lo <= t (default 0: iterate
+//                      to --bisect-iters)
 //   --json <file>      single run: the ExperimentResult as JSON;
 //                      sweep: the deterministic aggregated SweepResult
 //                      (timing goes to stdout, not into the file)
@@ -108,6 +120,11 @@ struct CliOptions {
   bool worker = false;
   int worker_heartbeat_ms = -1;  // -1 = flag not given
   std::optional<std::size_t> repeat;
+  std::string bisect;  // axis field; empty = no bisection
+  double bisect_lo = 0.0;
+  double bisect_hi = 1.0;
+  std::size_t bisect_iters = 12;
+  double bisect_tol = 0.0;
   std::string json_out;
   std::string jsonl_out;
   std::string spec_out;
@@ -123,6 +140,8 @@ int usage(const char* argv0) {
                "--spec f.json | --sweep preset|f.json) [--n N] [--periods k] "
                "[--seed s] [--backend sync|event|count|net|auto] [--threads T] "
                "[--dispatch W] [--worker-heartbeat-ms ms] [--repeat k] "
+               "[--bisect field [--bisect-lo v] [--bisect-hi v] "
+               "[--bisect-iters k] [--bisect-tol t]] "
                "[--json out.json] [--jsonl out.jsonl] [--cache dir] "
                "[--no-cache] [--cache-gc] [--cache-max-bytes b] "
                "[--spec-out out.json] [--quiet]\n",
@@ -206,6 +225,33 @@ bool parse_args(int argc, char** argv, CliOptions* options) {
                                          "invalid replicate count", value);
       }
       options->repeat = repeat;
+    } else if (arg == "--bisect") {
+      if (!next("--bisect", &options->bisect)) return false;
+    } else if (arg == "--bisect-lo") {
+      if (!next("--bisect-lo", &value)) return false;
+      if (!deproto::cli::parse_double(value, &options->bisect_lo)) {
+        return deproto::cli::value_error("--bisect-lo", "invalid bound",
+                                         value);
+      }
+    } else if (arg == "--bisect-hi") {
+      if (!next("--bisect-hi", &value)) return false;
+      if (!deproto::cli::parse_double(value, &options->bisect_hi)) {
+        return deproto::cli::value_error("--bisect-hi", "invalid bound",
+                                         value);
+      }
+    } else if (arg == "--bisect-iters") {
+      if (!next("--bisect-iters", &value)) return false;
+      if (!deproto::cli::parse_size(value, &options->bisect_iters)) {
+        return deproto::cli::value_error("--bisect-iters",
+                                         "invalid iteration count", value);
+      }
+    } else if (arg == "--bisect-tol") {
+      if (!next("--bisect-tol", &value)) return false;
+      if (!deproto::cli::parse_double(value, &options->bisect_tol) ||
+          options->bisect_tol < 0.0) {
+        return deproto::cli::value_error("--bisect-tol", "invalid tolerance",
+                                         value);
+      }
     } else if (arg == "--n") {
       std::size_t n = 0;
       if (!next("--n", &value)) return false;
@@ -366,6 +412,58 @@ int run_one(const ScenarioSpec& spec, const CliOptions& options) {
       !write_file(options.json_out,
                   result.to_json(/*include_timing=*/false).dump(2))) {
     return 1;
+  }
+  if (!options.spec_out.empty() &&
+      !write_file(options.spec_out, spec.to_json().dump(2))) {
+    return 1;
+  }
+  return 0;
+}
+
+/// --bisect: adaptive threshold search on one numeric axis field. The
+/// verdict is the run's convergence flag (ExperimentResult::convergence.
+/// absorbed), so the reported threshold is the field value beyond which
+/// runs stop absorbing -- the destabilization point of e.g.
+/// runtime.message_loss or faults.churn.max_rate for this scenario.
+int run_bisect(const ScenarioSpec& spec, const CliOptions& options) {
+  deproto::api::BisectOptions bisect;
+  bisect.lo = options.bisect_lo;
+  bisect.hi = options.bisect_hi;
+  bisect.max_iterations = options.bisect_iters;
+  bisect.tolerance = options.bisect_tol;
+  const deproto::api::BisectResult result =
+      deproto::api::bisect_axis_threshold(
+          spec, options.bisect,
+          [](const ExperimentResult& r) { return r.convergence.absorbed; },
+          bisect);
+  if (!options.quiet) {
+    std::printf("bisect %s on %s over [%.12g, %.12g]\n",
+                options.bisect.c_str(), spec.name.c_str(), options.bisect_lo,
+                options.bisect_hi);
+  }
+  if (result.bracketed) {
+    std::printf(
+        "threshold %.12g (absorbed up to %.12g, lost from %.12g), "
+        "%zu runs\n",
+        result.threshold, result.lo, result.hi, result.evaluations);
+  } else {
+    std::printf(
+        "no flip in bracket: verdict is one-sided over [%.12g, %.12g], "
+        "%zu runs\n",
+        options.bisect_lo, options.bisect_hi, result.evaluations);
+  }
+  if (!options.json_out.empty()) {
+    const deproto::api::Json j =
+        deproto::api::Json::object()
+            .set("scenario", deproto::api::Json::string(spec.name))
+            .set("field", deproto::api::Json::string(options.bisect))
+            .set("lo", deproto::api::Json::number(result.lo))
+            .set("hi", deproto::api::Json::number(result.hi))
+            .set("threshold", deproto::api::Json::number(result.threshold))
+            .set("evaluations",
+                 deproto::api::Json::number(result.evaluations))
+            .set("bracketed", deproto::api::Json::boolean(result.bracketed));
+    if (!write_file(options.json_out, j.dump(2))) return 1;
   }
   if (!options.spec_out.empty() &&
       !write_file(options.spec_out, spec.to_json().dump(2))) {
@@ -706,6 +804,12 @@ int main(int argc, char** argv) {
     }
 
     if (!options.sweep.empty()) {
+      if (!options.bisect.empty()) {
+        std::fprintf(stderr,
+                     "error: --bisect applies to a single scenario or "
+                     "--spec, not --sweep\n");
+        return 1;
+      }
       // A registered preset name, or a SweepSpec JSON file.
       if (const SweepSpec* preset =
               deproto::api::sweep_registry_find(options.sweep)) {
@@ -739,6 +843,19 @@ int main(int argc, char** argv) {
       spec = ScenarioSpec::from_json(deproto::api::Json::parse(buffer.str()));
     } else {
       spec = deproto::api::registry_get(options.scenario);
+    }
+    if (!options.bisect.empty()) {
+      if (options.repeat.has_value() || !options.jsonl_out.empty() ||
+          options.threads != 0 || options.dispatch != 0 ||
+          !options.cache_dir.empty() || options.cache_gc ||
+          options.cache_max_bytes.has_value()) {
+        std::fprintf(stderr,
+                     "error: --bisect runs a sequential threshold search; "
+                     "it composes with scenario/--spec and the run "
+                     "overrides only\n");
+        return 1;
+      }
+      return run_bisect(apply_overrides(std::move(spec), options), options);
     }
     if (options.repeat.has_value()) {
       // --repeat lifts the single scenario into a replicate-only sweep:
