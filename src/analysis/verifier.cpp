@@ -122,6 +122,20 @@ Report analyze_spec(const api::ScenarioSpec& spec,
     report.findings.insert(report.findings.end(),
                            std::make_move_iterator(more.begin()),
                            std::make_move_iterator(more.end()));
+
+    if (options.exact) {
+      // The exact pass runs at its own population size: rescale the
+      // spec's seeding there (proportions preserved, seeded states stay
+      // populated) and hand the machine over with the runtime's loss and
+      // token routing. Fault plans are out of scope for the exact chain.
+      const api::ScenarioSpec scaled = spec.scaled_to(options.exact_chain.n);
+      more = check_exact(synthesis->machine, scaled.initial_counts,
+                         options.exact_chain, spec.runtime.message_loss,
+                         spec.runtime.tokens);
+      report.findings.insert(report.findings.end(),
+                             std::make_move_iterator(more.begin()),
+                             std::make_move_iterator(more.end()));
+    }
   }
 
   if (options.apply_suppressions && !spec.lint_suppress.empty()) {

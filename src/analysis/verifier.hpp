@@ -30,6 +30,7 @@
 // sweep over many specs reports every broken one instead of stopping at
 // the first.
 
+#include "analysis/exact_checks.hpp"
 #include "analysis/machine_checks.hpp"
 #include "analysis/report.hpp"
 #include "api/spec.hpp"
@@ -42,6 +43,14 @@ struct VerifyOptions {
   MachineCheckOptions machine;
   /// Honor spec.lint_suppress (deproto-lint --no-suppress sets false).
   bool apply_suppressions = true;
+  /// Opt-in exact finite-N pass (deproto-lint --exact, or the
+  /// RuntimeOptions::verify_exact pre-flight): build the explicit-state
+  /// chain of analysis/exact_chain.hpp at exact_chain.n -- the spec is
+  /// rescaled there via ScenarioSpec::scaled_to -- and append the
+  /// exact.* findings. The chain models the fault-free count-backend
+  /// dynamics; the spec's fault plan is ignored by this pass.
+  bool exact = false;
+  ExactCheckOptions exact_chain;
 };
 
 /// Lint only the spec fields (no synthesis): the spec.* catalog above.

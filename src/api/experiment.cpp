@@ -312,19 +312,31 @@ ExperimentRun Experiment::launch() {
 }
 
 ExperimentRun Experiment::launch_impl() {
-  if (spec_.runtime.verify_static) {
+  if (spec_.runtime.verify_static || spec_.runtime.verify_exact) {
     // Opt-in pre-flight: refuse to stand up a backend for a machine or
     // spec the static verifier rejects. Warnings and infos pass; they are
-    // deproto-lint's concern, not a launch blocker.
-    const analysis::Report lint = analysis::analyze_spec(spec_);
-    if (!lint.ok()) {
-      std::string msg = "static verification failed";
-      if (!spec_.name.empty()) msg += " for " + spec_.name;
-      for (const analysis::Finding& f : lint.findings) {
-        if (f.severity != analysis::Severity::Error) continue;
-        msg += "; " + f.rule + " (" + f.location + "): " + f.message;
-      }
-      throw SpecError(msg);
+    // deproto-lint's concern, not a launch blocker -- with one exception:
+    // under verify_exact an exact.transient-trap also blocks, because the
+    // explicit-state chain has *proved* the finite population is absorbed
+    // somewhere the mean field never predicted, and launching would just
+    // reproduce that trap empirically.
+    analysis::VerifyOptions vopts;
+    vopts.exact = spec_.runtime.verify_exact;
+    const analysis::Report lint = analysis::analyze_spec(spec_, vopts);
+    std::string msg;
+    for (const analysis::Finding& f : lint.findings) {
+      const bool blocks =
+          f.severity == analysis::Severity::Error ||
+          (spec_.runtime.verify_exact && f.rule == "exact.transient-trap");
+      if (!blocks) continue;
+      msg += "; " + f.rule + " (" + f.location + "): " + f.message;
+    }
+    if (!msg.empty()) {
+      std::string head = spec_.runtime.verify_exact
+                             ? "exact verification failed"
+                             : "static verification failed";
+      if (!spec_.name.empty()) head += " for " + spec_.name;
+      throw SpecError(head + msg);
     }
   }
   const Artifacts& art = artifacts();

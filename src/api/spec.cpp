@@ -75,6 +75,7 @@ Json runtime_to_json(const sim::RuntimeOptions& o) {
   // Only serialized when enabled, keeping the cache keys of every spec
   // that predates the static verifier byte-stable.
   if (o.verify_static) j.set("verify_static", Json::boolean(true));
+  if (o.verify_exact) j.set("verify_exact", Json::boolean(true));
   return j;
 }
 
@@ -105,6 +106,7 @@ sim::RuntimeOptions runtime_from_json(const Json& j) {
   o.simultaneous_updates =
       j.get_or("simultaneous_updates", o.simultaneous_updates);
   o.verify_static = j.get_or("verify_static", o.verify_static);
+  o.verify_exact = j.get_or("verify_exact", o.verify_exact);
   return o;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "api/experiment.hpp"
+#include "api/suite_runner.hpp"
 #include "sim/rng.hpp"
 
 namespace deproto::api {
@@ -370,6 +371,37 @@ BisectResult bisect_axis_threshold(
         return predicate(experiment.run());
       },
       options);
+}
+
+std::optional<BisectOptions> bracket_from_sweep(const SweepResult& result,
+                                                const std::string& field,
+                                                const std::string& metric,
+                                                double hold_above) {
+  bool have_hold = false;
+  bool have_fail = false;
+  double max_hold = 0.0;
+  double min_fail = 0.0;
+  for (const PointSummary& point : result.points) {
+    std::optional<double> value;
+    for (const auto& [name, coord] : point.coords) {
+      if (name == field && coord.is_number()) value = coord.as_number();
+    }
+    if (!value.has_value() || !std::isfinite(*value)) continue;
+    const Aggregate* aggregate = point.metric(metric);
+    if (aggregate == nullptr || aggregate->count == 0) continue;
+    if (aggregate->mean >= hold_above) {
+      if (!have_hold || *value > max_hold) max_hold = *value;
+      have_hold = true;
+    } else {
+      if (!have_fail || *value < min_fail) min_fail = *value;
+      have_fail = true;
+    }
+  }
+  if (!have_hold || !have_fail || max_hold >= min_fail) return std::nullopt;
+  BisectOptions options;
+  options.lo = max_hold;
+  options.hi = min_fail;
+  return options;
 }
 
 }  // namespace deproto::api

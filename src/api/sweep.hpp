@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,7 @@
 namespace deproto::api {
 
 struct ExperimentResult;  // api/experiment.hpp
+struct SweepResult;       // api/suite_runner.hpp
 
 /// How the axes combine into sweep points. Grid takes the cartesian
 /// product (first axis outermost / slowest-varying); Zip walks all axes in
@@ -147,5 +149,20 @@ struct BisectResult {
     const ScenarioSpec& base, const std::string& field,
     const std::function<bool(const ExperimentResult&)>& predicate,
     const BisectOptions& options);
+
+/// Seed a bisect bracket from an already-run sweep instead of starting
+/// cold: scan `result`'s per-point aggregates for points whose coords set
+/// `field` to a number, call a point "holding" when the mean of `metric`
+/// (the "absorbed" replicate fraction by default) is >= hold_above, and
+/// return the tightest [largest holding value, smallest failing value]
+/// bracket for bisect_axis_threshold to refine. nullopt when the field
+/// never appears as a numeric coordinate, the verdict is one-sided over
+/// the grid (nothing to refine), or the grid is non-monotone in `field`
+/// (a failing value below a holding one -- e.g. the verdict also depends
+/// on another axis), so a seeded bracket would not actually bracket.
+/// max_iterations / tolerance are left at their defaults for the caller.
+[[nodiscard]] std::optional<BisectOptions> bracket_from_sweep(
+    const SweepResult& result, const std::string& field,
+    const std::string& metric = "absorbed", double hold_above = 0.5);
 
 }  // namespace deproto::api

@@ -77,6 +77,8 @@
 // without running a period
 #include "analysis/report.hpp"
 #include "analysis/machine_checks.hpp"
+#include "analysis/exact_chain.hpp"
+#include "analysis/exact_checks.hpp"
 #include "analysis/verifier.hpp"
 
 // dist: multi-process cluster sweep dispatch over the api engine

@@ -48,6 +48,13 @@ struct RuntimeOptions {
   /// findings. Consumed by api::Experiment, ignored by the executor; off
   /// by default so existing specs, cache keys, and runs are untouched.
   bool verify_static = false;
+  /// Opt-in pre-flight, one tier up: additionally build the exact
+  /// finite-N Markov chain (analysis/exact_chain.hpp, at the analyzer's
+  /// default small n) and refuse to launch on error findings *or* an
+  /// exact.transient-trap -- a protocol the exact chain provably parks
+  /// somewhere the mean field never predicted. Implies the static pass.
+  /// Consumed by api::Experiment, ignored by the executor.
+  bool verify_exact = false;
 
   friend bool operator==(const RuntimeOptions&,
                          const RuntimeOptions&) = default;

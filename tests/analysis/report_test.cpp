@@ -95,4 +95,59 @@ TEST(ReportTest, FindingToStringIsOneReadableLine) {
             "[0, 1]");
 }
 
+TEST(ReportTest, HostileMessageTextSurvivesDumpAndParse) {
+  // Finding messages quote user-controlled spec text (scenario names,
+  // ODE sources), so the serialized report must survive embedded quotes,
+  // backslashes, newlines, tabs, control characters, and non-ASCII
+  // UTF-8 byte for byte.
+  Report report;
+  report.scenario = "naïve \"scenario\"";
+  report.findings = {
+      {Severity::Warning, "spec.source", "source \"ode\"",
+       "line 1:\n\tdx/dt = -βxy \\ (µ ≈ 0.05)\x01\x1f", 0.5},
+      {Severity::Info, "exact.absorbing-class",
+       "absorbing state (x=0, y=16)", "\"\\\n\r\té本\U0001f600",
+       1.0},
+  };
+  const Report back =
+      Report::from_json(Json::parse(report.to_json().dump()));
+  EXPECT_EQ(back, report);
+  // Pretty-printing indents but must escape identically.
+  const Report pretty =
+      Report::from_json(Json::parse(report.to_json().dump(2)));
+  EXPECT_EQ(pretty, report);
+}
+
+TEST(ReportTest, EmptyReportRoundTripsAndIsOk) {
+  const Report empty;
+  EXPECT_TRUE(empty.ok());
+  EXPECT_EQ(empty.errors(), 0U);
+  EXPECT_EQ(empty.warnings(), 0U);
+  EXPECT_TRUE(empty.by_rule("mass.action-bias").empty());
+  const Report back =
+      Report::from_json(Json::parse(empty.to_json().dump()));
+  EXPECT_EQ(back, empty);
+  EXPECT_TRUE(back.findings.empty());
+  EXPECT_EQ(back.scenario, "");
+  EXPECT_EQ(back.suppressed, 0U);
+}
+
+TEST(ReportTest, UnknownSeverityIsAParseErrorNotAGuess) {
+  // A forward-compatible reader must not silently coerce severities it
+  // does not know (e.g. a future "fatal") into something runnable.
+  Json finding = Json::object()
+                     .set("severity", Json::string("fatal"))
+                     .set("rule", Json::string("mass.action-bias"))
+                     .set("location", Json::string("action 0"))
+                     .set("message", Json::string("boom"))
+                     .set("value", Json::number(1.0));
+  Json findings = Json::array();
+  findings.push(std::move(finding));
+  const Json j = Json::object()
+                     .set("scenario", Json::string("epidemic"))
+                     .set("findings", std::move(findings))
+                     .set("suppressed", Json::number(0));
+  EXPECT_THROW((void)Report::from_json(j), deproto::api::JsonError);
+}
+
 }  // namespace

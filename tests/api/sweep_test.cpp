@@ -10,6 +10,7 @@
 
 #include "api/experiment.hpp"
 #include "api/registry.hpp"
+#include "api/suite_runner.hpp"
 #include "api/sweep.hpp"
 
 namespace deproto::api {
@@ -390,6 +391,131 @@ TEST(BisectAxisTest, ThresholdVariantDrivesRealExperiments) {
   EXPECT_GT(result.threshold, 0.0);
   EXPECT_LT(result.threshold, 0.99);
   EXPECT_EQ(result.evaluations, 2U + 4U);
+}
+
+/// A hand-built SweepResult point: `field` = value, absorbed mean as
+/// given (count 3 replicates, like a real aggregate).
+PointSummary grid_point(std::size_t index, const std::string& field,
+                        double value, double absorbed_mean) {
+  PointSummary point;
+  point.point = index;
+  point.coords.emplace_back(field, Json::number(value));
+  Aggregate absorbed;
+  absorbed.count = 3;
+  absorbed.mean = absorbed_mean;
+  point.metrics.emplace_back("absorbed", absorbed);
+  return point;
+}
+
+TEST(BracketFromSweepTest, SeedsTheTightestBracketAroundTheFlip) {
+  SweepResult result;
+  result.points.push_back(grid_point(0, "runtime.message_loss", 0.0, 1.0));
+  result.points.push_back(grid_point(1, "runtime.message_loss", 0.2, 1.0));
+  result.points.push_back(
+      grid_point(2, "runtime.message_loss", 0.4, 2.0 / 3.0));
+  result.points.push_back(
+      grid_point(3, "runtime.message_loss", 0.6, 1.0 / 3.0));
+  result.points.push_back(grid_point(4, "runtime.message_loss", 0.8, 0.0));
+
+  const std::optional<BisectOptions> bracket =
+      bracket_from_sweep(result, "runtime.message_loss");
+  ASSERT_TRUE(bracket.has_value());
+  // Majority absorbed through 0.4, minority from 0.6: that pair is the
+  // tightest bracket the grid supports.
+  EXPECT_DOUBLE_EQ(bracket->lo, 0.4);
+  EXPECT_DOUBLE_EQ(bracket->hi, 0.6);
+}
+
+TEST(BracketFromSweepTest, OneSidedGridsAndUnknownFieldsGiveNoBracket) {
+  SweepResult all_hold;
+  all_hold.points.push_back(grid_point(0, "runtime.message_loss", 0.0, 1.0));
+  all_hold.points.push_back(grid_point(1, "runtime.message_loss", 0.5, 1.0));
+  EXPECT_FALSE(
+      bracket_from_sweep(all_hold, "runtime.message_loss").has_value());
+
+  SweepResult all_fail;
+  all_fail.points.push_back(grid_point(0, "runtime.message_loss", 0.0, 0.0));
+  all_fail.points.push_back(grid_point(1, "runtime.message_loss", 0.5, 0.0));
+  EXPECT_FALSE(
+      bracket_from_sweep(all_fail, "runtime.message_loss").has_value());
+
+  // Field that is not an axis of this grid.
+  EXPECT_FALSE(bracket_from_sweep(all_hold, "clock_drift").has_value());
+
+  // Non-numeric coordinates (a backend axis) never seed a bracket.
+  SweepResult strings;
+  PointSummary point;
+  point.coords.emplace_back("backend", Json::string("sync"));
+  Aggregate absorbed;
+  absorbed.count = 1;
+  absorbed.mean = 1.0;
+  point.metrics.emplace_back("absorbed", absorbed);
+  strings.points.push_back(point);
+  EXPECT_FALSE(bracket_from_sweep(strings, "backend").has_value());
+}
+
+TEST(BracketFromSweepTest, NonMonotoneGridsRefuseToBracket) {
+  // A failing point *below* a holding one (the verdict depends on some
+  // other axis too): [max hold, min fail] would not bracket, so no seed.
+  SweepResult result;
+  result.points.push_back(grid_point(0, "runtime.message_loss", 0.1, 0.0));
+  result.points.push_back(grid_point(1, "runtime.message_loss", 0.3, 1.0));
+  result.points.push_back(grid_point(2, "runtime.message_loss", 0.5, 0.0));
+  EXPECT_FALSE(
+      bracket_from_sweep(result, "runtime.message_loss").has_value());
+}
+
+TEST(BracketFromSweepTest, CustomMetricAndThresholdApply) {
+  SweepResult result;
+  PointSummary low = grid_point(0, "n", 100.0, 0.0);
+  Aggregate dominant;
+  dominant.count = 2;
+  dominant.mean = 0.95;
+  low.metrics.emplace_back("dominant_fraction", dominant);
+  PointSummary high = grid_point(1, "n", 200.0, 0.0);
+  dominant.mean = 0.55;
+  high.metrics.emplace_back("dominant_fraction", dominant);
+  result.points.push_back(low);
+  result.points.push_back(high);
+
+  const std::optional<BisectOptions> bracket =
+      bracket_from_sweep(result, "n", "dominant_fraction", 0.9);
+  ASSERT_TRUE(bracket.has_value());
+  EXPECT_DOUBLE_EQ(bracket->lo, 100.0);
+  EXPECT_DOUBLE_EQ(bracket->hi, 200.0);
+}
+
+TEST(BracketFromSweepTest, SeededBracketRefinesARealSweep) {
+  // End to end: run a tiny message-loss grid through SuiteRunner, seed
+  // the bracket from its aggregates, and hand it to
+  // bisect_axis_threshold -- the --sweep --bisect path in API form.
+  SweepSpec sweep;
+  sweep.base = small_base();
+  sweep.base.periods = 30;
+  sweep.axes.push_back(
+      SweepAxis{"runtime.message_loss",
+                {num(0.0), num(0.5), num(0.9), num(0.99)}});
+  SuiteOptions options;
+  options.threads = 1;
+  options.store_results = false;
+  const SweepResult grid = SuiteRunner(options).run(sweep);
+  ASSERT_EQ(grid.jobs_failed, 0U);
+
+  const std::optional<BisectOptions> seeded =
+      bracket_from_sweep(grid, "runtime.message_loss");
+  ASSERT_TRUE(seeded.has_value()) << "loss 0 absorbs, loss 0.99 cannot";
+  EXPECT_LT(seeded->lo, seeded->hi);
+
+  BisectOptions bisect = *seeded;
+  bisect.max_iterations = 3;
+  const BisectResult refined = bisect_axis_threshold(
+      sweep.base, "runtime.message_loss",
+      [](const ExperimentResult& r) { return r.convergence.absorbed; },
+      bisect);
+  EXPECT_TRUE(refined.bracketed)
+      << "the grid-certified bracket must hold under re-evaluation";
+  EXPECT_GE(refined.threshold, seeded->lo);
+  EXPECT_LE(refined.threshold, seeded->hi);
 }
 
 }  // namespace

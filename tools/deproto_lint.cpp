@@ -10,6 +10,11 @@
 //   deproto-lint --spec spec.json             lint a ScenarioSpec file
 //
 // Options:
+//   --exact        additionally build the exact finite-N Markov chain
+//                  (analysis/exact_chain.hpp) and report the exact.* rules
+//   --exact-n N    population size of the exact chain (default 32)
+//   --exact-max-states M
+//                  state-space budget C(N+S-1, S-1) must fit (default 20000)
 //   --json         machine-readable reports on stdout (one object with a
 //                  "reports" array of analysis::Report values)
 //   --strict       exit nonzero on warnings too, not just errors
@@ -19,7 +24,9 @@
 // Exit codes: 0 = no blocking findings, 1 = error findings (or warnings
 // under --strict), 2 = usage / unreadable input.
 
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -44,12 +51,16 @@ struct CliOptions {
   bool strict = false;
   bool no_suppress = false;
   bool quiet = false;
+  bool exact = false;
+  std::size_t exact_n = 0;           // 0: keep the analyzer default
+  std::size_t exact_max_states = 0;  // 0: keep the analyzer default
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (<scenario>... | --registry | --spec f.json) "
-               "[--json] [--strict] [--no-suppress] [--quiet]\n",
+               "[--json] [--strict] [--no-suppress] [--quiet] [--exact] "
+               "[--exact-n N] [--exact-max-states M]\n",
                argv0);
   return 2;
 }
@@ -73,6 +84,23 @@ bool parse_args(int argc, char** argv, CliOptions* opts) {
       opts->no_suppress = true;
     } else if (arg == "--quiet") {
       opts->quiet = true;
+    } else if (arg == "--exact") {
+      opts->exact = true;
+    } else if (arg == "--exact-n" || arg == "--exact-max-states") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a number\n", arg.c_str());
+        return false;
+      }
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0) {
+        std::fprintf(stderr, "error: %s needs a positive integer, got %s\n",
+                     arg.c_str(), argv[i]);
+        return false;
+      }
+      (arg == "--exact-n" ? opts->exact_n : opts->exact_max_states) =
+          static_cast<std::size_t>(v);
+      opts->exact = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return false;
@@ -144,6 +172,11 @@ int main(int argc, char** argv) {
 
   deproto::analysis::VerifyOptions verify;
   verify.apply_suppressions = !opts.no_suppress;
+  verify.exact = opts.exact;
+  if (opts.exact_n > 0) verify.exact_chain.n = opts.exact_n;
+  if (opts.exact_max_states > 0) {
+    verify.exact_chain.max_states = opts.exact_max_states;
+  }
 
   std::size_t errors = 0;
   std::size_t warnings = 0;

@@ -35,9 +35,14 @@
 //                      sweep_axis_fields() name, e.g. runtime.
 //                      message_loss or faults.churn.max_rate) for the
 //                      value where the convergence verdict flips from
-//                      absorbed to not -- the destabilization threshold
+//                      absorbed to not -- the destabilization threshold.
+//                      With --sweep, runs the sweep first and seeds the
+//                      bracket from its per-point absorbed means
+//                      (api::bracket_from_sweep), so the refine starts
+//                      from the already-run grid instead of cold
 //   --bisect-lo <v>    bisection bracket (defaults 0 .. 1); the verdict
-//   --bisect-hi <v>    is expected to hold at lo and fail at hi
+//   --bisect-hi <v>    is expected to hold at lo and fail at hi. With
+//                      --sweep these override the grid-seeded bracket
 //   --bisect-iters <k> midpoint evaluations after the endpoint checks
 //                      (default 12)
 //   --bisect-tol <t>   stop early once hi - lo <= t (default 0: iterate
@@ -121,8 +126,8 @@ struct CliOptions {
   int worker_heartbeat_ms = -1;  // -1 = flag not given
   std::optional<std::size_t> repeat;
   std::string bisect;  // axis field; empty = no bisection
-  double bisect_lo = 0.0;
-  double bisect_hi = 1.0;
+  std::optional<double> bisect_lo;  // default 0, or the sweep-seeded lo
+  std::optional<double> bisect_hi;  // default 1, or the sweep-seeded hi
   std::size_t bisect_iters = 12;
   double bisect_tol = 0.0;
   std::string json_out;
@@ -228,17 +233,21 @@ bool parse_args(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--bisect") {
       if (!next("--bisect", &options->bisect)) return false;
     } else if (arg == "--bisect-lo") {
+      double lo = 0.0;
       if (!next("--bisect-lo", &value)) return false;
-      if (!deproto::cli::parse_double(value, &options->bisect_lo)) {
+      if (!deproto::cli::parse_double(value, &lo)) {
         return deproto::cli::value_error("--bisect-lo", "invalid bound",
                                          value);
       }
+      options->bisect_lo = lo;
     } else if (arg == "--bisect-hi") {
+      double hi = 0.0;
       if (!next("--bisect-hi", &value)) return false;
-      if (!deproto::cli::parse_double(value, &options->bisect_hi)) {
+      if (!deproto::cli::parse_double(value, &hi)) {
         return deproto::cli::value_error("--bisect-hi", "invalid bound",
                                          value);
       }
+      options->bisect_hi = hi;
     } else if (arg == "--bisect-iters") {
       if (!next("--bisect-iters", &value)) return false;
       if (!deproto::cli::parse_size(value, &options->bisect_iters)) {
@@ -425,22 +434,17 @@ int run_one(const ScenarioSpec& spec, const CliOptions& options) {
 /// absorbed), so the reported threshold is the field value beyond which
 /// runs stop absorbing -- the destabilization point of e.g.
 /// runtime.message_loss or faults.churn.max_rate for this scenario.
-int run_bisect(const ScenarioSpec& spec, const CliOptions& options) {
-  deproto::api::BisectOptions bisect;
-  bisect.lo = options.bisect_lo;
-  bisect.hi = options.bisect_hi;
-  bisect.max_iterations = options.bisect_iters;
-  bisect.tolerance = options.bisect_tol;
+/// The refine step shared by the cold path (run_bisect) and the
+/// sweep-seeded path (run_sweep + --bisect): bisect the absorbed verdict
+/// over the given bracket and report.
+deproto::api::BisectResult refine_threshold(
+    const ScenarioSpec& spec, const CliOptions& options,
+    const deproto::api::BisectOptions& bisect) {
   const deproto::api::BisectResult result =
       deproto::api::bisect_axis_threshold(
           spec, options.bisect,
           [](const ExperimentResult& r) { return r.convergence.absorbed; },
           bisect);
-  if (!options.quiet) {
-    std::printf("bisect %s on %s over [%.12g, %.12g]\n",
-                options.bisect.c_str(), spec.name.c_str(), options.bisect_lo,
-                options.bisect_hi);
-  }
   if (result.bracketed) {
     std::printf(
         "threshold %.12g (absorbed up to %.12g, lost from %.12g), "
@@ -450,8 +454,24 @@ int run_bisect(const ScenarioSpec& spec, const CliOptions& options) {
     std::printf(
         "no flip in bracket: verdict is one-sided over [%.12g, %.12g], "
         "%zu runs\n",
-        options.bisect_lo, options.bisect_hi, result.evaluations);
+        bisect.lo, bisect.hi, result.evaluations);
   }
+  return result;
+}
+
+int run_bisect(const ScenarioSpec& spec, const CliOptions& options) {
+  deproto::api::BisectOptions bisect;
+  bisect.lo = options.bisect_lo.value_or(0.0);
+  bisect.hi = options.bisect_hi.value_or(1.0);
+  bisect.max_iterations = options.bisect_iters;
+  bisect.tolerance = options.bisect_tol;
+  if (!options.quiet) {
+    std::printf("bisect %s on %s over [%.12g, %.12g]\n",
+                options.bisect.c_str(), spec.name.c_str(), bisect.lo,
+                bisect.hi);
+  }
+  const deproto::api::BisectResult result =
+      refine_threshold(spec, options, bisect);
   if (!options.json_out.empty()) {
     const deproto::api::Json j =
         deproto::api::Json::object()
@@ -667,7 +687,40 @@ int run_sweep(SweepSpec sweep, const CliOptions& options) {
       !write_file(options.spec_out, sweep.to_json().dump(2))) {
     return 1;
   }
-  return result.jobs_failed == 0 ? 0 : 1;
+  if (result.jobs_failed != 0) return 1;
+
+  if (!options.bisect.empty()) {
+    // Sweep-seeded threshold refinement: the grid already localized the
+    // flip of the absorbed verdict, so seed the bisection bracket from
+    // the per-point absorbed means instead of starting at [0, 1].
+    const std::optional<deproto::api::BisectOptions> seeded =
+        deproto::api::bracket_from_sweep(result, options.bisect);
+    const bool explicit_bracket =
+        options.bisect_lo.has_value() && options.bisect_hi.has_value();
+    if (!seeded.has_value() && !explicit_bracket) {
+      std::fprintf(stderr,
+                   "error: the sweep gives no bracket for %s (not a "
+                   "numeric axis of the grid, or the absorbed verdict "
+                   "does not flip monotonically across it); pass "
+                   "--bisect-lo/--bisect-hi to bisect anyway\n",
+                   options.bisect.c_str());
+      return 1;
+    }
+    deproto::api::BisectOptions bisect =
+        seeded.value_or(deproto::api::BisectOptions{});
+    if (options.bisect_lo.has_value()) bisect.lo = *options.bisect_lo;
+    if (options.bisect_hi.has_value()) bisect.hi = *options.bisect_hi;
+    bisect.max_iterations = options.bisect_iters;
+    bisect.tolerance = options.bisect_tol;
+    std::printf("\nbisect %s on %s over [%.12g, %.12g]%s\n",
+                options.bisect.c_str(), sweep.base.name.c_str(), bisect.lo,
+                bisect.hi,
+                seeded.has_value() && !explicit_bracket
+                    ? " (bracket seeded from the grid)"
+                    : "");
+    (void)refine_threshold(sweep.base, options, bisect);
+  }
+  return 0;
 }
 
 /// The registry-rot guard: list, then run every scenario at N <= 500 and
@@ -804,12 +857,6 @@ int main(int argc, char** argv) {
     }
 
     if (!options.sweep.empty()) {
-      if (!options.bisect.empty()) {
-        std::fprintf(stderr,
-                     "error: --bisect applies to a single scenario or "
-                     "--spec, not --sweep\n");
-        return 1;
-      }
       // A registered preset name, or a SweepSpec JSON file.
       if (const SweepSpec* preset =
               deproto::api::sweep_registry_find(options.sweep)) {

@@ -1,0 +1,47 @@
+# Exact-verifier smoke: run deproto-lint --exact over every registered
+# scenario at a small-N-feasible population and assert (a) the gate holds
+# (exit 0: warnings allowed, error findings are not) and (b) the exact
+# pass actually ran -- the output must carry exact.* findings, including
+# the absorption verdicts the epidemic and lv-majority families are known
+# to produce, rather than silently skipping every chain on budget.
+#
+#   cmake -DDEPROTO_LINT=<path/to/deproto-lint> -P tools/lint_exact_smoke.cmake
+#
+# n = 16 keeps every registry machine comfortably inside the default
+# state-space budget (3-state machines give C(18, 2) = 153 lattice
+# points) while still exhibiting the interesting finite-N behavior: the
+# endemic family is provably absorbed into extinction at this size, which
+# is a warning, not an error, so the gate stays green.
+
+if(NOT DEFINED DEPROTO_LINT)
+  message(FATAL_ERROR "pass -DDEPROTO_LINT=<path to deproto-lint>")
+endif()
+
+execute_process(
+  COMMAND "${DEPROTO_LINT}" --registry --exact --exact-n 16
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "deproto-lint --exact over the registry failed (exit ${rc}):\n"
+    "${stdout}\n${stderr}")
+endif()
+
+# The exact tier must have produced verdicts, not budget skips.
+if(NOT stdout MATCHES "exact\\.absorbing-class")
+  message(FATAL_ERROR
+    "no exact.absorbing-class findings in the registry lint:\n${stdout}")
+endif()
+if(NOT stdout MATCHES "exact\\.hitting-time")
+  message(FATAL_ERROR
+    "no exact.hitting-time findings in the registry lint:\n${stdout}")
+endif()
+if(stdout MATCHES "exact\\.state-budget")
+  message(FATAL_ERROR
+    "exact pass hit the state budget at n = 16; the smoke is supposed to "
+    "run every registry machine exactly:\n${stdout}")
+endif()
+
+message(STATUS
+  "lint exact smoke: registry linted clean with exact.* verdicts at n = 16")
